@@ -1,0 +1,477 @@
+(* SMOQE benchmark harness.
+
+   One experiment per claim of the demo paper's evaluation (see
+   EXPERIMENTS.md for the paper-vs-measured record):
+
+     E1  evaluator efficiency: HyPE vs naive / Xalan-like / two-pass
+     E2  StAX mode: single-scan streaming vs DOM
+     E3  TAX effectiveness: index on vs off, pruning and codec numbers
+     E4  single pass vs Arb-style multi-pass on predicate-heavy queries
+     E5  rewriting: linear MFA vs exponential expression rewriting
+     E6  Cans stays small relative to the document
+     E7  view derivation over random recursive DTDs, with correctness check
+     F*  the paper's figures (3, 4, 5, 6) as textual artifacts
+
+   Timings use Bechamel (one Test.make per measured cell, OLS estimate of
+   ns/run against a monotonic clock).  Absolute numbers are
+   machine-specific; the shapes are what EXPERIMENTS.md records. *)
+
+open Bechamel
+open Toolkit
+
+module Tree = Smoqe_xml.Tree
+module Parser = Smoqe_xml.Parser
+module Serializer = Smoqe_xml.Serializer
+module Dtd = Smoqe_xml.Dtd
+module Ast = Smoqe_rxpath.Ast
+module Rx_parser = Smoqe_rxpath.Parser
+module Compile = Smoqe_automata.Compile
+module Mfa = Smoqe_automata.Mfa
+module Eval_dom = Smoqe_hype.Eval_dom
+module Eval_stax = Smoqe_hype.Eval_stax
+module Stats = Smoqe_hype.Stats
+module Trace = Smoqe_hype.Trace
+module Tax = Smoqe_tax.Tax
+module Codec = Smoqe_tax.Codec
+module Naive = Smoqe_baseline.Naive
+module Xalan_like = Smoqe_baseline.Xalan_like
+module Two_pass = Smoqe_baseline.Two_pass
+module Policy = Smoqe_security.Policy
+module Derive = Smoqe_security.Derive
+module Materialize = Smoqe_security.Materialize
+module Rewriter = Smoqe_rewrite.Rewriter
+module Expr_rewriter = Smoqe_rewrite.Expr_rewriter
+module Hospital = Smoqe_workload.Hospital
+module Queries = Smoqe_workload.Queries
+module Random_dtd = Smoqe_workload.Random_dtd
+module Docgen = Smoqe_workload.Docgen
+
+(* --- timing ------------------------------------------------------------- *)
+
+let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:Measure.[| run |]
+
+let ns_per_run ~name f =
+  let test = Test.make ~name (Staged.stage f) in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) () in
+  let raw = Benchmark.all cfg instances test in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun _ v acc ->
+      match Analyze.OLS.estimates v with Some (x :: _) -> x | _ -> acc)
+    results nan
+
+let pp_time ns =
+  if Float.is_nan ns then "      n/a"
+  else if ns >= 1e9 then Printf.sprintf "%7.2f s " (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%7.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%7.2f us" (ns /. 1e3)
+  else Printf.sprintf "%7.0f ns" ns
+
+let parse s =
+  match Rx_parser.path_of_string s with
+  | Ok p -> p
+  | Error msg -> failwith (s ^ ": " ^ msg)
+
+let banner id title = Printf.printf "\n==== %s: %s ====\n%!" id title
+
+let hospital_sized n_patients =
+  Hospital.generate ~seed:2006 ~n_patients ~recursion_depth:3 ()
+
+(* --- E1: evaluator efficiency -------------------------------------------- *)
+
+let e1 () =
+  banner "E1" "HyPE (DOM) vs naive / Xalan-like / two-pass evaluators";
+  let doc = hospital_sized 400 in
+  Printf.printf "document: %d nodes (hospital, 400 patients)\n" (Tree.n_nodes doc);
+  Printf.printf "%-4s %-10s %-10s %-10s %-10s %8s\n" "Q" "HyPE" "naive"
+    "Xalan-like" "two-pass" "speedup";
+  List.iter
+    (fun (name, q) ->
+      let mfa = Compile.compile q in
+      let hype = ns_per_run ~name:(name ^ "-hype") (fun () ->
+          ignore (Sys.opaque_identity (Eval_dom.run mfa doc))) in
+      let naive = ns_per_run ~name:(name ^ "-naive") (fun () ->
+          ignore (Sys.opaque_identity (Naive.run doc q))) in
+      let xalan = ns_per_run ~name:(name ^ "-xalan") (fun () ->
+          ignore (Sys.opaque_identity (Xalan_like.run doc q))) in
+      let two = ns_per_run ~name:(name ^ "-two") (fun () ->
+          ignore (Sys.opaque_identity (Two_pass.run mfa doc))) in
+      let best_baseline = List.fold_left min naive [ xalan; two ] in
+      Printf.printf "%-4s %s %s %s %s %7.1fx\n%!" name (pp_time hype)
+        (pp_time naive) (pp_time xalan) (pp_time two) (best_baseline /. hype))
+    Queries.parsed;
+  Printf.printf "\nscalability (Q8 = paper's Q0):\n";
+  Printf.printf "%-9s %-10s %-10s %-10s %-10s\n" "nodes" "HyPE" "naive"
+    "Xalan-like" "two-pass";
+  List.iter
+    (fun n_patients ->
+      let doc = hospital_sized n_patients in
+      let q = parse Queries.q0 in
+      let mfa = Compile.compile q in
+      let hype = ns_per_run ~name:"s-hype" (fun () ->
+          ignore (Sys.opaque_identity (Eval_dom.run mfa doc))) in
+      let naive = ns_per_run ~name:"s-naive" (fun () ->
+          ignore (Sys.opaque_identity (Naive.run doc q))) in
+      let xalan = ns_per_run ~name:"s-xalan" (fun () ->
+          ignore (Sys.opaque_identity (Xalan_like.run doc q))) in
+      let two = ns_per_run ~name:"s-two" (fun () ->
+          ignore (Sys.opaque_identity (Two_pass.run mfa doc))) in
+      Printf.printf "%-9d %s %s %s %s\n%!" (Tree.n_nodes doc) (pp_time hype)
+        (pp_time naive) (pp_time xalan) (pp_time two))
+    [ 100; 400; 1600 ]
+
+(* --- E2: StAX streaming --------------------------------------------------- *)
+
+let e2 () =
+  banner "E2" "StAX mode: one sequential scan, larger-than-DOM documents";
+  Printf.printf "%-9s %-9s %-11s %-11s %-11s %6s\n" "nodes" "KiB" "DOM eval"
+    "DOM parse+e" "StAX scan" "passes";
+  List.iter
+    (fun n_patients ->
+      let doc = hospital_sized n_patients in
+      let xml = Serializer.to_string ~indent:false doc in
+      let q = parse "patient[visit/treatment/medication = 'autism']/pname" in
+      let mfa = Compile.compile q in
+      let dom_eval = ns_per_run ~name:"dom-eval" (fun () ->
+          ignore (Sys.opaque_identity (Eval_dom.run mfa doc))) in
+      let dom_full = ns_per_run ~name:"dom-full" (fun () ->
+          let t = Parser.tree_of_string xml in
+          ignore (Sys.opaque_identity (Eval_dom.run mfa t))) in
+      let stax = ns_per_run ~name:"stax" (fun () ->
+          ignore
+            (Sys.opaque_identity
+               (Eval_stax.run mfa (Smoqe_xml.Pull.of_string xml)))) in
+      let passes =
+        (Eval_stax.run mfa (Smoqe_xml.Pull.of_string xml)).Eval_stax.stats
+          .Stats.passes_over_data
+      in
+      Printf.printf "%-9d %-9d %s %s %s %6d\n%!" (Tree.n_nodes doc)
+        (String.length xml / 1024)
+        (pp_time dom_eval) (pp_time dom_full) (pp_time stax) passes)
+    [ 100; 400; 1600; 6400 ]
+
+(* --- E3: TAX effectiveness ------------------------------------------------ *)
+
+let e3 () =
+  banner "E3" "TAX index: pruning effect, build cost, compressed size";
+  let doc =
+    Smoqe_workload.Federation.generate ~seed:13 ~n_departments:60
+      ~section_size:120 ()
+  in
+  let tax = Tax.build doc in
+  let build = ns_per_run ~name:"tax-build" (fun () ->
+      ignore (Sys.opaque_identity (Tax.build doc))) in
+  let encoded = Codec.to_bytes tax in
+  Printf.printf
+    "document: %d nodes; index build %s; in-memory %d KiB, on-disk %d KiB (%.1fx compression)\n"
+    (Tree.n_nodes doc) (pp_time build)
+    (Tax.memory_words tax * (Sys.int_size / 8) / 1024)
+    (Bytes.length encoded / 1024)
+    (float_of_int (Tax.memory_words tax * (Sys.int_size / 8))
+    /. float_of_int (Bytes.length encoded));
+  Printf.printf "federated corp: departments host different record kinds\n";
+  Printf.printf "%-20s %-40s %-11s %-11s %7s %9s\n" "workload" "query"
+    "TAX off" "TAX on" "speedup" "pruned";
+  List.iter
+    (fun (label, q_text) ->
+      let q = parse q_text in
+      let mfa = Compile.compile q in
+      let off = ns_per_run ~name:"tax-off" (fun () ->
+          ignore (Sys.opaque_identity (Eval_dom.run mfa doc))) in
+      let on = ns_per_run ~name:"tax-on" (fun () ->
+          ignore (Sys.opaque_identity (Eval_dom.run ~tax mfa doc))) in
+      let pruned =
+        (Eval_dom.run ~tax mfa doc).Eval_dom.stats.Stats.nodes_pruned_tax
+      in
+      Printf.printf "%-20s %-40s %s %s %6.1fx %9d\n%!" label q_text
+        (pp_time off) (pp_time on) (off /. on) pruned)
+    Smoqe_workload.Federation.queries
+
+(* --- E4: single pass vs multi-pass ---------------------------------------- *)
+
+let e4 () =
+  banner "E4" "HyPE single pass vs Arb-style preprocessing + two passes";
+  let doc = hospital_sized 800 in
+  Printf.printf "document: %d nodes\n" (Tree.n_nodes doc);
+  Printf.printf "%-4s %-11s %-11s %7s | %7s %12s %12s\n" "Q" "HyPE" "two-pass"
+    "ratio" "passes" "alive(HyPE)" "work(2pass)";
+  List.iter
+    (fun (name, q) ->
+      let mfa = Compile.compile q in
+      let hype = ns_per_run ~name:"e4-hype" (fun () ->
+          ignore (Sys.opaque_identity (Eval_dom.run mfa doc))) in
+      let two = ns_per_run ~name:"e4-two" (fun () ->
+          ignore (Sys.opaque_identity (Two_pass.run mfa doc))) in
+      let hype_stats = (Eval_dom.run mfa doc).Eval_dom.stats in
+      let two_res = Two_pass.run mfa doc in
+      Printf.printf "%-4s %s %s %6.1fx | %7d %12d %12d\n%!" name
+        (pp_time hype) (pp_time two) (two /. hype)
+        two_res.Two_pass.passes_over_data hype_stats.Stats.nodes_alive
+        two_res.Two_pass.predicate_work)
+    (List.filter (fun (n, _) -> List.mem n [ "Q4"; "Q5"; "Q6"; "Q7"; "Q8" ])
+       Queries.parsed)
+
+(* --- E5: rewriting sizes --------------------------------------------------- *)
+
+let branching_view () =
+  let dtd =
+    Dtd.create ~root:"r"
+      [
+        ("r", Dtd.Children (Dtd.Star (Dtd.Name "a")));
+        ( "a",
+          Dtd.Children (Dtd.Seq (Dtd.Star (Dtd.Name "b"), Dtd.Star (Dtd.Name "c")))
+        );
+        ("b", Dtd.Children (Dtd.Star (Dtd.Name "a")));
+        ("c", Dtd.Children (Dtd.Star (Dtd.Name "a")));
+      ]
+  in
+  Derive.derive (Policy.create dtd [])
+
+let e5 () =
+  banner "E5" "rewriting: MFA stays linear, direct expressions explode";
+  let hview = Derive.derive Hospital.policy in
+  Printf.printf "hospital view, growing patient[...]-chains:\n";
+  Printf.printf "%-6s %-8s %-9s %-12s %-9s\n" "|Q|" "MFA" "t(MFA)"
+    "expr size" "t(expr)";
+  let rec chain k =
+    if k = 0 then
+      Ast.seq (Ast.Tag "patient")
+        (Ast.seq (Ast.Tag "treatment") (Ast.Tag "medication"))
+    else
+      Ast.seq
+        (Ast.filter (Ast.Tag "patient") (Ast.Exists (Ast.Tag "treatment")))
+        (Ast.seq (Ast.Tag "parent") (chain (k - 1)))
+  in
+  List.iter
+    (fun k ->
+      let q = chain k in
+      let t_mfa = ns_per_run ~name:"e5-mfa" (fun () ->
+          ignore (Sys.opaque_identity (Rewriter.rewrite hview q))) in
+      let mfa_size = Mfa.size (Rewriter.rewrite hview q) in
+      let expr_size, t_expr =
+        match Expr_rewriter.rewrite_sized ~max_size:1e8 hview q with
+        | _, size ->
+          let t = ns_per_run ~name:"e5-expr" (fun () ->
+              ignore (Sys.opaque_identity
+                        (Expr_rewriter.rewrite_sized ~max_size:1e8 hview q))) in
+          (Printf.sprintf "%.0f" size, pp_time t)
+        | exception Expr_rewriter.Too_large n ->
+          (Printf.sprintf ">%.2g(cap)" n, "        -")
+      in
+      Printf.printf "%-6d %-8d %s %-12s %s\n%!" (Ast.size q) mfa_size
+        (pp_time t_mfa) expr_size t_expr)
+    [ 1; 2; 4; 8; 16 ];
+  Printf.printf "\nbranching view (a -> b|c -> a), chains of a/(b|c):\n";
+  Printf.printf "%-3s %-6s %-8s %-12s\n" "k" "|Q|" "MFA" "expr size";
+  let bview = branching_view () in
+  let step = Ast.seq (Ast.Tag "a") (Ast.Union (Ast.Tag "b", Ast.Tag "c")) in
+  let rec bchain k = if k = 1 then step else Ast.seq step (bchain (k - 1)) in
+  List.iter
+    (fun k ->
+      let q = bchain k in
+      let mfa_size = Mfa.size (Rewriter.rewrite bview q) in
+      let expr_size =
+        match Expr_rewriter.rewrite_sized ~max_size:1e9 bview q with
+        | _, size -> Printf.sprintf "%.0f" size
+        | exception Expr_rewriter.Too_large n -> Printf.sprintf ">%.2g(cap)" n
+      in
+      Printf.printf "%-3d %-6d %-8d %-12s\n%!" k (Ast.size q) mfa_size expr_size)
+    [ 2; 4; 6; 8; 10; 12; 14; 16 ]
+
+(* --- E6: Cans size ---------------------------------------------------------- *)
+
+let e6 () =
+  banner "E6" "Cans (candidate answers) stays far smaller than the document";
+  Printf.printf "%-9s %-6s %9s %9s %9s\n" "nodes" "query" "cans" "answers"
+    "cans/doc";
+  List.iter
+    (fun n_patients ->
+      let doc = hospital_sized n_patients in
+      List.iter
+        (fun (name, q) ->
+          let mfa = Compile.compile q in
+          let r = Eval_dom.run mfa doc in
+          Printf.printf "%-9d %-6s %9d %9d %8.2f%%\n%!" (Tree.n_nodes doc)
+            name r.Eval_dom.cans_size
+            (List.length r.Eval_dom.answers)
+            (100. *. float_of_int r.Eval_dom.cans_size
+            /. float_of_int (Tree.n_nodes doc)))
+        (List.filter (fun (n, _) -> List.mem n [ "Q1"; "Q4"; "Q8" ])
+           Queries.parsed))
+    [ 100; 1600 ]
+
+(* --- E7: view derivation over random recursive DTDs ------------------------- *)
+
+let e7 () =
+  banner "E7" "view derivation and rewriting over random recursive DTDs";
+  Printf.printf "%-7s %-7s %-10s %-10s %-12s %-8s\n" "types" "edges"
+    "derive" "max|sigma|" "rewrite(Q)" "correct";
+  List.iter
+    (fun n_types ->
+      let dtd = Random_dtd.generate ~seed:(n_types * 13) ~n_types ~recursion:true () in
+      let policy = Random_dtd.random_policy ~seed:(n_types * 7) dtd in
+      match Derive.derive policy with
+      | exception Derive.Unsupported msg ->
+        Printf.printf "%-7d unsupported: %s\n" n_types msg
+      | view ->
+        let t_derive = ns_per_run ~name:"e7-derive" (fun () ->
+            ignore (Sys.opaque_identity (Derive.derive policy))) in
+        let max_sigma =
+          List.fold_left
+            (fun m parent ->
+              List.fold_left
+                (fun m child ->
+                  match Derive.sigma view ~parent ~child with
+                  | Some p -> max m (Ast.size p)
+                  | None -> m)
+                m
+                (Derive.exposed_children view parent))
+            0 (Derive.visible_types view)
+        in
+        let tags = Dtd.element_names (Derive.view_dtd view) in
+        let q = Random_dtd.random_query ~seed:(n_types * 31) ~size:6 ~tags () in
+        let t_rw = ns_per_run ~name:"e7-rw" (fun () ->
+            ignore (Sys.opaque_identity (Rewriter.rewrite view q))) in
+        let doc = Docgen.generate ~seed:(n_types * 3) ~max_depth:8 ~fanout:2 dtd in
+        let expected = Materialize.doc_answers view doc q in
+        let got =
+          (Eval_dom.run (Rewriter.rewrite view q) doc).Eval_dom.answers
+          |> List.sort_uniq compare
+        in
+        Printf.printf "%-7d %-7d %s %-10d %s %-8b\n%!" n_types
+          (List.length (Dtd.edges dtd))
+          (pp_time t_derive) max_sigma (pp_time t_rw) (expected = got))
+    [ 4; 6; 8; 12; 16 ]
+
+(* --- E8: optimizer ablation --------------------------------------------------- *)
+
+let e8 () =
+  banner "E8" "ablation: the MFA optimizer (epsilon folding, dead pruning)";
+  let doc = hospital_sized 400 in
+  let view = Derive.derive Hospital.policy in
+  Printf.printf "%-28s %-13s %-13s %-11s %-11s %7s\n" "query" "states"
+    "transitions" "eval raw" "eval opt" "speedup";
+  let measure label mfa =
+    let opt, report = Smoqe_automata.Optimize.optimize_with_report mfa in
+    let raw_t = ns_per_run ~name:"e8-raw" (fun () ->
+        ignore (Sys.opaque_identity (Eval_dom.run mfa doc))) in
+    let opt_t = ns_per_run ~name:"e8-opt" (fun () ->
+        ignore (Sys.opaque_identity (Eval_dom.run opt doc))) in
+    Printf.printf "%-28s %5d -> %-5d %5d -> %-5d %s %s %6.2fx\n%!" label
+      report.Smoqe_automata.Optimize.states_before
+      report.Smoqe_automata.Optimize.states_after
+      report.Smoqe_automata.Optimize.transitions_before
+      report.Smoqe_automata.Optimize.transitions_after
+      (pp_time raw_t) (pp_time opt_t) (raw_t /. opt_t)
+  in
+  List.iter
+    (fun (name, q) -> measure name (Compile.compile q))
+    Queries.parsed;
+  Printf.printf "rewritten view queries:\n";
+  List.iter
+    (fun (name, q_text) -> measure name (Rewriter.rewrite view (parse q_text)))
+    Queries.view_suite
+
+(* --- E9: TAX vs classic region-label indexing --------------------------------- *)
+
+let e9 () =
+  banner "E9"
+    "TAX vs classic indexing: structural joins win their fragment, and \
+     nothing else";
+  let doc =
+    Smoqe_workload.Federation.generate ~seed:13 ~n_departments:60
+      ~section_size:120 ()
+  in
+  let tax = Tax.build doc in
+  let region = Smoqe_tax.Region.build doc in
+  let t_region = ns_per_run ~name:"region-build" (fun () ->
+      ignore (Sys.opaque_identity (Smoqe_tax.Region.build doc))) in
+  let t_tax = ns_per_run ~name:"tax-build" (fun () ->
+      ignore (Sys.opaque_identity (Tax.build doc))) in
+  Printf.printf
+    "document: %d nodes; build: region %s (%d words), TAX %s (%d words)\n"
+    (Tree.n_nodes doc) (pp_time t_region)
+    (Smoqe_tax.Region.memory_words region)
+    (pp_time t_tax) (Tax.memory_words tax);
+  Printf.printf "%-40s %-11s %-11s %-14s\n" "query" "HyPE" "HyPE+TAX"
+    "struct. join";
+  List.iter
+    (fun q_text ->
+      let q = parse q_text in
+      let mfa = Compile.compile q in
+      let hype = ns_per_run ~name:"e9-hype" (fun () ->
+          ignore (Sys.opaque_identity (Eval_dom.run mfa doc))) in
+      let hype_tax = ns_per_run ~name:"e9-hype-tax" (fun () ->
+          ignore (Sys.opaque_identity (Eval_dom.run ~tax mfa doc))) in
+      let sj =
+        match Smoqe_baseline.Structural_join.run region doc q with
+        | Ok _ ->
+          let t = ns_per_run ~name:"e9-sj" (fun () ->
+              ignore
+                (Sys.opaque_identity
+                   (Smoqe_baseline.Structural_join.run region doc q))) in
+          pp_time t
+        | Error _ -> "   (outside fragment)"
+      in
+      Printf.printf "%-40s %s %s %s\n%!" q_text (pp_time hype)
+        (pp_time hype_tax) sj)
+    [
+      (* the fragment classic indexes excel at *)
+      "//finding/note";
+      "//widget/sku";
+      "dept/sales/order/item";
+      "//employee";
+      (* and everything they cannot touch *)
+      "//finding[severity = 'high']/note";
+      "dept/sales/order[total]/item";
+      "(dept)*/audit";
+    ]
+
+(* --- Figures ----------------------------------------------------------------- *)
+
+let figures () =
+  banner "F1" "Fig. 3: policy S0 -> sigma-0 and the view DTD";
+  let view = Derive.derive Hospital.policy in
+  print_string (Smoqe.Ismoqe.view_specification view);
+
+  banner "F4" "Fig. 4: the MFA for the paper's query Q0";
+  let mfa = Compile.compile (parse Queries.q0) in
+  Printf.printf
+    "query: %s\nMFA: %d states, %d transitions, %d qualifiers, %d atoms\n"
+    Queries.q0 (Mfa.n_states mfa) (Mfa.n_transitions mfa) (Mfa.n_quals mfa)
+    (Mfa.n_atoms mfa);
+  print_string (Smoqe_automata.Dot.mfa_to_ascii mfa);
+
+  banner "F5" "Fig. 5: HyPE evaluating Q0, with per-node marks";
+  let doc = Hospital.generate ~seed:1 ~n_patients:2 ~recursion_depth:1 () in
+  let trace = Trace.create () in
+  let r = Eval_dom.run ~trace mfa doc in
+  Printf.printf "answers: %s\n"
+    (String.concat ", " (List.map string_of_int r.Eval_dom.answers));
+  print_string (Trace.render trace doc);
+
+  banner "F6" "Fig. 6: the TAX index over a small document";
+  let tax = Tax.build doc in
+  print_string (Smoqe.Ismoqe.tax_view tax doc)
+
+(* --- driver -------------------------------------------------------------- *)
+
+let all = [ "e1", e1; "e2", e2; "e3", e3; "e4", e4; "e5", e5; "e6", e6;
+            "e7", e7; "e8", e8; "e9", e9; "figures", figures ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as picks) -> picks
+    | _ -> List.map fst all
+  in
+  List.iter
+    (fun pick ->
+      match List.assoc_opt (String.lowercase_ascii pick) all with
+      | Some f -> f ()
+      | None ->
+        Printf.eprintf "unknown experiment %s (known: %s)\n" pick
+          (String.concat ", " (List.map fst all));
+        exit 1)
+    requested

@@ -1,0 +1,1 @@
+bin/smoqe_cli.mli:

@@ -1,0 +1,1 @@
+bin/unix_compat.ml: Sys

@@ -1,0 +1,407 @@
+(* The SMOQE command-line interface: the terminal stand-in for the demo's
+   iSMOQE front-end.  Subcommands: schema, view, rewrite, query, index,
+   gen. *)
+
+open Cmdliner
+
+module Engine = Smoqe.Engine
+module Ismoqe = Smoqe.Ismoqe
+module Dtd_parser = Smoqe_xml.Dtd_parser
+module Dtd = Smoqe_xml.Dtd
+module Serializer = Smoqe_xml.Serializer
+module Policy = Smoqe_security.Policy
+module Derive = Smoqe_security.Derive
+module Trace = Smoqe_hype.Trace
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    prerr_endline ("smoqe: " ^ msg);
+    exit 1
+
+let load_dtd path =
+  match Dtd_parser.of_string (read_file path) with
+  | dtd -> dtd
+  | exception Dtd_parser.Error (off, msg) ->
+    prerr_endline (Printf.sprintf "smoqe: %s: offset %d: %s" path off msg);
+    exit 1
+  | exception Invalid_argument msg ->
+    prerr_endline ("smoqe: " ^ path ^ ": " ^ msg);
+    exit 1
+
+let load_policy dtd path =
+  or_die (Policy.of_string dtd (read_file path))
+
+(* --- common arguments --------------------------------------------------- *)
+
+let doc_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "d"; "doc" ] ~docv:"FILE" ~doc:"XML document.")
+
+let dtd_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "s"; "dtd" ] ~docv:"FILE" ~doc:"Document DTD.")
+
+let dtd_opt_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "s"; "dtd" ] ~docv:"FILE" ~doc:"Document DTD (optional).")
+
+let policy_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "p"; "policy" ] ~docv:"FILE"
+        ~doc:"Access-control policy (ann(parent, child) = Y|N|[q] lines).")
+
+let policy_opt_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "p"; "policy" ] ~docv:"FILE" ~doc:"Access-control policy.")
+
+let query_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"QUERY" ~doc:"Regular XPath query.")
+
+(* --- schema ------------------------------------------------------------- *)
+
+let schema_cmd =
+  let run dtd_path =
+    print_string (Ismoqe.schema_graph (load_dtd dtd_path))
+  in
+  Cmd.v
+    (Cmd.info "schema" ~doc:"Display a DTD as a schema graph")
+    Term.(const run $ Arg.(required & pos 0 (some file) None
+                           & info [] ~docv:"DTD" ~doc:"DTD file."))
+
+(* --- view --------------------------------------------------------------- *)
+
+let view_cmd =
+  let run dtd_path policy_path =
+    let dtd = load_dtd dtd_path in
+    let policy = load_policy dtd policy_path in
+    match Derive.derive policy with
+    | exception Derive.Unsupported msg ->
+      prerr_endline ("smoqe: " ^ msg);
+      exit 1
+    | view -> print_string (Ismoqe.view_specification view)
+  in
+  Cmd.v
+    (Cmd.info "view"
+       ~doc:
+         "Derive a security view from a policy: sigma expressions and the \
+          view DTD (paper Fig. 3)")
+    Term.(const run $ dtd_arg $ policy_arg)
+
+(* --- rewrite ------------------------------------------------------------ *)
+
+let rewrite_cmd =
+  let run dtd_path policy_path query dot expr =
+    let dtd = load_dtd dtd_path in
+    let policy = load_policy dtd policy_path in
+    let view =
+      match Derive.derive policy with
+      | v -> v
+      | exception Derive.Unsupported msg ->
+        prerr_endline ("smoqe: " ^ msg);
+        exit 1
+    in
+    let path =
+      or_die (Smoqe_rxpath.Parser.path_of_string query)
+    in
+    let mfa = Smoqe_rewrite.Rewriter.rewrite view path in
+    if dot then print_string (Ismoqe.mfa_dot mfa)
+    else print_string (Ismoqe.mfa_ascii mfa);
+    if expr then begin
+      match Smoqe_rewrite.Expr_rewriter.rewrite_sized view path with
+      | e, size ->
+        Printf.printf "\nexpression rewriting (expanded size %.0f):\n%s\n"
+          size
+          (Smoqe_rxpath.Pretty.path_to_string e)
+      | exception Smoqe_rewrite.Expr_rewriter.Too_large n ->
+        Printf.printf
+          "\nexpression rewriting exceeded the size budget (reached %.2g) — \
+           this blow-up is why SMOQE uses MFAs\n"
+          n
+    end
+  in
+  Cmd.v
+    (Cmd.info "rewrite"
+       ~doc:"Rewrite a view query to a document-level MFA (paper Fig. 4)")
+    Term.(
+      const run $ dtd_arg $ policy_arg $ query_arg
+      $ Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz DOT.")
+      $ Arg.(value & flag & info [ "expr" ]
+             ~doc:"Also attempt the (possibly exponential) expression-level \
+                   rewriting."))
+
+(* --- query -------------------------------------------------------------- *)
+
+let query_cmd =
+  let run doc_path dtd_path policy_path group mode use_index trace output
+      stats query =
+    let dtd = Option.map load_dtd dtd_path in
+    let engine = or_die (Engine.of_file ?dtd doc_path) in
+    (match policy_path, dtd with
+    | Some p, Some d ->
+      or_die
+        (Engine.register_policy engine ~group:(Option.value group ~default:"user")
+           (load_policy d p))
+    | Some _, None ->
+      prerr_endline "smoqe: --policy requires --dtd";
+      exit 1
+    | None, _ -> ());
+    if use_index then Engine.build_index engine;
+    let group =
+      match policy_path with
+      | Some _ -> Some (Option.value group ~default:"user")
+      | None -> group
+    in
+    let mode = if mode = "stax" then Engine.Stax else Engine.Dom in
+    let tracer = if trace then Some (Trace.create ()) else None in
+    let outcome =
+      or_die (Engine.query engine ?group ~mode ~use_index ?trace:tracer query)
+    in
+    (match output with
+    | "ids" ->
+      List.iter (fun n -> Printf.printf "%d\n" n) outcome.Engine.answers
+    | "tree" ->
+      print_string
+        (Ismoqe.answers_tree (Engine.document engine) outcome.Engine.answers)
+    | _ ->
+      print_string
+        (Ismoqe.answers_text (Engine.document engine) outcome.Engine.answers));
+    (match tracer with
+    | Some tr ->
+      print_string
+        (Ismoqe.evaluation_trace ~color:(Unix_compat.is_tty ()) tr
+           (Engine.document engine))
+    | None -> ());
+    if stats then begin
+      print_endline "-- statistics --";
+      print_endline (Ismoqe.stats_table outcome.Engine.stats)
+    end
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Answer a Regular XPath query, directly or through a security view")
+    Term.(
+      const run $ doc_arg $ dtd_opt_arg $ policy_opt_arg
+      $ Arg.(value & opt (some string) None
+             & info [ "g"; "group" ] ~docv:"NAME" ~doc:"User group.")
+      $ Arg.(value & opt (enum [ ("dom", "dom"); ("stax", "stax") ]) "dom"
+             & info [ "mode" ] ~doc:"Evaluation mode: dom or stax.")
+      $ Arg.(value & flag & info [ "index" ] ~doc:"Build and use a TAX index.")
+      $ Arg.(value & flag & info [ "trace" ]
+             ~doc:"Show the per-node evaluation trace (iSMOQE's colors).")
+      $ Arg.(value
+             & opt (enum [ ("text", "text"); ("tree", "tree"); ("ids", "ids") ])
+                 "text"
+             & info [ "o"; "output" ] ~doc:"Output mode.")
+      $ Arg.(value & flag & info [ "stats" ] ~doc:"Print evaluation counters.")
+      $ query_arg)
+
+(* --- index -------------------------------------------------------------- *)
+
+let index_cmd =
+  let run doc_path save show =
+    let engine = or_die (Engine.of_file doc_path) in
+    Engine.build_index engine;
+    (match save with
+    | Some path ->
+      or_die (Engine.save_index engine path);
+      Printf.printf "index written to %s\n" path
+    | None -> ());
+    if show then
+      print_string
+        (Ismoqe.tax_view
+           (Option.get (Engine.index engine))
+           (Engine.document engine))
+  in
+  Cmd.v
+    (Cmd.info "index" ~doc:"Build, store and display the TAX index")
+    Term.(
+      const run $ doc_arg
+      $ Arg.(value & opt (some string) None
+             & info [ "save" ] ~docv:"FILE" ~doc:"Write the compressed index.")
+      $ Arg.(value & flag & info [ "show" ] ~doc:"Display the index (Fig. 6)."))
+
+(* --- gen ---------------------------------------------------------------- *)
+
+let gen_cmd =
+  let run kind seed size depth emit_dtd emit_policy =
+    let tree, dtd, policy_text =
+      match kind with
+      | "hospital" ->
+        ( Smoqe_workload.Hospital.generate ~seed ~n_patients:size
+            ~recursion_depth:depth (),
+          Smoqe_workload.Hospital.dtd,
+          Smoqe_workload.Hospital.policy_text )
+      | "bib" ->
+        ( Smoqe_workload.Bib.generate ~seed ~n_books:size ~section_depth:depth (),
+          Smoqe_workload.Bib.dtd,
+          Smoqe_workload.Bib.policy_text )
+      | _ ->
+        let dtd =
+          Smoqe_workload.Random_dtd.generate ~seed ~n_types:(max 2 depth)
+            ~recursion:true ()
+        in
+        ( Smoqe_workload.Docgen.generate_sized ~seed ~target_nodes:size dtd,
+          dtd,
+          "" )
+    in
+    if emit_dtd then print_string (Dtd.to_string dtd)
+    else if emit_policy then print_string policy_text
+    else print_string (Serializer.to_string tree)
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate benchmark documents, DTDs and policies")
+    Term.(
+      const run
+      $ Arg.(value
+             & opt (enum [ ("hospital", "hospital"); ("bib", "bib");
+                           ("random", "random") ]) "hospital"
+             & info [ "kind" ] ~doc:"Workload: hospital, bib or random.")
+      $ Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Random seed.")
+      $ Arg.(value & opt int 20 & info [ "size" ]
+             ~doc:"Patients / books / target nodes.")
+      $ Arg.(value & opt int 3 & info [ "depth" ]
+             ~doc:"Recursion depth (or type count for random).")
+      $ Arg.(value & flag & info [ "emit-dtd" ] ~doc:"Print the DTD instead.")
+      $ Arg.(value & flag & info [ "emit-policy" ]
+             ~doc:"Print the example policy instead."))
+
+(* --- store -------------------------------------------------------------- *)
+
+module Store = Smoqe_store.Store
+
+let store_dir_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"DIR" ~doc:"Store directory.")
+
+let store_init_cmd =
+  let run dir doc_path dtd_path =
+    let dtd = Option.map load_dtd dtd_path in
+    let tree =
+      match Smoqe_xml.Parser.tree_of_file doc_path with
+      | t -> t
+      | exception Smoqe_xml.Pull.Error (line, col, msg) ->
+        prerr_endline (Printf.sprintf "smoqe: %s:%d:%d: %s" doc_path line col msg);
+        exit 1
+    in
+    let store = or_die (Store.create ~dir ?dtd tree) in
+    Printf.printf "store initialized in %s
+" (Store.dir store)
+  in
+  Cmd.v
+    (Cmd.info "init" ~doc:"Initialize a store from a document")
+    Term.(const run $ store_dir_arg $ doc_arg $ dtd_opt_arg)
+
+let store_policy_cmd =
+  let run dir group policy_path =
+    let store = or_die (Store.open_dir dir) in
+    let dtd =
+      match Engine.dtd (Store.engine store) with
+      | Some d -> d
+      | None ->
+        prerr_endline "smoqe: store has no DTD; policies need a schema";
+        exit 1
+    in
+    or_die (Store.add_policy store ~group (load_policy dtd policy_path));
+    Printf.printf "policy for group %s stored
+" group
+  in
+  Cmd.v
+    (Cmd.info "add-policy" ~doc:"Persist an access-control policy for a group")
+    Term.(
+      const run $ store_dir_arg
+      $ Arg.(required & pos 1 (some string) None
+             & info [] ~docv:"GROUP" ~doc:"User group.")
+      $ policy_arg)
+
+let store_info_cmd =
+  let run dir =
+    let store = or_die (Store.open_dir dir) in
+    let engine = Store.engine store in
+    Printf.printf "document: %d nodes
+"
+      (Smoqe_xml.Tree.n_nodes (Engine.document engine));
+    Printf.printf "dtd: %s
+"
+      (match Engine.dtd engine with
+      | Some d -> Dtd.root d ^ " (" ^ string_of_int
+                    (List.length (Dtd.element_names d)) ^ " element types)"
+      | None -> "none");
+    Printf.printf "index: %s
+"
+      (if Engine.index engine <> None then "loaded" else "none");
+    Printf.printf "groups: %s
+"
+      (match Store.groups store with
+      | [] -> "(none)"
+      | gs -> String.concat ", " gs)
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Describe a store") Term.(const run $ store_dir_arg)
+
+let store_query_cmd =
+  let run dir group mode output query =
+    let store = or_die (Store.open_dir dir) in
+    let role =
+      match group with
+      | None -> Smoqe.Session.Admin
+      | Some g -> Smoqe.Session.Member g
+    in
+    let session = or_die (Store.login store role) in
+    let mode = if mode = "stax" then Engine.Stax else Engine.Dom in
+    let outcome = or_die (Smoqe.Session.run session ~mode query) in
+    match output with
+    | "ids" -> List.iter (fun n -> Printf.printf "%d
+" n) outcome.Engine.answers
+    | _ -> List.iter print_endline outcome.Engine.answer_xml
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Query a store, as admin or through a group's view")
+    Term.(
+      const run $ store_dir_arg
+      $ Arg.(value & opt (some string) None
+             & info [ "g"; "group" ] ~docv:"NAME"
+                 ~doc:"Query through this group's view (omit for admin).")
+      $ Arg.(value & opt (enum [ ("dom", "dom"); ("stax", "stax") ]) "dom"
+             & info [ "mode" ] ~doc:"Evaluation mode.")
+      $ Arg.(value & opt (enum [ ("text", "text"); ("ids", "ids") ]) "text"
+             & info [ "o"; "output" ] ~doc:"Output mode.")
+      $ Arg.(required & pos 1 (some string) None
+             & info [] ~docv:"QUERY" ~doc:"Regular XPath query."))
+
+let store_cmd =
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:"Persistent stores: document, index and policies on disk")
+    [ store_init_cmd; store_policy_cmd; store_info_cmd; store_query_cmd ]
+
+let main_cmd =
+  let doc = "SMOQE: secure access to XML through virtual Regular XPath views" in
+  Cmd.group
+    (Cmd.info "smoqe" ~version:"1.0.0" ~doc)
+    [ schema_cmd; view_cmd; rewrite_cmd; query_cmd; index_cmd; gen_cmd;
+      store_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,5 @@
+(* Terminal detection without depending on the unix library. *)
+let is_tty () =
+  match Sys.getenv_opt "TERM" with
+  | None | Some "dumb" -> false
+  | Some _ -> true

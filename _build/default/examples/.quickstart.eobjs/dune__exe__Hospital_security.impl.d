@@ -1,0 +1,1 @@
+examples/hospital_security.ml: List Printf Smoqe Smoqe_automata Smoqe_rxpath Smoqe_security Smoqe_workload Smoqe_xml

@@ -1,0 +1,1 @@
+examples/secure_store.ml: Array Filename List Printf Smoqe Smoqe_hype Smoqe_security Smoqe_store Smoqe_workload Smoqe_xml String Sys

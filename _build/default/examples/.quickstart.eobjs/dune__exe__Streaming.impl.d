@@ -1,0 +1,1 @@
+examples/streaming.ml: Filename List Printf Smoqe Smoqe_hype Smoqe_workload Smoqe_xml Sys Unix_size

@@ -1,0 +1,53 @@
+(* StAX mode on a document larger than you would want to hold as a DOM:
+   the file is written to disk, then queried in a single sequential scan
+   through the pull parser — the engine never builds the tree.
+
+   Run with: dune exec examples/streaming.exe *)
+
+module Engine = Smoqe.Engine
+module Stats = Smoqe_hype.Stats
+module Hospital = Smoqe_workload.Hospital
+module Serializer = Smoqe_xml.Serializer
+
+let () =
+  (* ~60k nodes of hospital records, streamed to a temp file. *)
+  let doc = Hospital.generate ~seed:99 ~n_patients:3000 ~recursion_depth:2 () in
+  let path = Filename.temp_file "smoqe_stream" ".xml" in
+  Serializer.to_file ~indent:false path doc;
+  let size_kb = (Unix_size.file_size path + 1023) / 1024 in
+  Printf.printf "wrote %s (%d KiB, %d nodes)\n" path size_kb
+    (Smoqe_xml.Tree.n_nodes doc);
+
+  let engine =
+    match Engine.of_file path with Ok e -> e | Error msg -> failwith msg
+  in
+
+  let run query =
+    match Engine.query engine ~mode:Engine.Stax query with
+    | Error msg -> failwith msg
+    | Ok o ->
+      Printf.printf
+        "%-55s -> %5d answers | %d pass over the file, %d/%d nodes processed\n"
+        query
+        (List.length o.Engine.answers)
+        o.Engine.stats.Stats.passes_over_data
+        o.Engine.stats.Stats.nodes_alive
+        (o.Engine.stats.Stats.nodes_entered + Stats.total_skipped o.Engine.stats)
+  in
+  run "patient/pname";
+  run "//medication";
+  run "patient[visit/treatment/medication = 'autism']/pname";
+  run Smoqe_workload.Queries.q0;
+
+  (* DOM and StAX agree on everything above. *)
+  let agree query =
+    match
+      ( Engine.query engine ~mode:Engine.Dom query,
+        Engine.query engine ~mode:Engine.Stax query )
+    with
+    | Ok a, Ok b -> a.Engine.answers = b.Engine.answers
+    | _ -> false
+  in
+  Printf.printf "\nDOM/StAX agreement on the suite: %b\n"
+    (List.for_all agree (List.map snd Smoqe_workload.Queries.suite));
+  Sys.remove path

@@ -1,0 +1,6 @@
+(* File size without the unix library. *)
+let file_size path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  close_in ic;
+  n

@@ -1,0 +1,1 @@
+lib/automata/afa.ml: Fmt List Nfa

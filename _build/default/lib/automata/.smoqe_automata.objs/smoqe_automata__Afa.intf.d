@@ -1,0 +1,1 @@
+lib/automata/afa.mli: Format Nfa

@@ -1,0 +1,1 @@
+lib/automata/analysis.ml: Array Hashtbl List Mfa Nfa Smoqe_xml

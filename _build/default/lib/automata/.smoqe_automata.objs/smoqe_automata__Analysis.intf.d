@@ -1,0 +1,1 @@
+lib/automata/analysis.mli: Mfa Smoqe_xml

@@ -1,0 +1,1 @@
+lib/automata/compile.ml: Afa Mfa Nfa Smoqe_rxpath

@@ -1,0 +1,1 @@
+lib/automata/compile.mli: Afa Mfa Nfa Smoqe_rxpath

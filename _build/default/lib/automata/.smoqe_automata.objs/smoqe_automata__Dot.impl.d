@@ -1,0 +1,1 @@
+lib/automata/dot.ml: Afa Array Buffer Fmt List Mfa Nfa Printf String

@@ -1,0 +1,1 @@
+lib/automata/mfa.ml: Afa Array List Nfa

@@ -1,0 +1,1 @@
+lib/automata/mfa.mli: Afa Nfa

@@ -1,0 +1,1 @@
+lib/automata/nfa.ml: Array Fmt List Smoqe_xml String

@@ -1,0 +1,1 @@
+lib/automata/optimize.ml: Afa Array Fmt Hashtbl List Mfa Nfa Reachability

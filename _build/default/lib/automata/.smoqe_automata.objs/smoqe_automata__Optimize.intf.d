@@ -1,0 +1,1 @@
+lib/automata/optimize.mli: Format Mfa

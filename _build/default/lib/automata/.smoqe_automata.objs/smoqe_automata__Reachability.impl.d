@@ -1,0 +1,1 @@
+lib/automata/reachability.ml: Array List Nfa Set String

@@ -1,0 +1,1 @@
+lib/automata/reachability.mli: Nfa Set

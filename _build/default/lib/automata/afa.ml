@@ -1,0 +1,40 @@
+type formula =
+  | F_true
+  | F_atom of int
+  | F_not of formula
+  | F_and of formula * formula
+  | F_or of formula * formula
+
+type atom = {
+  start : Nfa.state;
+  value : string option;
+}
+
+let atoms_of f =
+  let rec go acc = function
+    | F_true -> acc
+    | F_atom i -> if List.mem i acc then acc else i :: acc
+    | F_not f -> go acc f
+    | F_and (a, b) | F_or (a, b) -> go (go acc a) b
+  in
+  List.sort compare (go [] f)
+
+let rec eval f valuation =
+  match f with
+  | F_true -> true
+  | F_atom i -> valuation i
+  | F_not f -> not (eval f valuation)
+  | F_and (a, b) -> eval a valuation && eval b valuation
+  | F_or (a, b) -> eval a valuation || eval b valuation
+
+let rec pp ppf = function
+  | F_true -> Fmt.string ppf "true"
+  | F_atom i -> Fmt.pf ppf "a%d" i
+  | F_not f -> Fmt.pf ppf "not(%a)" pp f
+  | F_and (a, b) -> Fmt.pf ppf "(%a and %a)" pp a pp b
+  | F_or (a, b) -> Fmt.pf ppf "(%a or %a)" pp a pp b
+
+let rec size = function
+  | F_true | F_atom _ -> 1
+  | F_not f -> 1 + size f
+  | F_and (a, b) | F_or (a, b) -> 1 + size a + size b

@@ -1,0 +1,31 @@
+(** Alternating-automaton side of an MFA: qualifier formulas over atoms.
+
+    A qualifier compiles to a boolean {!formula} whose leaves are {e atoms}
+    — existential path tests, each owning a start state in the shared NFA
+    and optionally a value-equality constraint on the accepting node.  The
+    alternation (and/or/not over existential runs) is what the paper's AFA
+    provides; evaluation order is resolved by HyPE at post-visit time. *)
+
+type formula =
+  | F_true
+  | F_atom of int  (** atom id *)
+  | F_not of formula
+  | F_and of formula * formula
+  | F_or of formula * formula
+
+type atom = {
+  start : Nfa.state;
+      (** run entry in the shared NFA, positioned at the context node *)
+  value : string option;
+      (** [Some c]: the accepting node's value must equal [c] *)
+}
+
+val atoms_of : formula -> int list
+(** Atom ids mentioned, ascending, without duplicates. *)
+
+val eval : formula -> (int -> bool) -> bool
+(** Evaluate under a valuation of the atoms. *)
+
+val pp : Format.formatter -> formula -> unit
+
+val size : formula -> int

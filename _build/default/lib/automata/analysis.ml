@@ -1,0 +1,46 @@
+module Dtd = Smoqe_xml.Dtd
+
+type verdict =
+  | Empty
+  | Possibly_nonempty
+
+(* Product state: an NFA state positioned at a node of a given element
+   type (Text_t for text nodes).  Transitions follow the schema graph. *)
+type ptype =
+  | Elem_t of string
+  | Text_t
+
+let explore (mfa : Mfa.t) dtd =
+  let nfa = mfa.Mfa.nfa in
+  let seen : (int * ptype, unit) Hashtbl.t = Hashtbl.create 64 in
+  let found = ref false in
+  let rec visit s pt =
+    if (not !found) && not (Hashtbl.mem seen (s, pt)) then begin
+      Hashtbl.add seen (s, pt) ();
+      if List.mem Nfa.Select nfa.Nfa.accepts.(s) then found := true
+      else begin
+        List.iter (fun s' -> visit s' pt) nfa.Nfa.eps.(s);
+        match pt with
+        | Text_t -> () (* text nodes have no children *)
+        | Elem_t a ->
+          let children = Dtd.child_types dtd a in
+          let text_ok = Dtd.allows_text dtd a in
+          List.iter
+            (fun (test, s') ->
+              match test with
+              | Nfa.Element b ->
+                if List.mem b children then visit s' (Elem_t b)
+              | Nfa.Any_element ->
+                List.iter (fun b -> visit s' (Elem_t b)) children
+              | Nfa.Text_node -> if text_ok then visit s' Text_t)
+            nfa.Nfa.delta.(s)
+      end
+    end
+  in
+  visit mfa.Mfa.start (Elem_t (Dtd.root dtd));
+  (!found, Hashtbl.length seen)
+
+let satisfiable mfa dtd =
+  if fst (explore mfa dtd) then Possibly_nonempty else Empty
+
+let reachable_type_pairs mfa dtd = snd (explore mfa dtd)

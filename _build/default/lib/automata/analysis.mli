@@ -1,0 +1,24 @@
+(** Schema-aware static analysis of MFAs.
+
+    [satisfiable mfa dtd] over-approximates whether the selection path of
+    [mfa] can select {e any} node on {e some} document valid against
+    [dtd]: the selection NFA is run over the schema graph (a product of
+    automaton states and element types), treating qualifiers as satisfiable
+    and content models as child-type sets.  [Empty] is therefore a
+    guarantee — the engine skips evaluation outright — while
+    [Possibly_nonempty] promises nothing.
+
+    Typical [Empty] verdicts: queries naming tags the schema does not
+    declare, steps that violate the parent/child relation (e.g.
+    [hospital/medication]), and — after view rewriting — any query
+    touching element types a policy hides. *)
+
+type verdict =
+  | Empty  (** provably selects nothing on every valid document *)
+  | Possibly_nonempty
+
+val satisfiable : Mfa.t -> Smoqe_xml.Dtd.t -> verdict
+
+val reachable_type_pairs : Mfa.t -> Smoqe_xml.Dtd.t -> int
+(** Size of the explored (state, type) product — a cost/diagnostic
+    measure. *)

@@ -1,0 +1,54 @@
+module Ast = Smoqe_rxpath.Ast
+
+let rec build_path b p ~entry ~exit =
+  match p with
+  | Ast.Self -> Mfa.add_eps b entry exit
+  | Ast.Tag s -> Mfa.add_edge b entry (Nfa.Element s) exit
+  | Ast.Wildcard -> Mfa.add_edge b entry Nfa.Any_element exit
+  | Ast.Text -> Mfa.add_edge b entry Nfa.Text_node exit
+  | Ast.Seq (p1, p2) ->
+    let mid = Mfa.fresh_state b in
+    build_path b p1 ~entry ~exit:mid;
+    build_path b p2 ~entry:mid ~exit
+  | Ast.Union (p1, p2) ->
+    build_path b p1 ~entry ~exit;
+    build_path b p2 ~entry ~exit
+  | Ast.Star p ->
+    (* A single loop state: entry -eps-> hub -eps-> exit, with the body
+       looping on the hub. *)
+    let hub = Mfa.fresh_state b in
+    Mfa.add_eps b entry hub;
+    Mfa.add_eps b hub exit;
+    build_path b p ~entry:hub ~exit:hub
+  | Ast.Filter (p, q) ->
+    let mid = Mfa.fresh_state b in
+    build_path b p ~entry ~exit:mid;
+    let formula = build_qual b q in
+    let qid = Mfa.add_qual b formula in
+    Mfa.add_check b mid qid;
+    Mfa.add_eps b mid exit
+
+and build_qual b q =
+  match q with
+  | Ast.True -> Afa.F_true
+  | Ast.Exists p -> Afa.F_atom (build_atom b p None)
+  | Ast.Value_eq (p, c) -> Afa.F_atom (build_atom b p (Some c))
+  | Ast.Not q -> Afa.F_not (build_qual b q)
+  | Ast.And (q1, q2) -> Afa.F_and (build_qual b q1, build_qual b q2)
+  | Ast.Or (q1, q2) -> Afa.F_or (build_qual b q1, build_qual b q2)
+
+and build_atom b p value =
+  let entry = Mfa.fresh_state b in
+  let exit = Mfa.fresh_state b in
+  build_path b p ~entry ~exit;
+  let id = Mfa.add_atom b ~start:entry ~value in
+  Mfa.add_accept_atom b exit id;
+  id
+
+let compile p =
+  let b = Mfa.create_builder () in
+  let entry = Mfa.fresh_state b in
+  let exit = Mfa.fresh_state b in
+  build_path b p ~entry ~exit;
+  Mfa.add_select b exit;
+  Mfa.freeze b ~start:entry

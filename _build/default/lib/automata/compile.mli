@@ -1,0 +1,22 @@
+(** Linear-size compilation of Regular XPath into MFA.
+
+    Thompson-style construction: each path operator adds a constant number
+    of states and transitions, each qualifier adds one formula whose atoms
+    are sub-automata in the shared state space — so the MFA is linear in
+    the query (the property the paper contrasts with the exponential
+    expression-level rewriting, §3 Rewriter). *)
+
+val compile : Smoqe_rxpath.Ast.path -> Mfa.t
+
+val build_path :
+  Mfa.builder ->
+  Smoqe_rxpath.Ast.path ->
+  entry:Nfa.state ->
+  exit:Nfa.state ->
+  unit
+(** Splice a path automaton between two existing states — the hook the view
+    rewriter uses to substitute document-level fragments for view steps. *)
+
+val build_qual : Mfa.builder -> Smoqe_rxpath.Ast.qual -> Afa.formula
+(** Compile a qualifier: registers its atoms and returns the formula
+    (register it with {!Mfa.add_qual} to obtain a check id). *)

@@ -1,0 +1,133 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let test_label = function
+  | Nfa.Any_element -> "*"
+  | Nfa.Element s -> s
+  | Nfa.Text_node -> "text()"
+
+let state_shape (mfa : Mfa.t) s =
+  let accepts = mfa.Mfa.nfa.Nfa.accepts.(s) in
+  if List.mem Nfa.Select accepts then "doublecircle"
+  else if List.exists (function Nfa.Atom_accept _ -> true | Nfa.Select -> false) accepts
+  then "Mcircle"
+  else "circle"
+
+let mfa_to_dot ?(name = "mfa") (mfa : Mfa.t) =
+  let buf = Buffer.create 1024 in
+  let nfa = mfa.Mfa.nfa in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n  rankdir=LR;\n" name);
+  Buffer.add_string buf "  node [fontsize=11];\n";
+  (* Entry marker. *)
+  Buffer.add_string buf "  __start [shape=point];\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  __start -> s%d;\n" mfa.Mfa.start);
+  for s = 0 to nfa.Nfa.n_states - 1 do
+    let atom_marks =
+      List.filter_map
+        (function Nfa.Atom_accept i -> Some (Printf.sprintf "a%d" i) | Nfa.Select -> None)
+        nfa.Nfa.accepts.(s)
+    in
+    let label =
+      if atom_marks = [] then string_of_int s
+      else Printf.sprintf "%d\\n%s" s (String.concat "," atom_marks)
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "  s%d [shape=%s,label=\"%s\"];\n" s
+         (state_shape mfa s) label)
+  done;
+  for s = 0 to nfa.Nfa.n_states - 1 do
+    List.iter
+      (fun (test, s') ->
+        Buffer.add_string buf
+          (Printf.sprintf "  s%d -> s%d [label=\"%s\"];\n" s s'
+             (escape (test_label test))))
+      nfa.Nfa.delta.(s);
+    List.iter
+      (fun s' ->
+        Buffer.add_string buf
+          (Printf.sprintf "  s%d -> s%d [label=\"ε\",style=dotted];\n" s s'))
+      nfa.Nfa.eps.(s);
+    List.iter
+      (fun q ->
+        Buffer.add_string buf
+          (Printf.sprintf "  s%d -> q%d [style=dashed,arrowhead=open];\n" s q))
+      nfa.Nfa.checks.(s)
+  done;
+  Array.iteri
+    (fun i f ->
+      Buffer.add_string buf
+        (Printf.sprintf "  q%d [shape=box,label=\"q%d: %s\"];\n" i i
+           (escape (Fmt.str "%a" Afa.pp f))))
+    mfa.Mfa.quals;
+  Array.iteri
+    (fun i (atom : Afa.atom) ->
+      let value =
+        match atom.Afa.value with
+        | None -> ""
+        | Some c -> Printf.sprintf " = '%s'" c
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  atom%d [shape=plaintext,label=\"a%d: start s%d%s\"];\n" i i
+           atom.Afa.start (escape value));
+      Buffer.add_string buf
+        (Printf.sprintf "  atom%d -> s%d [style=dashed,color=gray];\n" i
+           atom.Afa.start))
+    mfa.Mfa.atoms;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let mfa_to_ascii (mfa : Mfa.t) =
+  let buf = Buffer.create 512 in
+  let nfa = mfa.Mfa.nfa in
+  Buffer.add_string buf
+    (Printf.sprintf "MFA: %d states, start %d, %d qualifier(s), %d atom(s)\n"
+       nfa.Nfa.n_states mfa.Mfa.start
+       (Array.length mfa.Mfa.quals)
+       (Array.length mfa.Mfa.atoms));
+  for s = 0 to nfa.Nfa.n_states - 1 do
+    let marks = ref [] in
+    List.iter
+      (function
+        | Nfa.Select -> marks := "SELECT" :: !marks
+        | Nfa.Atom_accept i -> marks := Printf.sprintf "ACCEPT(a%d)" i :: !marks)
+      nfa.Nfa.accepts.(s);
+    List.iter
+      (fun q -> marks := Printf.sprintf "CHECK(q%d)" q :: !marks)
+      nfa.Nfa.checks.(s);
+    let mark_str =
+      if !marks = [] then "" else "  [" ^ String.concat ", " !marks ^ "]"
+    in
+    Buffer.add_string buf (Printf.sprintf "  state %d%s\n" s mark_str);
+    List.iter
+      (fun (test, s') ->
+        Buffer.add_string buf
+          (Printf.sprintf "    --%s--> %d\n" (test_label test) s'))
+      nfa.Nfa.delta.(s);
+    List.iter
+      (fun s' -> Buffer.add_string buf (Printf.sprintf "    --eps--> %d\n" s'))
+      nfa.Nfa.eps.(s)
+  done;
+  Array.iteri
+    (fun i f ->
+      Buffer.add_string buf (Fmt.str "  q%d := %a\n" i Afa.pp f))
+    mfa.Mfa.quals;
+  Array.iteri
+    (fun i (atom : Afa.atom) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  a%d := runs from state %d%s\n" i atom.Afa.start
+           (match atom.Afa.value with
+           | None -> ""
+           | Some c -> Printf.sprintf " with value '%s'" c)))
+    mfa.Mfa.atoms;
+  Buffer.contents buf

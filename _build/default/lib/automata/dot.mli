@@ -1,0 +1,11 @@
+(** Graphviz export of MFAs — the automaton view of iSMOQE (paper Fig. 4).
+
+    Selection states are circles (double for accepting); qualifier checks
+    appear as dashed edges from the guarded state to a box holding the
+    formula; atom sub-automata are labeled by their atom id and value
+    constraint. *)
+
+val mfa_to_dot : ?name:string -> Mfa.t -> string
+
+val mfa_to_ascii : Mfa.t -> string
+(** A terminal-friendly adjacency listing of the same information. *)

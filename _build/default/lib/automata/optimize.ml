@@ -1,0 +1,114 @@
+type report = {
+  states_before : int;
+  states_after : int;
+  transitions_before : int;
+  transitions_after : int;
+}
+
+let pp_report ppf r =
+  Fmt.pf ppf "states %d -> %d, transitions %d -> %d" r.states_before
+    r.states_after r.transitions_before r.transitions_after
+
+(* States reachable from [s] through epsilon edges that never cross a
+   check-guarded state: their behaviour can be folded into [s].  [s] itself
+   is included whatever its checks (they guard entry into [s], which the
+   fold does not change). *)
+let checkfree_closure (nfa : Nfa.t) s =
+  let seen = Hashtbl.create 8 in
+  let rec visit u =
+    if not (Hashtbl.mem seen u) then begin
+      Hashtbl.add seen u ();
+      List.iter
+        (fun v -> if nfa.Nfa.checks.(v) = [] then visit v)
+        nfa.Nfa.eps.(u)
+    end
+  in
+  visit s;
+  Hashtbl.fold (fun u () acc -> u :: acc) seen []
+
+(* Epsilon successors that must survive: check-guarded targets reachable
+   from the closure. *)
+let guarded_eps_frontier (nfa : Nfa.t) closure =
+  List.concat_map
+    (fun u ->
+      List.filter (fun v -> nfa.Nfa.checks.(v) <> []) nfa.Nfa.eps.(u))
+    closure
+  |> List.sort_uniq compare
+
+let optimize_with_report (mfa : Mfa.t) =
+  let nfa = mfa.Mfa.nfa in
+  let n = nfa.Nfa.n_states in
+  let before_states = n and before_transitions = Nfa.n_transitions nfa in
+  (* Transitions into states that can never accept are useless. *)
+  let needs = Reachability.compute nfa in
+  let dead s = needs.(s) = Reachability.All in
+  (* Folded view of every state. *)
+  let closure = Array.init n (fun s -> checkfree_closure nfa s) in
+  let folded_delta =
+    Array.init n (fun s ->
+        List.concat_map
+          (fun u ->
+            List.filter (fun (_, v) -> not (dead v)) nfa.Nfa.delta.(u))
+          closure.(s)
+        |> List.sort_uniq compare)
+  in
+  let folded_eps =
+    Array.init n (fun s ->
+        guarded_eps_frontier nfa closure.(s)
+        |> List.filter (fun v -> not (dead v)))
+  in
+  let folded_accepts =
+    Array.init n (fun s ->
+        List.concat_map (fun u -> nfa.Nfa.accepts.(u)) closure.(s)
+        |> List.sort_uniq compare)
+  in
+  (* Reachability over the folded automaton, from the selection start and
+     every atom entry (atom entries stay live whatever the policy). *)
+  let keep = Array.make n false in
+  let rec visit s =
+    if not keep.(s) then begin
+      keep.(s) <- true;
+      List.iter (fun (_, v) -> visit v) folded_delta.(s);
+      List.iter visit folded_eps.(s)
+    end
+  in
+  visit mfa.Mfa.start;
+  Array.iter (fun (atom : Afa.atom) -> visit atom.Afa.start) mfa.Mfa.atoms;
+  (* Rebuild with renumbering. *)
+  let b = Mfa.create_builder () in
+  let remap = Array.make n (-1) in
+  for s = 0 to n - 1 do
+    if keep.(s) then remap.(s) <- Mfa.fresh_state b
+  done;
+  (* Qualifier table first, preserving ids (checks reference them). *)
+  Array.iter (fun formula -> ignore (Mfa.add_qual b formula)) mfa.Mfa.quals;
+  let atom_map =
+    Array.map
+      (fun (atom : Afa.atom) ->
+        Mfa.add_atom b ~start:remap.(atom.Afa.start) ~value:atom.Afa.value)
+      mfa.Mfa.atoms
+  in
+  for s = 0 to n - 1 do
+    if keep.(s) then begin
+      let s' = remap.(s) in
+      List.iter (fun (test, v) -> Mfa.add_edge b s' test remap.(v)) folded_delta.(s);
+      List.iter (fun v -> Mfa.add_eps b s' remap.(v)) folded_eps.(s);
+      List.iter (fun q -> Mfa.add_check b s' q) nfa.Nfa.checks.(s);
+      List.iter
+        (fun accept ->
+          match accept with
+          | Nfa.Select -> Mfa.add_select b s'
+          | Nfa.Atom_accept aid -> Mfa.add_accept_atom b s' atom_map.(aid))
+        folded_accepts.(s)
+    end
+  done;
+  let optimized = Mfa.freeze b ~start:remap.(mfa.Mfa.start) in
+  ( optimized,
+    {
+      states_before = before_states;
+      states_after = Mfa.n_states optimized;
+      transitions_before = before_transitions;
+      transitions_after = Mfa.n_transitions optimized;
+    } )
+
+let optimize mfa = fst (optimize_with_report mfa)

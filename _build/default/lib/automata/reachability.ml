@@ -1,0 +1,63 @@
+module String_set = Set.Make (String)
+
+type need =
+  | All
+  | Req of String_set.t * bool
+
+(* Meet in the lattice ordered by "requires more": All is top, smaller
+   requirement sets are lower.  Alternation (two ways to accept) can only
+   rely on what both ways require. *)
+let meet a b =
+  match a, b with
+  | All, x | x, All -> x
+  | Req (la, ta), Req (lb, tb) ->
+    Req (String_set.inter la lb, ta && tb)
+
+(* Sequencing a node test before a continuation adds its requirement. *)
+let after_test test k =
+  match k with
+  | All -> All
+  | Req (labels, text) ->
+    (match test with
+    | Nfa.Any_element -> k
+    | Nfa.Element s -> Req (String_set.add s labels, text)
+    | Nfa.Text_node -> Req (labels, true))
+
+let equal a b =
+  match a, b with
+  | All, All -> true
+  | Req (la, ta), Req (lb, tb) -> ta = tb && String_set.equal la lb
+  | All, Req _ | Req _, All -> false
+
+let compute (nfa : Nfa.t) =
+  let n = nfa.Nfa.n_states in
+  let needs = Array.make n All in
+  (* Accepting states require nothing further. *)
+  for s = 0 to n - 1 do
+    if nfa.Nfa.accepts.(s) <> [] then
+      needs.(s) <- Req (String_set.empty, false)
+  done;
+  let base = Array.copy needs in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for s = n - 1 downto 0 do
+      let acc = ref base.(s) in
+      List.iter
+        (fun (test, s') -> acc := meet !acc (after_test test needs.(s')))
+        nfa.Nfa.delta.(s);
+      List.iter (fun s' -> acc := meet !acc needs.(s')) nfa.Nfa.eps.(s);
+      if not (equal !acc needs.(s)) then begin
+        needs.(s) <- !acc;
+        changed := true
+      end
+    done
+  done;
+  needs
+
+let useless need ~in_subtree ~has_text =
+  match need with
+  | All -> true
+  | Req (labels, text) ->
+    (text && not has_text)
+    || String_set.exists (fun l -> not (in_subtree l)) labels

@@ -1,0 +1,1 @@
+lib/baseline/naive.ml: Smoqe_rxpath

@@ -1,0 +1,1 @@
+lib/baseline/naive.mli: Smoqe_rxpath Smoqe_xml

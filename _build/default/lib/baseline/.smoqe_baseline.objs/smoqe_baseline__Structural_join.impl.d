@@ -1,0 +1,1 @@
+lib/baseline/structural_join.ml: Array Hashtbl List Printf Smoqe_rxpath Smoqe_tax Smoqe_xml

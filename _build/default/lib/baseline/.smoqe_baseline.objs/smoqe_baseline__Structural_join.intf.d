@@ -1,0 +1,1 @@
+lib/baseline/structural_join.mli: Smoqe_rxpath Smoqe_tax Smoqe_xml

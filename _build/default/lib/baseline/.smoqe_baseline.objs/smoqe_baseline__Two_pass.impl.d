@@ -1,0 +1,1 @@
+lib/baseline/two_pass.ml: Array Bytes List Smoqe_automata Smoqe_xml String

@@ -1,0 +1,1 @@
+lib/baseline/two_pass.mli: Smoqe_automata Smoqe_rxpath Smoqe_xml

@@ -1,0 +1,1 @@
+lib/baseline/xalan_like.ml: List Smoqe_rxpath Smoqe_xml String

@@ -1,0 +1,1 @@
+lib/baseline/xalan_like.mli: Smoqe_rxpath Smoqe_xml

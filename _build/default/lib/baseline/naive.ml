@@ -1,0 +1,8 @@
+type result = {
+  answers : int list;
+  passes_over_data : int;
+}
+
+let run tree path =
+  { answers = Smoqe_rxpath.Semantics.answer_list tree path;
+    passes_over_data = 1 }

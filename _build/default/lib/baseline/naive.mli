@@ -1,0 +1,10 @@
+(** The set-at-a-time reference evaluator as a baseline, with work
+    counters.  This is {!Smoqe_rxpath.Semantics} (memoized fixpoint
+    semantics) packaged for the benchmark harness. *)
+
+type result = {
+  answers : int list;
+  passes_over_data : int;  (** conceptual: 1 (operates on a loaded tree) *)
+}
+
+val run : Smoqe_xml.Tree.t -> Smoqe_rxpath.Ast.path -> result

@@ -1,0 +1,110 @@
+module Tree = Smoqe_xml.Tree
+module Region = Smoqe_tax.Region
+module Ast = Smoqe_rxpath.Ast
+
+type step =
+  | Child of string
+  | Desc of string
+  | Child_text
+  | Desc_text
+
+(* Flatten the right-nested Seq spine into steps.  The parser desugars
+   [//a] into [Star Wildcard / a], so a [Star Wildcard] marks the next
+   step as descendant. *)
+let plan path =
+  let rec steps acc pending_desc p =
+    match p with
+    | Ast.Seq (a, b) ->
+      (match a with
+      | Ast.Star Ast.Wildcard ->
+        if pending_desc then Error "redundant descendant marker"
+        else steps acc true b
+      | Ast.Tag s -> steps ((if pending_desc then Desc s else Child s) :: acc) false b
+      | Ast.Text -> Error "text() before the end of the path"
+      | Ast.Self | Ast.Wildcard | Ast.Seq _ | Ast.Union _ | Ast.Star _
+      | Ast.Filter _ ->
+        outside a)
+    | Ast.Tag s -> Ok (List.rev ((if pending_desc then Desc s else Child s) :: acc))
+    | Ast.Text ->
+      Ok (List.rev ((if pending_desc then Desc_text else Child_text) :: acc))
+    | Ast.Star Ast.Wildcard -> Error "descendant marker with no step after it"
+    | Ast.Self | Ast.Wildcard | Ast.Union _ | Ast.Star _ | Ast.Filter _ ->
+      outside p
+  and outside p =
+    let what =
+      match p with
+      | Ast.Self -> "a self step"
+      | Ast.Wildcard -> "a wildcard"
+      | Ast.Union _ -> "a union"
+      | Ast.Star _ -> "a Kleene closure"
+      | Ast.Filter _ -> "a qualifier"
+      | Ast.Tag _ | Ast.Text | Ast.Seq _ -> "this construct"
+    in
+    Error
+      (Printf.sprintf
+         "structural joins cannot evaluate %s: only /tag and //tag chains"
+         what)
+  in
+  steps [] false path
+
+type outcome = {
+  answers : int list;
+  list_items_scanned : int;
+}
+
+(* context and candidates are in document order (pre-order ids). *)
+let descendant_join tree scanned context candidates =
+  (* Sweep both lists; intervals are laminar, so a running maximum of the
+     subtree ends of the contexts already passed tells whether the current
+     candidate is covered. *)
+  let out = ref [] in
+  let max_end = ref (-1) in
+  let ctx = ref context in
+  List.iter
+    (fun d ->
+      incr scanned;
+      let rec advance () =
+        match !ctx with
+        | c :: rest when c < d ->
+          let e = Tree.subtree_end tree c in
+          if e > !max_end then max_end := e;
+          ctx := rest;
+          advance ()
+        | _ -> ()
+      in
+      advance ();
+      if d < !max_end then out := d :: !out)
+    candidates;
+  List.rev !out
+
+let child_join tree scanned context candidates =
+  let in_context = Hashtbl.create 64 in
+  List.iter (fun c -> Hashtbl.replace in_context c ()) context;
+  List.filter
+    (fun d ->
+      incr scanned;
+      match Tree.parent tree d with
+      | Some p -> Hashtbl.mem in_context p
+      | None -> false)
+    candidates
+
+let run region tree path =
+  match plan path with
+  | Error msg -> Error msg
+  | Ok steps ->
+    let scanned = ref 0 in
+    let apply context step =
+      let candidates, relation =
+        match step with
+        | Child tag -> (Region.nodes_with_tag region tag, `Child)
+        | Desc tag -> (Region.nodes_with_tag region tag, `Desc)
+        | Child_text -> (Region.text_nodes region, `Child)
+        | Desc_text -> (Region.text_nodes region, `Desc)
+      in
+      let candidates = Array.to_list candidates in
+      match relation with
+      | `Child -> child_join tree scanned context candidates
+      | `Desc -> descendant_join tree scanned context candidates
+    in
+    let answers = List.fold_left apply [ Tree.root ] steps in
+    Ok { answers; list_items_scanned = !scanned }

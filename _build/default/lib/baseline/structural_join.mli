@@ -1,0 +1,35 @@
+(** Structural-join evaluation over region labels — the 2006
+    state-of-the-art for descendant-axis queries, and the paper's foil for
+    TAX: excellent on pure [/]/[//] tag chains, {e inapplicable} beyond
+    them (§3, Indexer: "limited in scope").
+
+    A query in the fragment
+
+    {v steps ::= ('/' | '//') tag ( ('/' | '//') tag )*  (text() allowed last) v}
+
+    is evaluated bottom-up from the inverted tag lists with merge-based
+    stab joins (laminar-interval sweeps), never touching nodes outside the
+    step tags.  Anything else — wildcards, Kleene closure, qualifiers,
+    unions — is rejected with {!Unsupported}. *)
+
+type step =
+  | Child of string
+  | Desc of string
+  | Child_text
+  | Desc_text
+
+val plan : Smoqe_rxpath.Ast.path -> (step list, string) result
+(** Translate a Regular XPath query into the fragment, or say why not. *)
+
+type outcome = {
+  answers : int list;
+  list_items_scanned : int;
+      (** inverted-list entries touched — the join's work measure *)
+}
+
+val run :
+  Smoqe_tax.Region.t ->
+  Smoqe_xml.Tree.t ->
+  Smoqe_rxpath.Ast.path ->
+  (outcome, string) result
+(** Plan and execute; [Error] when the query is outside the fragment. *)

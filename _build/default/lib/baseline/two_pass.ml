@@ -1,0 +1,152 @@
+module Tree = Smoqe_xml.Tree
+module Nfa = Smoqe_automata.Nfa
+module Afa = Smoqe_automata.Afa
+module Mfa = Smoqe_automata.Mfa
+
+type result = {
+  answers : int list;
+  passes_over_data : int;
+  predicate_work : int;
+}
+
+let test_matches test tree node = Nfa.test_matches test tree node
+
+let run (mfa : Mfa.t) tree =
+  let nfa = mfa.Mfa.nfa in
+  let n_nodes = Tree.n_nodes tree in
+  let n_states = nfa.Nfa.n_states in
+  let n_quals = Array.length mfa.Mfa.quals in
+  let work = ref 0 in
+
+  (* Pass 0: preprocessing — materialize the binary encoding Arb needs.
+     The copies themselves are used by the later passes. *)
+  let first_child = Array.make n_nodes (-1) in
+  let next_sibling = Array.make n_nodes (-1) in
+  for n = 0 to n_nodes - 1 do
+    (match Tree.first_child tree n with
+    | Some c -> first_child.(n) <- c
+    | None -> ());
+    match Tree.next_sibling tree n with
+    | Some s -> next_sibling.(n) <- s
+    | None -> ()
+  done;
+
+  (* Which states belong to which qualifier's atoms (resolution strata). *)
+  let atoms_of_qual =
+    Array.map (fun formula -> Afa.atoms_of formula) mfa.Mfa.quals
+  in
+  let atom_states =
+    Array.map
+      (fun (atom : Afa.atom) -> Nfa.reachable_states nfa atom.Afa.start)
+      mfa.Mfa.atoms
+  in
+
+  (* Pass 1: bottom-up.  sat.(n * n_states + s) = a run in state [s]
+     positioned at node [n] accepts (an atom) within the subtree of [n].
+     qual_val.(n * n_quals + q) = qualifier [q] holds at [n]. *)
+  let sat = Bytes.make (n_nodes * n_states) '\000' in
+  let sat_get n s = Bytes.get sat ((n * n_states) + s) <> '\000' in
+  let sat_set n s = Bytes.set sat ((n * n_states) + s) '\001' in
+  let qual_val = Bytes.make (max 1 (n_nodes * n_quals)) '\000' in
+  let qual_get n q = Bytes.get qual_val ((n * n_quals) + q) <> '\000' in
+  let qual_set n q = Bytes.set qual_val ((n * n_quals) + q) '\001' in
+  let checks_hold n s =
+    List.for_all (fun q -> qual_get n q) nfa.Nfa.checks.(s)
+  in
+  let accept_ok n s =
+    List.exists
+      (fun accept ->
+        match accept with
+        | Nfa.Select -> false
+        | Nfa.Atom_accept aid ->
+          (match (mfa.Mfa.atoms.(aid)).Afa.value with
+          | None -> true
+          | Some c -> String.equal (Tree.value tree n) c))
+      nfa.Nfa.accepts.(s)
+  in
+  for n = n_nodes - 1 downto 0 do
+    (* Resolve qualifiers in nesting (ascending id) order; each stratum's
+       atom subgraphs only check already-resolved qualifiers. *)
+    for q = 0 to n_quals - 1 do
+      List.iter
+        (fun aid ->
+          let states = atom_states.(aid) in
+          let changed = ref true in
+          while !changed do
+            changed := false;
+            List.iter
+              (fun s ->
+                incr work;
+                if (not (sat_get n s)) && checks_hold n s then begin
+                  let here =
+                    accept_ok n s
+                    || List.exists (fun s' -> sat_get n s') nfa.Nfa.eps.(s)
+                    ||
+                    let rec any_child c =
+                      c >= 0
+                      && (List.exists
+                            (fun (test, s') ->
+                              test_matches test tree c && sat_get c s')
+                            nfa.Nfa.delta.(s)
+                         || any_child next_sibling.(c))
+                    in
+                    any_child first_child.(n)
+                  in
+                  if here then begin
+                    sat_set n s;
+                    changed := true
+                  end
+                end)
+              states
+          done)
+        atoms_of_qual.(q);
+      let v =
+        Afa.eval mfa.Mfa.quals.(q) (fun aid ->
+            sat_get n (mfa.Mfa.atoms.(aid)).Afa.start)
+      in
+      if v then qual_set n q
+    done
+  done;
+
+  (* Pass 2: top-down selection with all predicates resolved. *)
+  let answers = ref [] in
+  let closure node states =
+    let seen = Array.make n_states false in
+    let rec visit s =
+      if (not seen.(s)) && checks_hold node s then begin
+        seen.(s) <- true;
+        if List.mem Nfa.Select nfa.Nfa.accepts.(s) then
+          answers := node :: !answers;
+        List.iter visit nfa.Nfa.eps.(s)
+      end
+    in
+    List.iter visit states;
+    seen
+  in
+  let rec walk node states =
+    let closed = closure node states in
+    let rec each_child c =
+      if c >= 0 then begin
+        let matched = ref [] in
+        Array.iteri
+          (fun s in_closure ->
+            if in_closure then
+              List.iter
+                (fun (test, s') ->
+                  if test_matches test tree c then matched := s' :: !matched)
+                nfa.Nfa.delta.(s))
+          closed;
+        if !matched <> [] then walk c !matched;
+        each_child next_sibling.(c)
+      end
+    in
+    each_child first_child.(node)
+  in
+  walk Tree.root [ mfa.Mfa.start ];
+  {
+    answers = List.sort_uniq compare !answers;
+    passes_over_data = 3;
+    predicate_work = !work;
+  }
+
+let eval tree path = run (Smoqe_automata.Compile.compile path) tree

@@ -1,0 +1,27 @@
+(** An Arb-style baseline (Koch, VLDB'03): tree-automaton evaluation in
+    multiple passes (paper §3, Evaluator, the contrast to HyPE).
+
+    Pass 0 preprocesses the document into a binary (first-child /
+    next-sibling) encoding — Arb's required data conversion.  Pass 1 walks
+    the tree bottom-up and decides {e every} qualifier of the query at
+    {e every} node (no pruning: predicates are resolved globally before
+    selection).  Pass 2 walks top-down running the selection automaton
+    with all predicates pre-resolved.  Negated qualifiers are handled by
+    stratified resolution in nesting order, as in the original.
+
+    Results agree with HyPE and the reference semantics (tested); the
+    point of the module is the cost profile: three passes over the data
+    and predicate work proportional to (nodes x automaton), where HyPE
+    does one pass and skips dead regions. *)
+
+type result = {
+  answers : int list;
+  passes_over_data : int;  (** always 3: preprocess, bottom-up, top-down *)
+  predicate_work : int;
+      (** (node, state) pairs examined by the bottom-up pass *)
+}
+
+val run : Smoqe_automata.Mfa.t -> Smoqe_xml.Tree.t -> result
+
+val eval : Smoqe_xml.Tree.t -> Smoqe_rxpath.Ast.path -> result
+(** Compile-and-run convenience. *)

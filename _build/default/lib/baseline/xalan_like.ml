@@ -1,0 +1,66 @@
+module Tree = Smoqe_xml.Tree
+module Ast = Smoqe_rxpath.Ast
+
+type result = {
+  answers : int list;
+  node_visits : int;
+  passes_over_data : int;
+}
+
+(* Node-at-a-time evaluation, the way generic XPath engines work: a
+   relative path is evaluated independently from each context node,
+   intermediate results are node lists deduplicated (sorted) after every
+   composition step, and qualifiers are re-evaluated from scratch at every
+   candidate.  Nothing is shared across context nodes, which is exactly
+   the re-traversal behaviour the paper contrasts HyPE with. *)
+let run tree path =
+  let visits = ref 0 in
+  let child_step keep n =
+    Tree.fold_children tree n ~init:[] ~f:(fun acc c ->
+        incr visits;
+        if keep c then c :: acc else acc)
+    |> List.rev
+  in
+  let rec select p n : int list =
+    match p with
+    | Ast.Self -> [ n ]
+    | Ast.Tag s ->
+      child_step (fun c -> Tree.is_element tree c && Tree.name tree c = s) n
+    | Ast.Wildcard -> child_step (fun c -> Tree.is_element tree c) n
+    | Ast.Text -> child_step (fun c -> Tree.is_text tree c) n
+    | Ast.Seq (a, b) ->
+      (* per-context evaluation of the tail, then a dedup/sort pass *)
+      select a n
+      |> List.concat_map (fun m -> select b m)
+      |> List.sort_uniq compare
+    | Ast.Union (a, b) -> List.sort_uniq compare (select a n @ select b n)
+    | Ast.Star p ->
+      let rec fix acc frontier =
+        match frontier with
+        | [] -> acc
+        | _ ->
+          let next =
+            frontier
+            |> List.concat_map (fun m -> select p m)
+            |> List.sort_uniq compare
+            |> List.filter (fun m -> not (List.mem m acc))
+          in
+          fix (List.sort_uniq compare (acc @ next)) next
+      in
+      fix [ n ] [ n ]
+    | Ast.Filter (p, q) ->
+      (* qualifier re-evaluated independently at every candidate *)
+      List.filter (fun m -> holds q m) (select p n)
+  and holds q n =
+    incr visits;
+    match q with
+    | Ast.True -> true
+    | Ast.Exists p -> select p n <> []
+    | Ast.Value_eq (p, c) ->
+      List.exists (fun m -> String.equal (Tree.value tree m) c) (select p n)
+    | Ast.Not q -> not (holds q n)
+    | Ast.And (a, b) -> holds a n && holds b n
+    | Ast.Or (a, b) -> holds a n || holds b n
+  in
+  let answers = List.sort_uniq compare (select path Tree.root) in
+  { answers; node_visits = !visits; passes_over_data = 1 }

@@ -1,0 +1,20 @@
+(** A Xalan/Saxon-style baseline: per-node recursive evaluation with
+    random access and {e no} memoization, automata, or pruning.
+
+    Each step re-scans child lists; each qualifier is re-evaluated from
+    scratch at every candidate node, re-traversing subtrees that HyPE
+    visits once.  Kleene closure is evaluated by iterated expansion with a
+    visited set (per evaluation, not shared).  This reproduces the
+    algorithmic behaviour the paper penalizes main-memory XPath engines
+    for: "need to randomly access the document during evaluation" (§2, XML
+    documents) and re-traversal per predicate (experiments E1/E4). *)
+
+type result = {
+  answers : int list;
+  node_visits : int;
+      (** total node touches — grows superlinearly on predicate-heavy
+          queries, unlike HyPE's single visit per node *)
+  passes_over_data : int;
+}
+
+val run : Smoqe_xml.Tree.t -> Smoqe_rxpath.Ast.path -> result

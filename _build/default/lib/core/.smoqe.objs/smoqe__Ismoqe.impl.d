@@ -1,0 +1,1 @@
+lib/core/ismoqe.ml: Buffer Fmt Hashtbl List Printf Smoqe_automata Smoqe_hype Smoqe_security Smoqe_tax Smoqe_xml String

@@ -1,0 +1,1 @@
+lib/core/session.mli: Engine Smoqe_hype Smoqe_xml

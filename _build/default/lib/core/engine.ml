@@ -1,0 +1,224 @@
+module Tree = Smoqe_xml.Tree
+module Parser = Smoqe_xml.Parser
+module Pull = Smoqe_xml.Pull
+module Serializer = Smoqe_xml.Serializer
+module Dtd = Smoqe_xml.Dtd
+module Validator = Smoqe_xml.Validator
+module Rx_parser = Smoqe_rxpath.Parser
+module Compile = Smoqe_automata.Compile
+module Mfa = Smoqe_automata.Mfa
+module Policy = Smoqe_security.Policy
+module Derive = Smoqe_security.Derive
+module Rewriter = Smoqe_rewrite.Rewriter
+module Eval_dom = Smoqe_hype.Eval_dom
+module Eval_stax = Smoqe_hype.Eval_stax
+module Tax = Smoqe_tax.Tax
+module Codec = Smoqe_tax.Codec
+
+type mode =
+  | Dom
+  | Stax
+
+type source =
+  | From_string of string
+  | From_file of string
+  | From_tree
+
+type t = {
+  tree : Tree.t;
+  source : source;
+  dtd : Dtd.t option;
+  views : (string, Derive.view) Hashtbl.t;
+  mutable group_order : string list;
+  mutable tax : Tax.t option;
+}
+
+type outcome = {
+  answers : int list;
+  answer_xml : string list;
+  stats : Smoqe_hype.Stats.t;
+  mfa : Mfa.t;
+  cans_size : int;
+}
+
+let log_src = Logs.Src.create "smoqe.engine" ~doc:"SMOQE engine"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let make ?dtd tree source =
+  { tree; source; dtd; views = Hashtbl.create 4; group_order = []; tax = None }
+
+let validate_against dtd tree =
+  match Validator.validate dtd tree with
+  | Ok () -> Ok ()
+  | Error (err :: _) ->
+    Error (Fmt.str "document invalid: %a" Validator.pp_error err)
+  | Error [] -> Ok ()
+
+let of_tree ?dtd tree = make ?dtd tree From_tree
+
+let of_string ?dtd input =
+  match Parser.tree_of_string input with
+  | exception Pull.Error (line, col, msg) ->
+    Error (Printf.sprintf "parse error at %d:%d: %s" line col msg)
+  | exception Invalid_argument msg -> Error msg
+  | tree ->
+    (match dtd with
+    | None -> Ok (make tree (From_string input))
+    | Some d ->
+      (match validate_against d tree with
+      | Ok () -> Ok (make ~dtd:d tree (From_string input))
+      | Error msg -> Error msg))
+
+let of_file ?dtd path =
+  match Parser.tree_of_file path with
+  | exception Pull.Error (line, col, msg) ->
+    Error (Printf.sprintf "%s:%d:%d: %s" path line col msg)
+  | exception Sys_error msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
+  | tree ->
+    (match dtd with
+    | None -> Ok (make tree (From_file path))
+    | Some d ->
+      (match validate_against d tree with
+      | Ok () -> Ok (make ~dtd:d tree (From_file path))
+      | Error msg -> Error msg))
+
+let document t = t.tree
+let dtd t = t.dtd
+
+let register_policy t ~group policy =
+  match t.dtd with
+  | None -> Error "engine has no DTD: policies need a schema"
+  | Some d ->
+    if not (Dtd.equal d (Policy.dtd policy)) then
+      Error "policy is defined over a different DTD"
+    else begin
+      match Derive.derive policy with
+      | exception Derive.Unsupported msg -> Error msg
+      | view ->
+        if not (Hashtbl.mem t.views group) then
+          t.group_order <- t.group_order @ [ group ];
+        Hashtbl.replace t.views group view;
+        Log.info (fun m -> m "registered view for group %s" group);
+        Ok ()
+    end
+
+let groups t = t.group_order
+let view t ~group = Hashtbl.find_opt t.views group
+let view_dtd t ~group = Option.map Derive.view_dtd (view t ~group)
+
+let build_index t = t.tax <- Some (Tax.build t.tree)
+let index t = t.tax
+
+let save_index t path =
+  match t.tax with
+  | None -> Error "no index built"
+  | Some idx ->
+    (match Codec.save path idx with
+    | () -> Ok ()
+    | exception Sys_error msg -> Error msg)
+
+let load_index t path =
+  match Codec.load path with
+  | Error msg -> Error msg
+  | Ok idx ->
+    if Tax.n_nodes idx <> Tree.n_nodes t.tree then
+      Error "index does not match the document"
+    else begin
+      t.tax <- Some idx;
+      Ok ()
+    end
+
+let compile_query t ?group ?(optimize = true) text =
+  match Rx_parser.path_of_string text with
+  | Error msg -> Error ("query: " ^ msg)
+  | Ok path ->
+    let raw =
+      match group with
+      | None -> Ok (Compile.compile path)
+      | Some g ->
+        (match view t ~group:g with
+        | None -> Error (Printf.sprintf "unknown group %s" g)
+        | Some v -> Ok (Rewriter.rewrite v path))
+    in
+    if optimize then Result.map Smoqe_automata.Optimize.optimize raw else raw
+
+let rewrite_only t ~group ?optimize text =
+  compile_query t ~group ?optimize text
+
+let answer_xml t answers =
+  List.map
+    (fun n ->
+      if Tree.is_text t.tree n then
+        Serializer.escape_text (Tree.text_content t.tree n)
+      else Serializer.subtree_to_string ~indent:false t.tree n)
+    answers
+
+let statically_empty t mfa =
+  match t.dtd with
+  | None -> false
+  | Some d ->
+    Smoqe_automata.Analysis.satisfiable mfa d = Smoqe_automata.Analysis.Empty
+
+let query t ?group ?(mode = Dom) ?use_index ?optimize ?trace text =
+  match compile_query t ?group ?optimize text with
+  | Error msg -> Error msg
+  | Ok mfa when statically_empty t mfa ->
+    (* The schema proves the query selects nothing: skip the document. *)
+    Log.info (fun m -> m "query statically empty against the schema");
+    let stats = Smoqe_hype.Stats.create () in
+    stats.Smoqe_hype.Stats.passes_over_data <- 0;
+    Ok { answers = []; answer_xml = []; stats; mfa; cans_size = 0 }
+  | Ok mfa ->
+    (match mode with
+    | Dom ->
+      let tax =
+        match use_index, t.tax with
+        | Some false, _ | _, None -> None
+        | (Some true | None), Some idx -> Some idx
+      in
+      let r = Eval_dom.run ?tax ?trace mfa t.tree in
+      Ok
+        {
+          answers = r.Eval_dom.answers;
+          answer_xml = answer_xml t r.Eval_dom.answers;
+          stats = r.Eval_dom.stats;
+          mfa;
+          cans_size = r.Eval_dom.cans_size;
+        }
+    | Stax ->
+      let run_pull pull =
+        let r = Eval_stax.run ~capture:true ?trace mfa pull in
+        {
+          answers = r.Eval_stax.answers;
+          answer_xml = List.map snd r.Eval_stax.captured;
+          stats = r.Eval_stax.stats;
+          mfa;
+          cans_size = r.Eval_stax.cans_size;
+        }
+      in
+      (match t.source with
+      | From_string s -> Ok (run_pull (Pull.of_string s))
+      | From_file path ->
+        let ic = open_in_bin path in
+        let result =
+          try Ok (run_pull (Pull.of_channel ic)) with
+          | Pull.Error (line, col, msg) ->
+            Error (Printf.sprintf "%s:%d:%d: %s" path line col msg)
+        in
+        close_in_noerr ic;
+        result
+      | From_tree ->
+        let r =
+          Eval_stax.run_events ~capture:true ?trace mfa
+            (Parser.events_of_tree t.tree)
+        in
+        Ok
+          {
+            answers = r.Eval_stax.answers;
+            answer_xml = List.map snd r.Eval_stax.captured;
+            stats = r.Eval_stax.stats;
+            mfa;
+            cans_size = r.Eval_stax.cans_size;
+          }))

@@ -1,0 +1,89 @@
+(** The SMOQE engine façade: documents, policies, views, indexes and query
+    answering — the module a downstream application uses.
+
+    A SMOQE instance holds one XML document (with its DTD if given), any
+    number of per-group security views (derived automatically from access
+    control policies, paper §2), and an optional TAX index.  Queries are
+    Regular XPath, posed either directly on the document or on a group's
+    virtual view; view queries are rewritten to MFAs on the document and
+    evaluated by HyPE — the view is never materialized. *)
+
+type t
+
+type mode =
+  | Dom  (** in-memory evaluation, TAX-prunable *)
+  | Stax  (** single sequential scan of the stored source *)
+
+type outcome = {
+  answers : int list;  (** answer node ids (document pre-order) *)
+  answer_xml : string list;
+      (** serialized answer subtrees (captured on the fly in StAX mode) *)
+  stats : Smoqe_hype.Stats.t;
+  mfa : Smoqe_automata.Mfa.t;  (** the (rewritten) automaton that ran *)
+  cans_size : int;
+}
+
+(** {1 Construction} *)
+
+val of_string : ?dtd:Smoqe_xml.Dtd.t -> string -> (t, string) result
+(** Parse a document from XML text.  With [dtd], the document is validated
+    and policies may be registered.  Errors are returned, never raised. *)
+
+val of_file : ?dtd:Smoqe_xml.Dtd.t -> string -> (t, string) result
+
+val of_tree : ?dtd:Smoqe_xml.Dtd.t -> Smoqe_xml.Tree.t -> t
+
+val document : t -> Smoqe_xml.Tree.t
+val dtd : t -> Smoqe_xml.Dtd.t option
+
+(** {1 Security views} *)
+
+val register_policy :
+  t -> group:string -> Smoqe_security.Policy.t -> (unit, string) result
+(** Derive and store the security view for a user group.  Fails if the
+    engine has no DTD, the policy is over a different DTD, or derivation is
+    unsupported. *)
+
+val groups : t -> string list
+val view : t -> group:string -> Smoqe_security.Derive.view option
+
+val view_dtd : t -> group:string -> Smoqe_xml.Dtd.t option
+(** The schema exposed to the group's users. *)
+
+(** {1 Indexing} *)
+
+val build_index : t -> unit
+(** Build (or rebuild) the TAX index for the document. *)
+
+val index : t -> Smoqe_tax.Tax.t option
+
+val save_index : t -> string -> (unit, string) result
+val load_index : t -> string -> (unit, string) result
+(** Load a previously saved index; fails if it does not match the
+    document's shape. *)
+
+(** {1 Querying} *)
+
+val query :
+  t ->
+  ?group:string ->
+  ?mode:mode ->
+  ?use_index:bool ->
+  ?optimize:bool ->
+  ?trace:Smoqe_hype.Trace.t ->
+  string ->
+  (outcome, string) result
+(** Answer a Regular XPath query.  Without [group], the query runs
+    directly on the document; with [group], it is first rewritten through
+    the group's view.  [use_index] (default [true] when an index exists)
+    enables TAX pruning in [Dom] mode; [optimize] (default [true]) runs
+    the MFA optimizer before evaluation.  Parse errors, unknown groups and
+    driver errors are returned as [Error]. *)
+
+val rewrite_only :
+  t ->
+  group:string ->
+  ?optimize:bool ->
+  string ->
+  (Smoqe_automata.Mfa.t, string) result
+(** Just the rewriting step — what iSMOQE visualizes (paper Fig. 4). *)

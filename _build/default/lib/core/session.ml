@@ -1,0 +1,31 @@
+type role =
+  | Admin
+  | Member of string
+
+type t = {
+  engine : Engine.t;
+  role : role;
+}
+
+let login engine role =
+  match role with
+  | Admin -> Ok { engine; role }
+  | Member group ->
+    (match Engine.view engine ~group with
+    | Some _ -> Ok { engine; role }
+    | None -> Error (Printf.sprintf "no view registered for group %s" group))
+
+let role t = t.role
+
+let schema t =
+  match t.role with
+  | Admin -> Engine.dtd t.engine
+  | Member group -> Engine.view_dtd t.engine ~group
+
+let run t ?mode ?use_index ?trace text =
+  match t.role with
+  | Admin -> Engine.query t.engine ?mode ?use_index ?trace text
+  | Member group -> Engine.query t.engine ~group ?mode ?use_index ?trace text
+
+let can_access_document t =
+  match t.role with Admin -> true | Member _ -> false

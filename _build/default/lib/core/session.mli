@@ -1,0 +1,34 @@
+(** Access-control sessions: who may query what (paper §2, Query support).
+
+    SMOQE's two query-evaluation modes: a user poses a query either (a)
+    directly on the document, {e provided the user is granted access to
+    it}, or (b) on the virtual view of their group.  Sessions enforce the
+    distinction: administrators see the document, group members see only
+    their view — a group member asking for direct access is refused, and
+    their queries are silently rewritten through the view. *)
+
+type role =
+  | Admin  (** full access to the underlying document *)
+  | Member of string  (** restricted to a group's security view *)
+
+type t
+
+val login : Engine.t -> role -> (t, string) result
+(** Fails for a member of an unregistered group. *)
+
+val role : t -> role
+
+val schema : t -> Smoqe_xml.Dtd.t option
+(** What the user is allowed to know about the data's shape: the document
+    DTD for admins, the view DTD for members. *)
+
+val run :
+  t ->
+  ?mode:Engine.mode ->
+  ?use_index:bool ->
+  ?trace:Smoqe_hype.Trace.t ->
+  string ->
+  (Engine.outcome, string) result
+(** Answer a query under the session's rights. *)
+
+val can_access_document : t -> bool

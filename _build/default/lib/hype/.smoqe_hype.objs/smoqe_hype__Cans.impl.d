@@ -1,0 +1,1 @@
+lib/hype/cans.ml: Conds Hashtbl List

@@ -1,0 +1,1 @@
+lib/hype/cans.mli: Conds

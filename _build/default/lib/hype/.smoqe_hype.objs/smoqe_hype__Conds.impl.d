@@ -1,0 +1,1 @@
+lib/hype/conds.ml: Fmt List

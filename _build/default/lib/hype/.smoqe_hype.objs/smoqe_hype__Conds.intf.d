@@ -1,0 +1,1 @@
+lib/hype/conds.mli: Format

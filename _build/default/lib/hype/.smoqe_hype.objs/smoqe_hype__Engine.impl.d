@@ -1,0 +1,1 @@
+lib/hype/engine.ml: Array Buffer Bytes Cans Conds Hashtbl List Printf Smoqe_automata Stats String Trace

@@ -1,0 +1,1 @@
+lib/hype/engine.mli: Cans Smoqe_automata Stats Trace

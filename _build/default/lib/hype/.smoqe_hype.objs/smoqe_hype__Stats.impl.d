@@ -1,0 +1,1 @@
+lib/hype/stats.ml: Fmt

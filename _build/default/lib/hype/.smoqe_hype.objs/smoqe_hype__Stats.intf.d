@@ -1,0 +1,1 @@
+lib/hype/stats.mli: Format

@@ -1,0 +1,1 @@
+lib/hype/trace.ml: Buffer Hashtbl List Option Printf Smoqe_xml String

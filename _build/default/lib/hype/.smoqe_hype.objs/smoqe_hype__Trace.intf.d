@@ -1,0 +1,1 @@
+lib/hype/trace.mli: Smoqe_xml

@@ -1,0 +1,34 @@
+(* Append-only during the pass (the hot path: one cons per candidate);
+   grouping and condition evaluation happen in the final resolution pass. *)
+type t = {
+  mutable entries : (int * Conds.set) list;
+  mutable n_entries : int;
+}
+
+let create () = { entries = []; n_entries = 0 }
+
+let add t ~node set =
+  t.entries <- (node, set) :: t.entries;
+  t.n_entries <- t.n_entries + 1
+
+let size t = t.n_entries
+
+let entries t =
+  let table : (int, Conds.dnf ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (node, set) ->
+      match Hashtbl.find_opt table node with
+      | Some cell -> cell := Conds.dnf_add !cell set
+      | None -> Hashtbl.add table node (ref (Conds.dnf_add Conds.dnf_false set)))
+    t.entries;
+  Hashtbl.fold (fun node cell acc -> (node, !cell) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let resolve t ~lookup =
+  let rec keep acc = function
+    | [] -> acc
+    | (node, set) :: rest ->
+      if List.for_all lookup (Conds.to_list set) then keep (node :: acc) rest
+      else keep acc rest
+  in
+  List.sort_uniq compare (keep [] t.entries)

@@ -1,0 +1,542 @@
+module Nfa = Smoqe_automata.Nfa
+module Afa = Smoqe_automata.Afa
+module Mfa = Smoqe_automata.Mfa
+module Reachability = Smoqe_automata.Reachability
+
+exception Driver_error of string
+
+type kind =
+  | El of string
+  | Tx of string
+
+type verdict =
+  | Alive
+  | Dead
+
+(* A selection run: an NFA state positioned at the current node with the
+   qualifier conditions assumed so far.
+
+   Qualifiers (the AFA side of the MFA) do not use runs with conditions:
+   the engine propagates the set of {e active} AFA states downward (which
+   atom automata could still make progress here) and computes their
+   satisfaction bottom-up at each leave — HyPE's hybrid: NFA top-down,
+   AFA settled on the way back up, one traversal total. *)
+type item = {
+  state : Nfa.state;
+  conds : Conds.set;
+}
+
+(* Frames live in a pool indexed by depth and are reused across siblings. *)
+type frame = {
+  mutable node : int;
+  mutable kind : kind;
+  mutable items : item list; (* post-closure selection items *)
+  mutable active : int list; (* active AFA states at this node *)
+  mutable quals_here : int list; (* qualifiers to settle at this node *)
+  mutable requested : int list; (* subset assumed by selection runs *)
+  mutable may_accept_value : bool; (* some active state has a value accept *)
+  mutable sat : Bytes.t; (* per active state: accepts within the subtree *)
+  mutable contrib : Bytes.t; (* facts pushed up by the children *)
+  mutable mark : Bytes.t; (* membership in [active] *)
+  mutable text_acc : Buffer.t option; (* immediate text (element value) *)
+}
+
+type t = {
+  mfa : Mfa.t;
+  (* per-state statics *)
+  value_accepts : string array array; (* value constraints on atom accepts *)
+  plain_accept : bool array; (* has an unconditional atom accept *)
+  select_accept : bool array;
+  atom_starts : int array array; (* per qualifier: its atoms' entry states *)
+  qual_order : int array; (* dependency-topological same-node order *)
+  has_value_atoms : bool;
+  n_quals : int;
+  (* dynamics *)
+  cond_val : (Conds.cond, bool) Hashtbl.t;
+  cans : Cans.t;
+  stats : Stats.t;
+  trace : Trace.t option;
+  mutable frames : frame array;
+  mutable depth : int;
+  mutable out_items : item list; (* selection-closure workspace *)
+  mutable n_out : int;
+  qvals : bool array; (* per-leave qualifier scratch *)
+  qval_epoch : int array; (* node-epoch in which each entry was settled *)
+  mutable epoch : int;
+  mutable entered_candidate : bool; (* last enter recorded a candidate *)
+  mutable finished : bool;
+}
+
+let fresh_frame n_states () =
+  {
+    node = -1;
+    kind = El "";
+    items = [];
+    active = [];
+    quals_here = [];
+    requested = [];
+    may_accept_value = false;
+    sat = Bytes.make n_states '\000';
+    contrib = Bytes.make n_states '\000';
+    mark = Bytes.make n_states '\000';
+    text_acc = None;
+  }
+
+let create ?trace mfa =
+  let nfa = mfa.Mfa.nfa in
+  let n_states = nfa.Nfa.n_states in
+  let n_quals = Array.length mfa.Mfa.quals in
+  let value_accepts = Array.make n_states [||] in
+  let plain_accept = Array.make n_states false in
+  let select_accept = Array.make n_states false in
+  for s = 0 to n_states - 1 do
+    let values = ref [] in
+    List.iter
+      (fun accept ->
+        match accept with
+        | Nfa.Select -> select_accept.(s) <- true
+        | Nfa.Atom_accept aid ->
+          (match (mfa.Mfa.atoms.(aid)).Afa.value with
+          | None -> plain_accept.(s) <- true
+          | Some c -> values := c :: !values))
+      nfa.Nfa.accepts.(s);
+    value_accepts.(s) <- Array.of_list !values
+  done;
+  let atom_starts =
+    Array.map
+      (fun formula ->
+        Array.of_list
+          (List.map
+             (fun aid -> (mfa.Mfa.atoms.(aid)).Afa.start)
+             (Afa.atoms_of formula)))
+      mfa.Mfa.quals
+  in
+  (* Same-node settlement order: a qualifier depends on the qualifiers
+     checked inside its atom subgraphs (nested view qualifiers, or the
+     view-definition qualifiers a rewritten MFA splices into product
+     atoms).  Acyclic by construction. *)
+  let qual_order =
+    let deps =
+      Array.map
+        (fun formula ->
+          let states =
+            List.concat_map
+              (fun aid ->
+                Nfa.reachable_states nfa (mfa.Mfa.atoms.(aid)).Afa.start)
+              (Afa.atoms_of formula)
+          in
+          List.sort_uniq compare
+            (List.concat_map (fun s -> nfa.Nfa.checks.(s)) states))
+        mfa.Mfa.quals
+    in
+    let color = Array.make n_quals 0 in
+    let order = ref [] in
+    let rec visit q =
+      if color.(q) = 1 then raise (Driver_error "cyclic qualifier dependency")
+      else if color.(q) = 0 then begin
+        color.(q) <- 1;
+        List.iter visit deps.(q);
+        color.(q) <- 2;
+        order := q :: !order
+      end
+    in
+    for q = 0 to n_quals - 1 do
+      visit q
+    done;
+    Array.of_list (List.rev !order)
+  in
+  let has_value_atoms =
+    Array.exists (fun (a : Afa.atom) -> a.Afa.value <> None) mfa.Mfa.atoms
+  in
+  {
+    mfa;
+    value_accepts;
+    plain_accept;
+    select_accept;
+    atom_starts;
+    qual_order;
+    has_value_atoms;
+    n_quals;
+    cond_val = Hashtbl.create 256;
+    cans = Cans.create ();
+    stats = Stats.create ();
+    trace;
+    frames = Array.init 64 (fun _ -> fresh_frame n_states ());
+    depth = 0;
+    out_items = [];
+    n_out = 0;
+    qvals = Array.make (max 1 n_quals) false;
+    qval_epoch = Array.make (max 1 n_quals) (-1);
+    epoch = 0;
+    entered_candidate = false;
+    finished = false;
+  }
+
+let stats t = t.stats
+let cans t = t.cans
+
+let trace_mark t node m =
+  match t.trace with None -> () | Some tr -> Trace.mark tr node m
+
+(* --- active AFA state propagation ---------------------------------------- *)
+
+(* Activate an AFA state at a frame: mark it, follow its epsilon edges, and
+   make sure the qualifiers it checks will be settled here (spawning their
+   atoms' entry states in turn). *)
+let rec activate t frame s =
+  if Bytes.get frame.mark s = '\000' then begin
+    Bytes.set frame.mark s '\001';
+    Bytes.set frame.sat s '\000';
+    Bytes.set frame.contrib s '\000';
+    frame.active <- s :: frame.active;
+    if Array.length t.value_accepts.(s) > 0 then
+      frame.may_accept_value <- true;
+    let nfa = t.mfa.Mfa.nfa in
+    List.iter (fun q -> note_qual t frame q) nfa.Nfa.checks.(s);
+    List.iter (fun s' -> activate t frame s') nfa.Nfa.eps.(s)
+  end
+
+and note_qual t frame q =
+  if not (List.mem q frame.quals_here) then begin
+    frame.quals_here <- q :: frame.quals_here;
+    t.stats.Stats.atom_instances <-
+      t.stats.Stats.atom_instances + Array.length t.atom_starts.(q);
+    Array.iter (fun s -> activate t frame s) t.atom_starts.(q)
+  end
+
+(* --- selection-run closure ------------------------------------------------ *)
+
+let rec item_seen items state conds =
+  match items with
+  | [] -> false
+  | it :: rest ->
+    (it.state = state && it.conds = conds) || item_seen rest state conds
+
+let rec push_item t frame item =
+  let nfa = t.mfa.Mfa.nfa in
+  let item =
+    match nfa.Nfa.checks.(item.state) with
+    | [] -> item
+    | checks -> { item with conds = add_checks t frame item.conds checks }
+  in
+  if not (item_seen t.out_items item.state item.conds) then begin
+    t.out_items <- item :: t.out_items;
+    t.n_out <- t.n_out + 1;
+    if t.select_accept.(item.state) then begin
+      t.stats.Stats.candidates <- t.stats.Stats.candidates + 1;
+      t.entered_candidate <- true;
+      trace_mark t frame.node Trace.In_cans;
+      Cans.add t.cans ~node:frame.node item.conds
+    end;
+    push_eps t frame item nfa.Nfa.eps.(item.state)
+  end
+
+and add_checks t frame conds = function
+  | [] -> conds
+  | q :: rest ->
+    note_qual t frame q;
+    if not (List.mem q frame.requested) then
+      frame.requested <- q :: frame.requested;
+    t.stats.Stats.conds_created <- t.stats.Stats.conds_created + 1;
+    add_checks t frame (Conds.add (q, frame.node) conds) rest
+
+and push_eps t frame item = function
+  | [] -> ()
+  | s' :: rest ->
+    push_item t frame { item with state = s' };
+    push_eps t frame item rest
+
+let kind_matches test kind =
+  match test, kind with
+  | Nfa.Any_element, El _ -> true
+  | Nfa.Element s, El name -> s == name || String.equal s name
+  | Nfa.Text_node, Tx _ -> true
+  | Nfa.Any_element, Tx _ | Nfa.Element _, Tx _ | Nfa.Text_node, El _ -> false
+
+(* --- frames ---------------------------------------------------------------- *)
+
+let clear_frame frame =
+  (* Reset the bitsets touched by the previous tenant of this depth. *)
+  List.iter
+    (fun s ->
+      Bytes.set frame.sat s '\000';
+      Bytes.set frame.contrib s '\000';
+      Bytes.set frame.mark s '\000')
+    frame.active;
+  frame.active <- []
+
+let push_frame t id kind =
+  if t.depth >= Array.length t.frames then begin
+    let n_states = t.mfa.Mfa.nfa.Nfa.n_states in
+    let bigger =
+      Array.init (2 * Array.length t.frames) (fun i ->
+          if i < Array.length t.frames then t.frames.(i)
+          else fresh_frame n_states ())
+    in
+    t.frames <- bigger
+  end;
+  let frame = t.frames.(t.depth) in
+  t.depth <- t.depth + 1;
+  clear_frame frame;
+  frame.node <- id;
+  frame.kind <- kind;
+  frame.items <- [];
+  frame.quals_here <- [];
+  frame.requested <- [];
+  frame.may_accept_value <- false;
+  frame.text_acc <- None;
+  frame
+
+(* Does any transition of any parent item match this node? *)
+let rec any_item_matches kind items delta =
+  match items with
+  | [] -> false
+  | item :: rest ->
+    let rec scan = function
+      | [] -> any_item_matches kind rest delta
+      | (test, _) :: more -> kind_matches test kind || scan more
+    in
+    scan delta.(item.state)
+
+let rec any_active_matches kind active delta =
+  match active with
+  | [] -> false
+  | s :: rest ->
+    let rec scan = function
+      | [] -> any_active_matches kind rest delta
+      | (test, _) :: more -> kind_matches test kind || scan more
+    in
+    scan delta.(s)
+
+let enter t ~id ~kind =
+  if t.finished then raise (Driver_error "enter after finish");
+  let nfa = t.mfa.Mfa.nfa in
+  t.entered_candidate <- false;
+  t.stats.Stats.nodes_entered <- t.stats.Stats.nodes_entered + 1;
+  if t.depth = 0 then begin
+    let frame = push_frame t id kind in
+    t.out_items <- [];
+    t.n_out <- 0;
+    push_item t frame { state = t.mfa.Mfa.start; conds = Conds.empty };
+    frame.items <- t.out_items;
+    t.stats.Stats.nodes_alive <- t.stats.Stats.nodes_alive + 1;
+    trace_mark t id Trace.Visited;
+    Alive
+  end
+  else begin
+    let parent = t.frames.(t.depth - 1) in
+    (* Element values are needed when a value-equality atom can accept at
+       the parent, so immediate text is collected only then. *)
+    (match kind with
+    | Tx content when parent.may_accept_value ->
+      let buf =
+        match parent.text_acc with
+        | Some buf -> buf
+        | None ->
+          let buf = Buffer.create 16 in
+          parent.text_acc <- Some buf;
+          buf
+      in
+      Buffer.add_string buf content
+    | Tx _ | El _ -> ());
+    if
+      (not (any_item_matches kind parent.items nfa.Nfa.delta))
+      && not (any_active_matches kind parent.active nfa.Nfa.delta)
+    then begin
+      trace_mark t id Trace.Dead;
+      Dead
+    end
+    else begin
+      let parent_items = parent.items in
+      let parent_active = parent.active in
+      let frame = push_frame t id kind in
+      (* active AFA states: consumable continuations of the parent's *)
+      let rec feed_active = function
+        | [] -> ()
+        | s :: rest ->
+          let rec trans = function
+            | [] -> ()
+            | (test, s') :: more ->
+              if kind_matches test kind then activate t frame s';
+              trans more
+          in
+          trans nfa.Nfa.delta.(s);
+          feed_active rest
+      in
+      feed_active parent_active;
+      (* selection items *)
+      t.out_items <- [];
+      t.n_out <- 0;
+      let rec feed_items = function
+        | [] -> ()
+        | item :: rest ->
+          let rec trans = function
+            | [] -> ()
+            | (test, s') :: more ->
+              if kind_matches test kind then
+                push_item t frame { item with state = s' };
+              trans more
+          in
+          trans nfa.Nfa.delta.(item.state);
+          feed_items rest
+      in
+      feed_items parent_items;
+      frame.items <- t.out_items;
+      if t.n_out > t.stats.Stats.max_items then
+        t.stats.Stats.max_items <- t.n_out;
+      t.stats.Stats.nodes_alive <- t.stats.Stats.nodes_alive + 1;
+      trace_mark t id Trace.Visited;
+      Alive
+    end
+  end
+
+let element_value frame =
+  match frame.kind with
+  | Tx content -> content
+  | El _ ->
+    (match frame.text_acc with
+    | None -> ""
+    | Some buf -> Buffer.contents buf)
+
+(* --- bottom-up AFA settlement ---------------------------------------------- *)
+
+(* sat(s) at a closing node: a run in state [s] here accepts within the
+   (now complete) subtree — by accepting at this node, by an epsilon move
+   whose checks hold here, or through a child (contributions pushed at the
+   children's leaves).  Only active states matter: epsilon targets and
+   check-spawned entry states of active states are active by closure. *)
+let resolve_afa t frame =
+  let nfa = t.mfa.Mfa.nfa in
+  let sat = frame.sat in
+  let mark = frame.mark in
+  t.epoch <- t.epoch + 1;
+  let value = if frame.may_accept_value then element_value frame else "" in
+  let accept_ok s =
+    t.plain_accept.(s)
+    ||
+    let values = t.value_accepts.(s) in
+    let n = Array.length values in
+    let rec scan i = i < n && (String.equal values.(i) value || scan (i + 1)) in
+    n > 0 && scan 0
+  in
+  (* A qualifier not yet settled at this node reads as false: sound (sat
+     never set prematurely), and the passes after its settlement catch any
+     state that was waiting on it. *)
+  let checks_hold s =
+    let rec go = function
+      | [] -> true
+      | q :: rest ->
+        t.qval_epoch.(q) = t.epoch && t.qvals.(q) && go rest
+    in
+    go nfa.Nfa.checks.(s)
+  in
+  let try_state s =
+    Bytes.get mark s <> '\000'
+    && Bytes.get sat s = '\000'
+    && checks_hold s
+    && (Bytes.get frame.contrib s <> '\000'
+       || accept_ok s
+       ||
+       let rec eps_sat = function
+         | [] -> false
+         | s' :: rest -> Bytes.get sat s' <> '\000' || eps_sat rest
+       in
+       eps_sat nfa.Nfa.eps.(s))
+  in
+  let fixpoint states =
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun s ->
+          if try_state s then begin
+            Bytes.set sat s '\001';
+            changed := true
+          end)
+        states
+    done
+  in
+  (* Settle in dependency order; each pass runs over all active states —
+     strata are eps-closed inside the active set, and reruns are monotone
+     no-ops. *)
+  (match frame.quals_here with
+  | [] -> ()
+  | quals_here ->
+    Array.iter
+      (fun q ->
+        if List.mem q quals_here then begin
+          fixpoint frame.active;
+          t.qvals.(q) <-
+            Afa.eval t.mfa.Mfa.quals.(q) (fun aid ->
+                Bytes.get sat (t.mfa.Mfa.atoms.(aid)).Afa.start <> '\000');
+          t.qval_epoch.(q) <- t.epoch
+        end)
+      t.qual_order);
+  fixpoint frame.active;
+  (* Publish the values selection runs assumed at this node. *)
+  List.iter
+    (fun q ->
+      Hashtbl.replace t.cond_val (q, frame.node) t.qvals.(q);
+      t.stats.Stats.quals_resolved <- t.stats.Stats.quals_resolved + 1)
+    frame.requested;
+  (* Contribute upward: parent-active states that can step into this node
+     and accept inside it. *)
+  if t.depth >= 2 then begin
+    let parent = t.frames.(t.depth - 2) in
+    let rec feed = function
+      | [] -> ()
+      | s :: rest ->
+        if Bytes.get parent.contrib s = '\000' then begin
+          let rec scan = function
+            | [] -> ()
+            | (test, s') :: more ->
+              if kind_matches test frame.kind && Bytes.get sat s' <> '\000'
+              then Bytes.set parent.contrib s '\001'
+              else scan more
+          in
+          scan nfa.Nfa.delta.(s)
+        end;
+        feed rest
+    in
+    feed parent.active
+  end
+
+let leave t =
+  if t.depth = 0 then raise (Driver_error "leave without enter");
+  let frame = t.frames.(t.depth - 1) in
+  if frame.active <> [] || frame.quals_here <> [] then resolve_afa t frame;
+  t.depth <- t.depth - 1
+
+let entered_candidate t = t.entered_candidate
+
+let exists_live_state t p =
+  if t.depth = 0 then
+    raise (Driver_error "exists_live_state without a current node");
+  let frame = t.frames.(t.depth - 1) in
+  List.exists (fun item -> p item.state) frame.items
+  || List.exists p frame.active
+
+let may_accept_value_here t =
+  if t.depth = 0 then
+    raise (Driver_error "may_accept_value_here without a current node");
+  (t.frames.(t.depth - 1)).may_accept_value
+
+let finish t =
+  if t.depth <> 0 then raise (Driver_error "finish with open nodes");
+  if t.finished then raise (Driver_error "finish called twice");
+  t.finished <- true;
+  let answers =
+    Cans.resolve t.cans ~lookup:(fun cond ->
+        match Hashtbl.find_opt t.cond_val cond with
+        | Some v -> v
+        | None ->
+          raise
+            (Driver_error
+               (Printf.sprintf "unresolved condition q%d@%d" (fst cond)
+                  (snd cond))))
+  in
+  t.stats.Stats.answers <- List.length answers;
+  (match t.trace with
+  | None -> ()
+  | Some tr -> List.iter (fun n -> Trace.mark tr n Trace.Answer) answers);
+  answers

@@ -1,0 +1,68 @@
+(** The HyPE core: an event-driven MFA run over one depth-first document
+    traversal (paper §3, Evaluator).
+
+    The engine is document-representation agnostic: {!Eval_dom} drives it
+    from a tree, {!Eval_stax} from a pull-event stream.  Drivers feed it a
+    pre-order visit: [enter] at each node, [leave] when its subtree closes.
+
+    Single-pass discipline: at [enter] the engine advances all active runs
+    (selection and qualifier atoms) into the node, instantiates newly
+    requested qualifiers, and records candidates into Cans under the
+    conditions the runs have assumed; at [leave] it settles the node's
+    qualifier instances (their runs can only have explored the now-complete
+    subtree).  [finish] resolves Cans in one final sweep.
+
+    Driver contract:
+    - the first [enter] is the document root;
+    - every [Alive] enter is matched by exactly one [leave]; [Dead] enters
+      by none;
+    - children of a node whose [enter] returned [Dead] must not be entered;
+    - text children of alive nodes must always be entered (the engine
+      accumulates them to form element values for equality tests). *)
+
+type t
+
+type kind =
+  | El of string  (** element with this tag *)
+  | Tx of string  (** text node with this content *)
+
+type verdict =
+  | Alive  (** at least one run is active: descend into the children *)
+  | Dead
+      (** no run matched: the subtree cannot contribute.  A [Dead] enter
+          pushes nothing — it has {e no} matching [leave]. *)
+
+val create : ?trace:Trace.t -> Smoqe_automata.Mfa.t -> t
+
+val enter : t -> id:int -> kind:kind -> verdict
+(** Pre-visit a node.  [id] must be the node's pre-order rank (ids are only
+    used as opaque, ordered instance keys and answer labels). *)
+
+val leave : t -> unit
+(** Post-visit the most recently entered node. *)
+
+val exists_live_state : t -> (Smoqe_automata.Nfa.state -> bool) -> bool
+(** Does any state with an active run at the current node (selection items
+    and active AFA states) satisfy the predicate?  The DOM driver combines
+    this with per-state requirement analyses and the TAX index to decide
+    whether descending below the current node can still matter. *)
+
+val entered_candidate : t -> bool
+(** Did the most recent [enter] record the node as a candidate answer?
+    The streaming driver uses this to start capturing the node's subtree
+    for serialized output. *)
+
+val may_accept_value_here : t -> bool
+(** A value-equality accept is possible at the current node, so its
+    immediate text children must be visited whatever the index says. *)
+
+val finish : t -> int list
+(** End of document: resolve Cans and return the answers (pre-order ids,
+    ascending).  The driver must have closed every node. *)
+
+val stats : t -> Stats.t
+val cans : t -> Cans.t
+
+exception Driver_error of string
+(** Raised on contract violations ([leave] without [enter], [finish] with
+    open nodes, non-root first enter). *)

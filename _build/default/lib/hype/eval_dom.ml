@@ -1,0 +1,100 @@
+module Tree = Smoqe_xml.Tree
+module Tax = Smoqe_tax.Tax
+module Reachability = Smoqe_automata.Reachability
+module Mfa = Smoqe_automata.Mfa
+
+type result = {
+  answers : int list;
+  stats : Stats.t;
+  cans_size : int;
+}
+
+(* Per-state pruning data, specialized against one document's tag table:
+   the mandatory labels of every accepting path from the state, as tag ids
+   (see {!Reachability}).  A mandatory label the document never uses means
+   the state can never accept. *)
+type prune_info =
+  | Prune_always
+  | Check of int array * bool (* required tag ids, text required *)
+
+let prune_table mfa tree =
+  let needs = Reachability.compute mfa.Mfa.nfa in
+  Array.map
+    (fun need ->
+      match need with
+      | Reachability.All -> Prune_always
+      | Reachability.Req (labels, text) ->
+        let ids = ref [] in
+        let impossible = ref false in
+        Reachability.String_set.iter
+          (fun label ->
+            match Tree.id_of_tag tree label with
+            | Some id -> ids := id :: !ids
+            | None -> impossible := true)
+          labels;
+        if !impossible then Prune_always
+        else Check (Array.of_list !ids, text))
+    needs
+
+let run ?tax ?(prune_threshold = 48) ?trace mfa tree =
+  let engine = Engine.create ?trace mfa in
+  let stats = Engine.stats engine in
+  let skip_subtree n m count_field =
+    (* n itself was entered; only its proper descendants are skipped *)
+    let skipped = Tree.subtree_size tree n - 1 in
+    (match count_field with
+    | `Dead ->
+      stats.Stats.nodes_skipped_dead <-
+        stats.Stats.nodes_skipped_dead + skipped
+    | `Tax ->
+      stats.Stats.nodes_pruned_tax <- stats.Stats.nodes_pruned_tax + skipped);
+    match trace with
+    | None -> ()
+    | Some tr ->
+      for d = n + 1 to Tree.subtree_end tree n - 1 do
+        Trace.mark tr d m
+      done
+  in
+  let kind_of n =
+    if Tree.is_text tree n then Engine.Tx (Tree.text_content tree n)
+    else Engine.El (Tree.name tree n)
+  in
+  let descend_check =
+    match tax with
+    | None -> fun _ -> true
+    | Some idx ->
+      let info = prune_table mfa tree in
+      fun n ->
+        if Tree.is_text tree n then false (* no children anyway *)
+        else if Tree.subtree_size tree n < prune_threshold then true
+          (* a small subtree costs less to scan than to test for pruning *)
+        else begin
+          let has_text = Tax.has_text idx n in
+          (Engine.may_accept_value_here engine && has_text)
+          ||
+          let state_useful s =
+            match info.(s) with
+            | Prune_always -> false
+            | Check (ids, text) ->
+              ((not text) || has_text)
+              && Array.for_all (fun id -> Tax.mem idx n id) ids
+          in
+          Engine.exists_live_state engine state_useful
+        end
+  in
+  let rec visit n =
+    match Engine.enter engine ~id:n ~kind:(kind_of n) with
+    | Engine.Dead -> skip_subtree n Trace.Skipped_dead `Dead
+    | Engine.Alive ->
+      (if tax = None || Tree.first_child tree n = None || descend_check n then
+         Tree.iter_children tree n visit
+       else skip_subtree n Trace.Pruned_tax `Tax);
+      Engine.leave engine
+  in
+  visit Tree.root;
+  let answers = Engine.finish engine in
+  { answers; stats; cans_size = Cans.size (Engine.cans engine) }
+
+let eval ?tax tree path =
+  let mfa = Smoqe_automata.Compile.compile path in
+  (run ?tax mfa tree).answers

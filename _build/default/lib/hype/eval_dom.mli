@@ -1,0 +1,30 @@
+(** HyPE over an in-memory document — SMOQE's DOM mode.
+
+    A single top-down depth-first traversal of the tree drives the
+    {!Engine}; with a TAX index the driver additionally skips whole
+    subtrees the automaton provably cannot use (experiment E3 toggles
+    exactly this). *)
+
+type result = {
+  answers : int list;  (** answer nodes, in document order *)
+  stats : Stats.t;
+  cans_size : int;  (** candidates held in Cans at the end of the pass *)
+}
+
+val run :
+  ?tax:Smoqe_tax.Tax.t ->
+  ?prune_threshold:int ->
+  ?trace:Trace.t ->
+  Smoqe_automata.Mfa.t ->
+  Smoqe_xml.Tree.t ->
+  result
+(** [prune_threshold] (default 48): subtrees smaller than this many nodes
+    are scanned rather than tested against the index — the test costs more
+    than the scan below that size. *)
+
+val eval :
+  ?tax:Smoqe_tax.Tax.t ->
+  Smoqe_xml.Tree.t ->
+  Smoqe_rxpath.Ast.path ->
+  int list
+(** Compile-and-run convenience. *)

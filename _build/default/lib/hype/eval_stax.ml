@@ -1,0 +1,181 @@
+module Pull = Smoqe_xml.Pull
+module Serializer = Smoqe_xml.Serializer
+
+type result = {
+  answers : int list;
+  captured : (int * string) list;
+  stats : Stats.t;
+  cans_size : int;
+  n_nodes : int;
+}
+
+(* Per open element: was the engine entered for it, and are its children
+   processed?  Children of a Dead node are skipped without engine calls,
+   but still consume pre-order ids so that answers align with DOM ids. *)
+type level =
+  | Entered_alive
+  | Skipped
+
+(* An in-flight capture of a candidate subtree: everything scanned while
+   it is open is appended (including regions the engine skipped — they
+   are part of the fragment even if no run is alive there). *)
+type capture = {
+  cap_node : int;
+  buf : Buffer.t;
+  mutable open_elements : int;
+}
+
+let run_generic ?(capture = false) ?trace mfa next =
+  let engine = Engine.create ?trace mfa in
+  let stats = Engine.stats engine in
+  let next_id = ref 0 in
+  let fresh_id () =
+    let id = !next_id in
+    incr next_id;
+    id
+  in
+  let stack = ref [] in
+  let mark id m = match trace with None -> () | Some tr -> Trace.mark tr id m in
+  let parent_alive () =
+    match !stack with [] -> true | level :: _ -> level = Entered_alive
+  in
+  (* capturing *)
+  let open_captures = ref [] in
+  let finished_captures : (int, string) Hashtbl.t = Hashtbl.create 16 in
+  let cap_start ~candidate id tag attrs =
+    List.iter
+      (fun c ->
+        Buffer.add_char c.buf '<';
+        Buffer.add_string c.buf tag;
+        List.iter
+          (fun (k, v) ->
+            Buffer.add_char c.buf ' ';
+            Buffer.add_string c.buf k;
+            Buffer.add_string c.buf "=\"";
+            Buffer.add_string c.buf (Serializer.escape_attr v);
+            Buffer.add_char c.buf '"')
+          attrs;
+        Buffer.add_char c.buf '>';
+        c.open_elements <- c.open_elements + 1)
+      !open_captures;
+    if capture && candidate then
+      open_captures :=
+        (let c = { cap_node = id; buf = Buffer.create 64; open_elements = 1 } in
+         Buffer.add_char c.buf '<';
+         Buffer.add_string c.buf tag;
+         List.iter
+           (fun (k, v) ->
+             Buffer.add_char c.buf ' ';
+             Buffer.add_string c.buf k;
+             Buffer.add_string c.buf "=\"";
+             Buffer.add_string c.buf (Serializer.escape_attr v);
+             Buffer.add_char c.buf '"')
+           attrs;
+         Buffer.add_char c.buf '>';
+         c)
+        :: !open_captures
+  in
+  let cap_end tag =
+    List.iter
+      (fun c ->
+        Buffer.add_string c.buf "</";
+        Buffer.add_string c.buf tag;
+        Buffer.add_char c.buf '>';
+        c.open_elements <- c.open_elements - 1)
+      !open_captures;
+    open_captures :=
+      List.filter
+        (fun c ->
+          if c.open_elements = 0 then begin
+            Hashtbl.replace finished_captures c.cap_node (Buffer.contents c.buf);
+            false
+          end
+          else true)
+        !open_captures
+  in
+  let cap_text id content is_candidate =
+    List.iter
+      (fun c -> Buffer.add_string c.buf (Serializer.escape_text content))
+      !open_captures;
+    if capture && is_candidate then
+      Hashtbl.replace finished_captures id (Serializer.escape_text content)
+  in
+  let rec loop () =
+    match next () with
+    | None -> ()
+    | Some ev ->
+      (match ev with
+      | Pull.Start_element (name, attrs) ->
+        let id = fresh_id () in
+        if parent_alive () then begin
+          (match Engine.enter engine ~id ~kind:(Engine.El name) with
+          | Engine.Alive -> stack := Entered_alive :: !stack
+          | Engine.Dead ->
+            mark id Trace.Skipped_dead;
+            stack := Skipped :: !stack);
+          cap_start ~candidate:(Engine.entered_candidate engine) id name attrs
+        end
+        else begin
+          stats.Stats.nodes_skipped_dead <- stats.Stats.nodes_skipped_dead + 1;
+          mark id Trace.Skipped_dead;
+          stack := Skipped :: !stack;
+          if !open_captures <> [] then cap_start ~candidate:false (-1) name attrs
+        end
+      | Pull.End_element name ->
+        (match !stack with
+        | [] -> raise (Engine.Driver_error "unbalanced end event")
+        | level :: rest ->
+          (match level with
+          | Entered_alive -> Engine.leave engine
+          | Skipped -> ());
+          stack := rest);
+        cap_end name
+      | Pull.Text content ->
+        let id = fresh_id () in
+        if parent_alive () then begin
+          match Engine.enter engine ~id ~kind:(Engine.Tx content) with
+          | Engine.Alive ->
+            cap_text id content (Engine.entered_candidate engine);
+            Engine.leave engine
+          | Engine.Dead -> cap_text id content false
+        end
+        else begin
+          stats.Stats.nodes_skipped_dead <- stats.Stats.nodes_skipped_dead + 1;
+          mark id Trace.Skipped_dead;
+          cap_text id content false
+        end);
+      loop ()
+  in
+  loop ();
+  let answers = Engine.finish engine in
+  let captured =
+    if not capture then []
+    else
+      List.filter_map
+        (fun n ->
+          Option.map (fun s -> (n, s)) (Hashtbl.find_opt finished_captures n))
+        answers
+  in
+  {
+    answers;
+    captured;
+    stats;
+    cans_size = Cans.size (Engine.cans engine);
+    n_nodes = !next_id;
+  }
+
+let run ?capture ?trace mfa pull =
+  run_generic ?capture ?trace mfa (fun () -> Pull.next pull)
+
+let run_events ?capture ?trace mfa events =
+  let remaining = ref events in
+  run_generic ?capture ?trace mfa (fun () ->
+      match !remaining with
+      | [] -> None
+      | ev :: rest ->
+        remaining := rest;
+        Some ev)
+
+let eval_string ?capture ?trace path input =
+  let mfa = Smoqe_automata.Compile.compile path in
+  run ?capture ?trace mfa (Pull.of_string input)

@@ -1,0 +1,43 @@
+(** HyPE over a pull-event stream — SMOQE's StAX mode.
+
+    One sequential scan of the document, never materializing a tree: the
+    driver assigns pre-order ids on the fly and fast-forwards through
+    subtrees whose root matched no run (the engine is not consulted again
+    until the corresponding end event).  Answers are reported as pre-order
+    ids — identical to the ids a DOM parse of the same document would
+    assign.
+
+    With [~capture:true] the driver additionally buffers the markup of
+    every candidate subtree while scanning (still one pass) and returns the
+    serialized fragments of the final answers — the streaming counterpart
+    of the output visualizer's text mode.  Memory grows with the size of
+    the captured candidates only. *)
+
+type result = {
+  answers : int list;
+  captured : (int * string) list;
+      (** answer node id -> serialized fragment; [[]] unless capturing *)
+  stats : Stats.t;
+  cans_size : int;
+  n_nodes : int;  (** total nodes scanned (elements + text) *)
+}
+
+val run :
+  ?capture:bool ->
+  ?trace:Trace.t ->
+  Smoqe_automata.Mfa.t ->
+  Smoqe_xml.Pull.t ->
+  result
+
+val run_events :
+  ?capture:bool ->
+  ?trace:Trace.t ->
+  Smoqe_automata.Mfa.t ->
+  Smoqe_xml.Pull.event list ->
+  result
+(** Same, over an already-materialized event list (used by tests to compare
+    against the DOM mode). *)
+
+val eval_string :
+  ?capture:bool -> ?trace:Trace.t -> Smoqe_rxpath.Ast.path -> string -> result
+(** Parse-compile-and-run convenience over an XML string. *)

@@ -1,0 +1,39 @@
+type t = {
+  mutable nodes_entered : int;
+  mutable nodes_alive : int;
+  mutable nodes_skipped_dead : int;
+  mutable nodes_pruned_tax : int;
+  mutable candidates : int;
+  mutable answers : int;
+  mutable conds_created : int;
+  mutable quals_resolved : int;
+  mutable atom_instances : int;
+  mutable max_items : int;
+  mutable passes_over_data : int;
+}
+
+let create () =
+  {
+    nodes_entered = 0;
+    nodes_alive = 0;
+    nodes_skipped_dead = 0;
+    nodes_pruned_tax = 0;
+    candidates = 0;
+    answers = 0;
+    conds_created = 0;
+    quals_resolved = 0;
+    atom_instances = 0;
+    max_items = 0;
+    passes_over_data = 1;
+  }
+
+let total_skipped t = t.nodes_skipped_dead + t.nodes_pruned_tax
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<v>entered: %d (alive %d)@ skipped: %d dead, %d via TAX@ candidates: \
+     %d, answers: %d@ conditions: %d, qualifiers resolved: %d, atom runs: \
+     %d@ peak items/node: %d, passes over data: %d@]"
+    t.nodes_entered t.nodes_alive t.nodes_skipped_dead t.nodes_pruned_tax
+    t.candidates t.answers t.conds_created t.quals_resolved t.atom_instances
+    t.max_items t.passes_over_data

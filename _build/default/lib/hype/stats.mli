@@ -1,0 +1,26 @@
+(** Evaluation counters, backing experiments E1–E6 and the iSMOQE
+    "window into the engine". *)
+
+type t = {
+  mutable nodes_entered : int;
+      (** nodes the engine processed (alive or found dead on entry) *)
+  mutable nodes_alive : int;  (** nodes with at least one active run *)
+  mutable nodes_skipped_dead : int;
+      (** nodes never entered: inside subtrees with no active run *)
+  mutable nodes_pruned_tax : int;
+      (** nodes never entered thanks to TAX pruning *)
+  mutable candidates : int;  (** entries added to Cans *)
+  mutable answers : int;
+  mutable conds_created : int;  (** deferred qualifier assumptions *)
+  mutable quals_resolved : int;  (** qualifier instances settled *)
+  mutable atom_instances : int;  (** qualifier-atom runs instantiated *)
+  mutable max_items : int;  (** peak simultaneous run items on one node *)
+  mutable passes_over_data : int;  (** 1 for HyPE; baselines report more *)
+}
+
+val create : unit -> t
+
+val total_skipped : t -> int
+(** Dead-skipped plus TAX-pruned. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/rewrite/expr_rewriter.ml: Hashtbl List Option Smoqe_rxpath Smoqe_security Smoqe_xml

@@ -1,0 +1,1 @@
+lib/rewrite/expr_rewriter.mli: Smoqe_rxpath Smoqe_security

@@ -1,0 +1,1 @@
+lib/rewrite/rewriter.ml: Array Hashtbl List Smoqe_automata Smoqe_rxpath Smoqe_security Smoqe_xml

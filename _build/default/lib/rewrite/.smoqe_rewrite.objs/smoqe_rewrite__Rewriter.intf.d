@@ -1,0 +1,1 @@
+lib/rewrite/rewriter.mli: Smoqe_automata Smoqe_rxpath Smoqe_security

@@ -1,0 +1,217 @@
+module Ast = Smoqe_rxpath.Ast
+module Dtd = Smoqe_xml.Dtd
+module Derive = Smoqe_security.Derive
+
+exception Too_large of float
+
+type ptype =
+  | Elem_t of string
+  | Text_t
+
+(* Expressions paired with their expanded (tree) size.  Results share
+   subterms in memory, so sizes are threaded through construction instead
+   of recomputed — a naive traversal of the shared structure would itself
+   be exponential. *)
+type sized = {
+  expr : Ast.path;
+  size : float;
+}
+
+type sized_qual = {
+  q : Ast.qual;
+  q_size : float;
+}
+
+(* Entries: (exit type, expression) pairs for a rewritten subexpression.
+   Deliberately NOT merged per exit type: merging by type is precisely the
+   sharing that the MFA representation provides, and this module models the
+   paper's "direct representation as Regular XPath expressions". *)
+type entries = (ptype * sized) list
+
+type state = {
+  budget : float;
+  mutable fuel : int; (* bounds total rewriting work *)
+}
+
+let q_false = { q = Ast.Not Ast.True; q_size = 2. }
+
+let spend st =
+  st.fuel <- st.fuel - 1;
+  if st.fuel <= 0 then raise (Too_large st.budget)
+
+let guard st size = if size > st.budget then raise (Too_large size)
+
+let s_self = { expr = Ast.Self; size = 1. }
+
+let s_seq st a b =
+  match a.expr, b.expr with
+  | Ast.Self, _ -> b
+  | _, Ast.Self -> a
+  | _ ->
+    let size = a.size +. b.size +. 1. in
+    guard st size;
+    { expr = Ast.Seq (a.expr, b.expr); size }
+
+let s_union st a b =
+  if a.expr == b.expr then a
+  else begin
+    let size = a.size +. b.size +. 1. in
+    guard st size;
+    { expr = Ast.Union (a.expr, b.expr); size }
+  end
+
+let s_star st a =
+  match a.expr with
+  | Ast.Self -> s_self
+  | Ast.Star _ -> a
+  | _ ->
+    let size = a.size +. 1. in
+    guard st size;
+    { expr = Ast.Star a.expr; size }
+
+let s_filter st a { q; q_size } =
+  match q with
+  | Ast.True -> a
+  | _ ->
+    let size = a.size +. q_size +. 1. in
+    guard st size;
+    { expr = Ast.Filter (a.expr, q); size }
+
+let union_all = function
+  | [] -> None
+  | first :: rest ->
+    Some (fun st -> List.fold_left (fun acc e -> s_union st acc e) first rest)
+
+let rewrite_sized ?(max_size = 1e6) view query =
+  let view_dtd = Derive.view_dtd view in
+  let st = { budget = max_size; fuel = 2_000_000 } in
+  let ptypes =
+    List.map (fun t -> Elem_t t) (Derive.visible_types view) @ [ Text_t ]
+  in
+  (* sigma expressions are reused all over the output; size them once. *)
+  let sigma_cache = Hashtbl.create 32 in
+  let sigma parent child =
+    match Hashtbl.find_opt sigma_cache (parent, child) with
+    | Some s -> s
+    | None ->
+      let s =
+        match Derive.sigma view ~parent ~child with
+        | Some p -> { expr = p; size = float_of_int (Ast.size p) }
+        | None -> invalid_arg "Expr_rewriter: missing sigma"
+      in
+      Hashtbl.add sigma_cache (parent, child) s;
+      s
+  in
+  let rec rw p (at : ptype) : entries =
+    spend st;
+    match p with
+    | Ast.Self -> [ (at, s_self) ]
+    | Ast.Tag child ->
+      (match at with
+      | Text_t -> []
+      | Elem_t a ->
+        if List.mem child (Derive.exposed_children view a) then
+          [ (Elem_t child, sigma a child) ]
+        else [])
+    | Ast.Wildcard ->
+      (match at with
+      | Text_t -> []
+      | Elem_t a ->
+        List.map
+          (fun child -> (Elem_t child, sigma a child))
+          (Derive.exposed_children view a))
+    | Ast.Text ->
+      (match at with
+      | Text_t -> []
+      | Elem_t a ->
+        if Dtd.allows_text view_dtd a then
+          [ (Text_t, { expr = Ast.Text; size = 1. }) ]
+        else [])
+    | Ast.Seq (p1, p2) ->
+      List.concat_map
+        (fun (mid, e1) ->
+          List.map (fun (out, e2) -> (out, s_seq st e1 e2)) (rw p2 mid))
+        (rw p1 at)
+    | Ast.Union (p1, p2) -> rw p1 at @ rw p2 at
+    | Ast.Star body -> closure body at
+    | Ast.Filter (p1, q) ->
+      List.map (fun (out, e) -> (out, s_filter st e (rw_qual q out))) (rw p1 at)
+
+  (* Kleene closure of a type-changing step: Warshall-Kleene over the
+     matrix of one-step rewritings — state elimination multiplies
+     expression sizes, the other source of blow-up. *)
+  and closure body at : entries =
+    let matrix : (ptype * ptype, sized) Hashtbl.t = Hashtbl.create 32 in
+    let get i j = Hashtbl.find_opt matrix (i, j) in
+    let put i j e = Hashtbl.replace matrix (i, j) e in
+    List.iter
+      (fun i ->
+        List.iter
+          (fun (j, e) ->
+            match get i j with
+            | None -> put i j e
+            | Some existing -> put i j (s_union st existing e))
+          (rw body i))
+      ptypes;
+    List.iter
+      (fun k ->
+        let loop = match get k k with None -> s_self | Some e -> s_star st e in
+        List.iter
+          (fun i ->
+            match get i k with
+            | None -> ()
+            | Some ik ->
+              List.iter
+                (fun j ->
+                  match get k j with
+                  | None -> ()
+                  | Some kj ->
+                    spend st;
+                    let via = s_seq st ik (s_seq st loop kj) in
+                    (match get i j with
+                    | None -> put i j via
+                    | Some existing -> put i j (s_union st existing via)))
+                ptypes)
+          ptypes)
+      ptypes;
+    let reached =
+      List.filter_map (fun j -> Option.map (fun e -> (j, e)) (get at j)) ptypes
+    in
+    (at, s_self) :: reached
+
+  and rw_qual q (at : ptype) : sized_qual =
+    spend st;
+    match q with
+    | Ast.True -> { q = Ast.True; q_size = 1. }
+    | Ast.Exists p ->
+      (match union_all (List.map snd (rw p at)) with
+      | None -> q_false
+      | Some mk ->
+        let e = mk st in
+        { q = Ast.Exists e.expr; q_size = e.size +. 1. })
+    | Ast.Value_eq (p, c) ->
+      (match union_all (List.map snd (rw p at)) with
+      | None -> q_false
+      | Some mk ->
+        let e = mk st in
+        { q = Ast.Value_eq (e.expr, c); q_size = e.size +. 1. })
+    | Ast.Not q ->
+      let s = rw_qual q at in
+      { q = Ast.q_not s.q; q_size = s.q_size +. 1. }
+    | Ast.And (q1, q2) ->
+      let a = rw_qual q1 at and b = rw_qual q2 at in
+      { q = Ast.q_and a.q b.q; q_size = a.q_size +. b.q_size +. 1. }
+    | Ast.Or (q1, q2) ->
+      let a = rw_qual q1 at and b = rw_qual q2 at in
+      { q = Ast.q_or a.q b.q; q_size = a.q_size +. b.q_size +. 1. }
+  in
+  let root_type = Elem_t (Dtd.root view_dtd) in
+  match union_all (List.map snd (rw query root_type)) with
+  | Some mk ->
+    let e = mk st in
+    (e.expr, e.size)
+  | None ->
+    (* No view node is ever selected; any unsatisfiable expression works. *)
+    (Ast.filter Ast.Self q_false.q, 3.)
+
+let rewrite ?max_size view query = fst (rewrite_sized ?max_size view query)

@@ -1,0 +1,38 @@
+(** Expression-level view rewriting — the approach SMOQE {e avoids}.
+
+    Rewriting a view query into a plain Regular XPath expression requires
+    tracking, for every subexpression, the set of view types it can end at,
+    and composing per-type continuations; unions multiply through
+    compositions and Kleene closures, so the output can be exponential in
+    the query size (paper §3, Rewriter: "the size of Q', if directly
+    represented as Regular XPath expressions, may be exponential").
+
+    This module implements that direct rewriting faithfully so experiment
+    E5 can measure the blow-up against the linear MFA of {!Rewriter}.  It
+    is also a second correctness oracle: the produced expression, evaluated
+    with the reference semantics, must agree with the MFA.
+
+    The result value shares subterms internally (it is a DAG in memory),
+    so sizes are accounted as the {e expanded} tree size — what writing the
+    expression out would cost — and tracked incrementally: walking the
+    result with a naive size function may itself take exponential time. *)
+
+exception Too_large of float
+(** Raised when the expanded size exceeds the budget; carries the size
+    reached. *)
+
+val rewrite :
+  ?max_size:float ->
+  Smoqe_security.Derive.view ->
+  Smoqe_rxpath.Ast.path ->
+  Smoqe_rxpath.Ast.path
+(** Document-level expression equivalent to the view query.
+    [max_size] (default [1e6]) bounds the expanded size of every
+    intermediate expression. *)
+
+val rewrite_sized :
+  ?max_size:float ->
+  Smoqe_security.Derive.view ->
+  Smoqe_rxpath.Ast.path ->
+  Smoqe_rxpath.Ast.path * float
+(** Also return the expanded tree size of the result. *)

@@ -1,0 +1,112 @@
+module Ast = Smoqe_rxpath.Ast
+module Nfa = Smoqe_automata.Nfa
+module Afa = Smoqe_automata.Afa
+module Mfa = Smoqe_automata.Mfa
+module Compile = Smoqe_automata.Compile
+module Dtd = Smoqe_xml.Dtd
+module Derive = Smoqe_security.Derive
+
+(* Product context: the view element type a run is currently at, or a view
+   text node. *)
+type ptype =
+  | Elem_t of string
+  | Text_t
+
+let rewrite view query =
+  let vm = Compile.compile query in
+  let vnfa = vm.Mfa.nfa in
+  let b = Mfa.create_builder () in
+  let view_dtd = Derive.view_dtd view in
+  let types = Derive.visible_types view in
+  let ptypes = List.map (fun t -> Elem_t t) types @ [ Text_t ] in
+  (* Product states, built eagerly: (view state, context type). *)
+  let state_tbl : (int * ptype, int) Hashtbl.t = Hashtbl.create 256 in
+  for s = 0 to vnfa.Nfa.n_states - 1 do
+    List.iter
+      (fun pt -> Hashtbl.replace state_tbl (s, pt) (Mfa.fresh_state b))
+      ptypes
+  done;
+  let pstate s pt = Hashtbl.find state_tbl (s, pt) in
+  (* Product atoms: one per (view atom, context type). *)
+  let atom_tbl : (int * ptype, int) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun aid (atom : Afa.atom) ->
+      List.iter
+        (fun pt ->
+          let id =
+            Mfa.add_atom b ~start:(pstate atom.Afa.start pt)
+              ~value:atom.Afa.value
+          in
+          Hashtbl.replace atom_tbl (aid, pt) id)
+        ptypes)
+    vm.Mfa.atoms;
+  let patom aid pt = Hashtbl.find atom_tbl (aid, pt) in
+  (* Product qualifiers, in ascending view-qualifier order so that the
+     nested-before-enclosing id invariant HyPE relies on is preserved. *)
+  let qual_tbl : (int * ptype, int) Hashtbl.t = Hashtbl.create 64 in
+  let rec map_formula pt = function
+    | Afa.F_true -> Afa.F_true
+    | Afa.F_atom aid -> Afa.F_atom (patom aid pt)
+    | Afa.F_not f -> Afa.F_not (map_formula pt f)
+    | Afa.F_and (f, g) -> Afa.F_and (map_formula pt f, map_formula pt g)
+    | Afa.F_or (f, g) -> Afa.F_or (map_formula pt f, map_formula pt g)
+  in
+  Array.iteri
+    (fun qid formula ->
+      List.iter
+        (fun pt ->
+          let id = Mfa.add_qual b (map_formula pt formula) in
+          Hashtbl.replace qual_tbl (qid, pt) id)
+        ptypes)
+    vm.Mfa.quals;
+  let pqual qid pt = Hashtbl.find qual_tbl (qid, pt) in
+  (* Decorations and transitions. *)
+  let exposed parent = Derive.exposed_children view parent in
+  let sigma parent child =
+    match Derive.sigma view ~parent ~child with
+    | Some p -> p
+    | None -> invalid_arg "Rewriter: missing sigma for an exposed child"
+  in
+  for s = 0 to vnfa.Nfa.n_states - 1 do
+    List.iter
+      (fun pt ->
+        let here = pstate s pt in
+        List.iter
+          (fun accept ->
+            match accept with
+            | Nfa.Select -> Mfa.add_select b here
+            | Nfa.Atom_accept aid ->
+              (* The accepting run's origin context type is not known
+                 statically; mark for every instance — the engine matches
+                 accepts against each run's own atom id. *)
+              List.iter
+                (fun origin_pt ->
+                  Mfa.add_accept_atom b here (patom aid origin_pt))
+                ptypes)
+          vnfa.Nfa.accepts.(s);
+        List.iter (fun q -> Mfa.add_check b here (pqual q pt)) vnfa.Nfa.checks.(s);
+        List.iter (fun s' -> Mfa.add_eps b here (pstate s' pt)) vnfa.Nfa.eps.(s);
+        List.iter
+          (fun (test, s') ->
+            match pt with
+            | Text_t -> () (* text nodes have no children *)
+            | Elem_t a ->
+              (match test with
+              | Nfa.Element child ->
+                if List.mem child (exposed a) then
+                  Compile.build_path b (sigma a child) ~entry:here
+                    ~exit:(pstate s' (Elem_t child))
+              | Nfa.Any_element ->
+                List.iter
+                  (fun child ->
+                    Compile.build_path b (sigma a child) ~entry:here
+                      ~exit:(pstate s' (Elem_t child)))
+                  (exposed a)
+              | Nfa.Text_node ->
+                if Dtd.allows_text view_dtd a then
+                  Mfa.add_edge b here Nfa.Text_node (pstate s' Text_t)))
+          vnfa.Nfa.delta.(s))
+      ptypes
+  done;
+  let root_type = Dtd.root view_dtd in
+  Mfa.freeze b ~start:(pstate vm.Mfa.start (Elem_t root_type))

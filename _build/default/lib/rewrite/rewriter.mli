@@ -1,0 +1,20 @@
+(** Query rewriting over virtual views, in MFA form (paper §3, Rewriter).
+
+    Given a security view [V] and a user query [Q] over the view schema,
+    [rewrite V Q] builds an MFA [M] over the {e document} such that running
+    [M] on any document [T] yields exactly [Q(V(T))] — without ever
+    materializing [V].
+
+    Construction: the query is compiled to an MFA over the view alphabet;
+    its states are then paired with view element types, and every view
+    transition on a type [B] in context [A] is replaced by a spliced-in
+    copy of the extraction automaton of [sigma(A, B)].  Qualifiers and
+    their atoms are instantiated per context type.  The result is linear in
+    the size of [Q] (for a fixed view) — the property experiment E5
+    contrasts with the exponential expression-level rewriting of
+    {!Expr_rewriter}. *)
+
+val rewrite : Smoqe_security.Derive.view -> Smoqe_rxpath.Ast.path ->
+  Smoqe_automata.Mfa.t
+(** The returned MFA is evaluated with the ordinary HyPE engine; its
+    answers are document node ids (each the image of a view answer). *)

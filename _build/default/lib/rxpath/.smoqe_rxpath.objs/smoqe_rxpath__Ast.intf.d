@@ -1,0 +1,1 @@
+lib/rxpath/ast.mli:

@@ -1,0 +1,1 @@
+lib/rxpath/parser.ml: Array Ast List Printf Result String

@@ -1,0 +1,1 @@
+lib/rxpath/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/rxpath/pretty.ml: Ast Fmt Printf String

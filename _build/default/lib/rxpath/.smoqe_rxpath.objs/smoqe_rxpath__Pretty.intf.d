@@ -1,0 +1,1 @@
+lib/rxpath/pretty.mli: Ast Format

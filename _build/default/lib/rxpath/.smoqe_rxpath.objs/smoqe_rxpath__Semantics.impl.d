@@ -1,0 +1,1 @@
+lib/rxpath/semantics.ml: Ast Hashtbl Int Set Smoqe_xml String

@@ -1,0 +1,1 @@
+lib/rxpath/semantics.mli: Ast Set Smoqe_xml

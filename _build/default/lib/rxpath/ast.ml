@@ -1,0 +1,103 @@
+type path =
+  | Self
+  | Tag of string
+  | Wildcard
+  | Text
+  | Seq of path * path
+  | Union of path * path
+  | Star of path
+  | Filter of path * qual
+
+and qual =
+  | True
+  | Exists of path
+  | Value_eq of path * string
+  | Not of qual
+  | And of qual * qual
+  | Or of qual * qual
+
+(* [seq] and [union] normalize to right-nested form, so that syntactically
+   different parses of the same expression compare equal. *)
+let rec seq a b =
+  match a, b with
+  | Self, p | p, Self -> p
+  | Seq (x, y), _ -> seq x (seq y b)
+  | _ -> Seq (a, b)
+
+let union a b =
+  let rec branches acc = function
+    | Union (x, y) -> branches (branches acc x) y
+    | p -> if List.mem p acc then acc else acc @ [ p ]
+  in
+  let rec rebuild = function
+    | [] -> invalid_arg "Ast.union"
+    | [ p ] -> p
+    | p :: rest -> Union (p, rebuild rest)
+  in
+  rebuild (branches (branches [] a) b)
+
+let star p =
+  match p with
+  | Star _ as s -> s
+  | Self -> Self
+  | _ -> Star p
+
+let filter p q = match q with True -> p | _ -> Filter (p, q)
+
+let descendant_or_self = Star Wildcard
+
+let plus p = seq p (star p)
+
+let opt p = match p with Self -> Self | _ -> Union (Self, p)
+
+let rec q_and a b =
+  match a, b with
+  | True, q | q, True -> q
+  | And (x, y), _ -> q_and x (q_and y b)
+  | _ -> And (a, b)
+
+let q_or a b =
+  let rec branches acc = function
+    | Or (x, y) -> branches (branches acc x) y
+    | q -> if List.mem q acc then acc else acc @ [ q ]
+  in
+  let rec rebuild = function
+    | [] -> invalid_arg "Ast.q_or"
+    | [ q ] -> q
+    | q :: rest -> Or (q, rebuild rest)
+  in
+  rebuild (branches (branches [] a) b)
+
+let q_not = function Not q -> q | q -> Not q
+
+let rec size = function
+  | Self | Tag _ | Wildcard | Text -> 1
+  | Seq (a, b) | Union (a, b) -> 1 + size a + size b
+  | Star p -> 1 + size p
+  | Filter (p, q) -> 1 + size p + qual_size q
+
+and qual_size = function
+  | True -> 1
+  | Exists p -> 1 + size p
+  | Value_eq (p, _) -> 1 + size p
+  | Not q -> 1 + qual_size q
+  | And (a, b) | Or (a, b) -> 1 + qual_size a + qual_size b
+
+let equal (a : path) (b : path) = a = b
+let compare (a : path) (b : path) = Stdlib.compare a b
+
+let tags p =
+  let add acc s = if List.mem s acc then acc else acc @ [ s ] in
+  let rec go_p acc = function
+    | Self | Wildcard | Text -> acc
+    | Tag s -> add acc s
+    | Seq (a, b) | Union (a, b) -> go_p (go_p acc a) b
+    | Star p -> go_p acc p
+    | Filter (p, q) -> go_q (go_p acc p) q
+  and go_q acc = function
+    | True -> acc
+    | Exists p | Value_eq (p, _) -> go_p acc p
+    | Not q -> go_q acc q
+    | And (a, b) | Or (a, b) -> go_q (go_q acc a) b
+  in
+  go_p [] p

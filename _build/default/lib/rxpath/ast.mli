@@ -1,0 +1,74 @@
+(** Regular XPath abstract syntax.
+
+    Regular XPath [Marx, EDBT'04] is XPath's child-axis fragment extended
+    with general Kleene closure [(p)*] — the mild extension under which
+    rewriting over recursively defined views is closed (paper, §1).  A path
+    denotes a binary relation over document nodes; a query's answer is the
+    image of the root.
+
+    The descendant-or-self axis [//] is surface syntax: the parser expands
+    [p//q] into the composition of [p], the wildcard closure, and [q]. *)
+
+type path =
+  | Self  (** [.] — the identity relation (ε). *)
+  | Tag of string  (** a child element with this tag *)
+  | Wildcard  (** [*] — any child element *)
+  | Text  (** [text()] — a child text node *)
+  | Seq of path * path  (** [p/q] — composition *)
+  | Union of path * path  (** [p | q] *)
+  | Star of path  (** [(p)*] — reflexive-transitive closure *)
+  | Filter of path * qual  (** [p\[q\]] — restrict the targets *)
+
+and qual =
+  | True
+  | Exists of path  (** [\[p\]] — some node is reachable via [p] *)
+  | Value_eq of path * string
+      (** [\[p = 'c'\]] — some node reachable via [p] has value [c] (a text
+          node's content, or the concatenation of an element's immediate
+          text children).  [text() = 'c'] is [Value_eq (Text, c)]. *)
+  | Not of qual
+  | And of qual * qual
+  | Or of qual * qual
+
+val seq : path -> path -> path
+(** Composition, normalized: units eliminated ([seq Self p = p]) and
+    nesting reassociated to the right, so different parses of one
+    expression compare equal. *)
+
+val union : path -> path -> path
+(** Union, right-nested, with adjacent duplicates collapsed. *)
+
+val q_and : qual -> qual -> qual
+(** Conjunction, right-nested, with [True] units eliminated. *)
+
+val q_or : qual -> qual -> qual
+
+val q_not : qual -> qual
+(** Negation with double-negation elimination. *)
+
+val star : path -> path
+(** Closure with idempotence: [star (star p) = star p]. *)
+
+val filter : path -> qual -> path
+(** Filtering with [True] elimination. *)
+
+val descendant_or_self : path
+(** The closure of the wildcard step — what [//] expands to. *)
+
+val plus : path -> path
+(** [(p)+ = p/(p)*]. *)
+
+val opt : path -> path
+(** [(p)? = . | p]. *)
+
+val size : path -> int
+(** Number of AST constructors, qualifiers included — the size measure of
+    the rewriting experiment (paper §3, Rewriter). *)
+
+val qual_size : qual -> int
+
+val equal : path -> path -> bool
+val compare : path -> path -> int
+
+val tags : path -> string list
+(** All tags mentioned, in first-occurrence order. *)

@@ -1,0 +1,275 @@
+exception Error of int * string
+
+type token =
+  | NAME of string
+  | STRING of string
+  | DOT
+  | STAR
+  | SLASH
+  | DSLASH
+  | LPAREN
+  | RPAREN
+  | LBRACK
+  | RBRACK
+  | PIPE
+  | EQ
+  | PLUS
+  | QMARK
+  | AND
+  | OR
+  | NOT
+  | TEXT_FN
+  | TRUE_FN
+  | EOF
+
+(* --- Lexer ------------------------------------------------------------ *)
+
+let is_ws = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.' || c = ':'
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let emit off tok = toks := (off, tok) :: !toks in
+  let i = ref 0 in
+  while !i < n do
+    let off = !i in
+    let c = src.[off] in
+    if is_ws c then incr i
+    else if c = '/' then
+      if off + 1 < n && src.[off + 1] = '/' then begin
+        emit off DSLASH;
+        i := off + 2
+      end
+      else begin
+        emit off SLASH;
+        incr i
+      end
+    else if c = '(' then (emit off LPAREN; incr i)
+    else if c = ')' then (emit off RPAREN; incr i)
+    else if c = '[' then (emit off LBRACK; incr i)
+    else if c = ']' then (emit off RBRACK; incr i)
+    else if c = '|' then (emit off PIPE; incr i)
+    else if c = '=' then (emit off EQ; incr i)
+    else if c = '*' then (emit off STAR; incr i)
+    else if c = '+' then (emit off PLUS; incr i)
+    else if c = '?' then (emit off QMARK; incr i)
+    else if c = '.' then (emit off DOT; incr i)
+    else if c = '\'' || c = '"' then begin
+      let quote = c in
+      let j = ref (off + 1) in
+      while !j < n && src.[!j] <> quote do
+        incr j
+      done;
+      if !j >= n then raise (Error (off, "unterminated string literal"));
+      emit off (STRING (String.sub src (off + 1) (!j - off - 1)));
+      i := !j + 1
+    end
+    else if is_name_start c then begin
+      let j = ref off in
+      while !j < n && is_name_char src.[!j] do
+        incr j
+      done;
+      let name = String.sub src off (!j - off) in
+      i := !j;
+      (* Function-call forms: text(), true(). *)
+      let followed_by_parens () =
+        let k = ref !i in
+        while !k < n && is_ws src.[!k] do
+          incr k
+        done;
+        if !k < n && src.[!k] = '(' then begin
+          let k2 = ref (!k + 1) in
+          while !k2 < n && is_ws src.[!k2] do
+            incr k2
+          done;
+          if !k2 < n && src.[!k2] = ')' then begin
+            i := !k2 + 1;
+            true
+          end
+          else false
+        end
+        else false
+      in
+      match name with
+      | "and" -> emit off AND
+      | "or" -> emit off OR
+      | "not" -> emit off NOT
+      | "text" when followed_by_parens () -> emit off TEXT_FN
+      | "true" when followed_by_parens () -> emit off TRUE_FN
+      | _ -> emit off (NAME name)
+    end
+    else raise (Error (off, Printf.sprintf "unexpected character %C" c))
+  done;
+  emit n EOF;
+  Array.of_list (List.rev !toks)
+
+(* --- Parser ----------------------------------------------------------- *)
+
+type state = { toks : (int * token) array; mutable pos : int }
+
+let peek st = snd st.toks.(st.pos)
+let offset st = fst st.toks.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let err st msg = raise (Error (offset st, msg))
+
+let expect st tok msg =
+  if peek st = tok then advance st else err st msg
+
+let rec parse_path st =
+  let first = parse_seq st in
+  let rec loop acc =
+    match peek st with
+    | PIPE ->
+      advance st;
+      loop (Ast.union acc (parse_seq st))
+    | _ -> acc
+  in
+  loop first
+
+and parse_seq st =
+  (* Optional leading axis: '/' is a no-op (root-relative queries), '//'
+     prefixes the descendant closure. *)
+  let first =
+    match peek st with
+    | SLASH ->
+      advance st;
+      parse_step st
+    | DSLASH ->
+      advance st;
+      Ast.seq Ast.descendant_or_self (parse_step st)
+    | _ -> parse_step st
+  in
+  let rec loop acc =
+    match peek st with
+    | SLASH ->
+      advance st;
+      loop (Ast.seq acc (parse_step st))
+    | DSLASH ->
+      advance st;
+      loop (Ast.seq acc (Ast.seq Ast.descendant_or_self (parse_step st)))
+    | _ -> acc
+  in
+  loop first
+
+and parse_step st =
+  let primary, grouped =
+    match peek st with
+    | NAME s -> advance st; (Ast.Tag s, false)
+    | STAR -> advance st; (Ast.Wildcard, false)
+    | DOT -> advance st; (Ast.Self, false)
+    | TEXT_FN -> advance st; (Ast.Text, false)
+    | LPAREN ->
+      advance st;
+      let p = parse_path st in
+      expect st RPAREN "expected ')'";
+      (p, true)
+    | _ -> err st "expected a step"
+  in
+  parse_postfix st primary grouped
+
+and parse_postfix st p grouped =
+  match peek st with
+  | STAR when grouped ->
+    advance st;
+    parse_postfix st (Ast.star p) true
+  | PLUS when grouped ->
+    advance st;
+    parse_postfix st (Ast.plus p) true
+  | QMARK when grouped ->
+    advance st;
+    parse_postfix st (Ast.opt p) true
+  | LBRACK ->
+    advance st;
+    let q = parse_qual st in
+    expect st RBRACK "expected ']'";
+    parse_postfix st (Ast.filter p q) true
+  | _ -> p
+
+and parse_qual st =
+  let first = parse_and_qual st in
+  let rec loop acc =
+    match peek st with
+    | OR ->
+      advance st;
+      loop (Ast.q_or acc (parse_and_qual st))
+    | _ -> acc
+  in
+  loop first
+
+and parse_and_qual st =
+  let first = parse_not_qual st in
+  let rec loop acc =
+    match peek st with
+    | AND ->
+      advance st;
+      loop (Ast.q_and acc (parse_not_qual st))
+    | _ -> acc
+  in
+  loop first
+
+and parse_not_qual st =
+  match peek st with
+  | NOT ->
+    advance st;
+    expect st LPAREN "expected '(' after not";
+    let q = parse_qual st in
+    expect st RPAREN "expected ')'";
+    Ast.q_not q
+  | TRUE_FN ->
+    advance st;
+    Ast.True
+  | LPAREN ->
+    (* Ambiguous: '(path)...' continuing as a path atom, or '(qual)'.
+       Try the path reading first; fall back to a parenthesized qual. *)
+    let save = st.pos in
+    (try parse_atom st
+     with Error _ ->
+       st.pos <- save;
+       advance st;
+       let q = parse_qual st in
+       expect st RPAREN "expected ')'";
+       q)
+  | _ -> parse_atom st
+
+and parse_atom st =
+  let p = parse_path st in
+  match peek st with
+  | EQ ->
+    advance st;
+    (match peek st with
+    | STRING s ->
+      advance st;
+      Ast.Value_eq (p, s)
+    | _ -> err st "expected a string literal after '='")
+  | _ -> Ast.Exists p
+
+let finish st v =
+  match peek st with
+  | EOF -> v
+  | _ -> err st "trailing input"
+
+let path_of_string_exn src =
+  let st = { toks = tokenize src; pos = 0 } in
+  finish st (parse_path st)
+
+let wrap f src =
+  match f src with
+  | v -> Ok v
+  | exception Error (off, msg) ->
+    Result.Error (Printf.sprintf "at offset %d: %s" off msg)
+
+let path_of_string src = wrap path_of_string_exn src
+
+let qual_of_string src =
+  wrap
+    (fun src ->
+      let st = { toks = tokenize src; pos = 0 } in
+      finish st (parse_qual st))
+    src

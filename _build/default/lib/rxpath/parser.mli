@@ -1,0 +1,31 @@
+(** Parser for Regular XPath concrete syntax.
+
+    Grammar (postfix [*], [+], [?] apply to parenthesized groups and
+    bracketed filters, matching the paper's notation [(parent/patient)*]):
+
+    {v
+    path  ::= seq ('|' seq)*
+    seq   ::= ('/' | '//')? step (('/' | '//') step)*
+    step  ::= primary ('*' | '+' | '?' | '[' qual ']')*
+    primary ::= NAME | '*' | '.' | 'text()' | '(' path ')'
+    qual  ::= aq ('or' aq)*
+    aq    ::= nq ('and' nq)*
+    nq    ::= 'not' '(' qual ')' | 'true()' | '(' qual ')' | atom
+    atom  ::= path ('=' STRING)?
+    v}
+
+    [p//q] expands to [p/D/q] where [D] is the closure of the wildcard
+    step; a leading [/] is ignored (queries are root-relative); a leading
+    [//] prefixes that closure.  String literals use
+    single or double quotes without escapes.  [and], [or] and [not] are
+    reserved words and cannot be used as element names. *)
+
+exception Error of int * string
+(** [Error (offset, message)] — byte offset into the input. *)
+
+val path_of_string : string -> (Ast.path, string) result
+
+val path_of_string_exn : string -> Ast.path
+(** Raises {!Error}. *)
+
+val qual_of_string : string -> (Ast.qual, string) result

@@ -1,0 +1,1 @@
+lib/security/derive.ml: Array Fmt Hashtbl List Option Policy Printf Smoqe_rxpath Smoqe_xml

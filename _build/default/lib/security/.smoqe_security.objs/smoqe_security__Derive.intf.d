@@ -1,0 +1,1 @@
+lib/security/derive.mli: Format Policy Smoqe_rxpath Smoqe_xml

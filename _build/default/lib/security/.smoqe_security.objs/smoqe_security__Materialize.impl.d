@@ -1,0 +1,1 @@
+lib/security/materialize.ml: Array Derive List Smoqe_rxpath Smoqe_xml

@@ -1,0 +1,1 @@
+lib/security/materialize.mli: Derive Smoqe_rxpath Smoqe_xml

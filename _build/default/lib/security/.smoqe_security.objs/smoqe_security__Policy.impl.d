@@ -1,0 +1,1 @@
+lib/security/policy.ml: Fmt Hashtbl List Printf Smoqe_rxpath Smoqe_xml String

@@ -1,0 +1,1 @@
+lib/security/policy.mli: Format Smoqe_rxpath Smoqe_xml

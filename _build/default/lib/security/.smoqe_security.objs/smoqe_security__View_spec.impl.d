@@ -1,0 +1,1 @@
+lib/security/view_spec.ml: Derive Fmt Hashtbl List Printf Result Set Smoqe_rxpath Smoqe_xml String

@@ -1,0 +1,1 @@
+lib/security/view_spec.mli: Derive Smoqe_rxpath Smoqe_xml

@@ -1,0 +1,364 @@
+module Dtd = Smoqe_xml.Dtd
+module Ast = Smoqe_rxpath.Ast
+
+exception Unsupported of string
+
+type view = {
+  policy : Policy.t option;
+  visible : string list;
+  sigma_tbl : (string * string, Ast.path) Hashtbl.t;
+  exposed_tbl : (string, string list) Hashtbl.t;
+  view_dtd : Dtd.t;
+  approximated : string list;
+}
+
+(* Effective status of a DTD edge under the policy. *)
+type status =
+  | Visible of Ast.qual option (* Y or [q]; unannotated under a visible parent *)
+  | Hidden (* N, or unannotated inside a hidden region *)
+
+(* Status when the parent type occurs as a visible node. *)
+let status_from_visible policy ~parent ~child =
+  match Policy.annotation policy ~parent ~child with
+  | Some Policy.Allow | None -> Visible None
+  | Some (Policy.Cond q) -> Visible (Some q)
+  | Some Policy.Deny -> Hidden
+
+(* Status when the parent type occurs as a hidden node: unannotated edges
+   inherit the hiddenness. *)
+let status_from_hidden policy ~parent ~child =
+  match Policy.annotation policy ~parent ~child with
+  | Some Policy.Allow -> Visible None
+  | Some (Policy.Cond q) -> Visible (Some q)
+  | Some Policy.Deny | None -> Hidden
+
+let exit_step child = function
+  | None -> Ast.Tag child
+  | Some q -> Ast.filter (Ast.Tag child) q
+
+(* All hidden-to-hidden paths of length >= 1, by Warshall-Kleene state
+   elimination over the hidden-continuing edge graph.  Entry [i][j] is
+   [None] when no such path exists. *)
+let hidden_paths policy types index =
+  let dtd = Policy.dtd policy in
+  let n = Array.length types in
+  let h = Array.make_matrix n n None in
+  Array.iteri
+    (fun i parent ->
+      List.iter
+        (fun child ->
+          match status_from_hidden policy ~parent ~child with
+          | Hidden ->
+            let j = index child in
+            let step = Ast.Tag child in
+            h.(i).(j) <-
+              (match h.(i).(j) with
+              | None -> Some step
+              | Some p -> Some (Ast.union p step))
+          | Visible _ -> ())
+        (Dtd.child_types dtd parent))
+    types;
+  for k = 0 to n - 1 do
+    let loop = match h.(k).(k) with None -> Ast.Self | Some p -> Ast.star p in
+    for i = 0 to n - 1 do
+      match h.(i).(k) with
+      | None -> ()
+      | Some ik ->
+        for j = 0 to n - 1 do
+          match h.(k).(j) with
+          | None -> ()
+          | Some kj ->
+            let via = Ast.seq ik (Ast.seq loop kj) in
+            h.(i).(j) <-
+              (match h.(i).(j) with
+              | None -> Some via
+              | Some p -> Some (Ast.union p via))
+        done
+    done
+  done;
+  h
+
+(* sigma(A, B) for a visible A: direct visible edges plus routes through
+   hidden regions. *)
+let sigma_of policy types index h ~parent ~child =
+  let dtd = Policy.dtd policy in
+  let alternatives = ref [] in
+  let add p = alternatives := p :: !alternatives in
+  List.iter
+    (fun c ->
+      if c = child then
+        match status_from_visible policy ~parent ~child:c with
+        | Visible q -> add (exit_step c q)
+        | Hidden -> ())
+    (Dtd.child_types dtd parent);
+  (* Routed: parent --N--> X --hidden*--> X' --Y/[q]--> child. *)
+  List.iter
+    (fun x ->
+      match status_from_visible policy ~parent ~child:x with
+      | Visible _ -> ()
+      | Hidden ->
+        let ix = index x in
+        Array.iteri
+          (fun ix' x' ->
+            let hidden_route =
+              if ix = ix' then
+                (* stay at X (empty route), or cycle back to it *)
+                match h.(ix).(ix) with
+                | None -> Some Ast.Self
+                | Some cycle -> Some (Ast.union Ast.Self cycle)
+              else h.(ix).(ix')
+            in
+            match hidden_route with
+            | None -> ()
+            | Some route ->
+              List.iter
+                (fun c ->
+                  if c = child then
+                    match status_from_hidden policy ~parent:x' ~child:c with
+                    | Visible q ->
+                      add (Ast.seq (Ast.Tag x) (Ast.seq route (exit_step c q)))
+                    | Hidden -> ())
+                (Dtd.child_types dtd x'))
+          types)
+    (Dtd.child_types dtd parent);
+  (* Also allow routes that loop back through X itself: covered, since
+     h.(ix).(ix) holds cycles and the ix = ix' case adds the direct exit. *)
+  match !alternatives with
+  | [] -> None
+  | first :: rest -> Some (List.fold_left Ast.union first rest)
+
+(* --- View DTD content models ------------------------------------------- *)
+
+exception Cycle
+
+(* Rewrite a visible type's content model, inlining hidden children.
+   [seen] guards against hidden cycles (which make the precise content
+   model non-regular in general): we bail out to the star approximation. *)
+let rec inline_regex policy ~from_hidden parent seen r =
+  let status child =
+    if from_hidden then status_from_hidden policy ~parent ~child
+    else status_from_visible policy ~parent ~child
+  in
+  match r with
+  | Dtd.Eps -> Dtd.Eps
+  | Dtd.Pcdata -> if from_hidden then Dtd.Eps else Dtd.Pcdata
+  | Dtd.Name child ->
+    (match status child with
+    | Visible _ -> Dtd.Name child
+    | Hidden -> inline_type policy child seen)
+  | Dtd.Seq (a, b) ->
+    seq_regex
+      (inline_regex policy ~from_hidden parent seen a)
+      (inline_regex policy ~from_hidden parent seen b)
+  | Dtd.Alt (a, b) ->
+    alt_regex
+      (inline_regex policy ~from_hidden parent seen a)
+      (inline_regex policy ~from_hidden parent seen b)
+  | Dtd.Star r -> star_regex (inline_regex policy ~from_hidden parent seen r)
+  | Dtd.Plus r ->
+    let r' = inline_regex policy ~from_hidden parent seen r in
+    seq_regex r' (star_regex r')
+  | Dtd.Opt r -> Dtd.Opt (inline_regex policy ~from_hidden parent seen r)
+
+and seq_regex a b =
+  match a, b with Dtd.Eps, r | r, Dtd.Eps -> r | _ -> Dtd.Seq (a, b)
+
+(* A vanished (all-hidden) alternative turns the other into an option —
+   [Eps] is not expressible in DTD alternation syntax. *)
+and alt_regex a b =
+  match a, b with
+  | Dtd.Eps, Dtd.Eps -> Dtd.Eps
+  | Dtd.Eps, (Dtd.Opt _ as r) | (Dtd.Opt _ as r), Dtd.Eps -> r
+  | Dtd.Eps, (Dtd.Star _ as r) | (Dtd.Star _ as r), Dtd.Eps -> r
+  | Dtd.Eps, r | r, Dtd.Eps -> Dtd.Opt r
+  | _ -> Dtd.Alt (a, b)
+
+and star_regex = function
+  | Dtd.Eps -> Dtd.Eps
+  | Dtd.Star _ as s -> s
+  | r -> Dtd.Star r
+
+(* The content a hidden type contributes to its nearest visible ancestor. *)
+and inline_type policy name seen =
+  if List.mem name seen then raise Cycle;
+  let seen = name :: seen in
+  match Dtd.content (Policy.dtd policy) name with
+  | None -> Dtd.Eps
+  | Some Dtd.Empty -> Dtd.Eps
+  | Some Dtd.Any ->
+    raise (Unsupported (Printf.sprintf "ANY content on hidden type %s" name))
+  | Some (Dtd.Mixed names) ->
+    (* Hidden text is dropped; surviving children may repeat in any order. *)
+    let parts =
+      List.filter_map
+        (fun child ->
+          match status_from_hidden policy ~parent:name ~child with
+          | Visible _ -> Some (Dtd.Name child)
+          | Hidden ->
+            (match inline_type policy child seen with
+            | Dtd.Eps -> None
+            | r -> Some r))
+        names
+    in
+    (match parts with
+    | [] -> Dtd.Eps
+    | first :: rest ->
+      star_regex (List.fold_left (fun a b -> Dtd.Alt (a, b)) first rest))
+  | Some (Dtd.Children r) -> inline_regex policy ~from_hidden:true name seen r
+
+let view_content policy name ~exposed =
+  let star_fallback () =
+    match exposed with
+    | [] -> Dtd.Empty
+    | names ->
+      Dtd.Children
+        (Dtd.Star
+           (List.fold_left
+              (fun acc n -> Dtd.Alt (acc, Dtd.Name n))
+              (Dtd.Name (List.hd names))
+              (List.tl names)))
+  in
+  match Dtd.content (Policy.dtd policy) name with
+  | None -> (Dtd.Empty, false)
+  | Some Dtd.Empty -> (Dtd.Empty, false)
+  | Some Dtd.Any ->
+    raise (Unsupported (Printf.sprintf "ANY content on visible type %s" name))
+  | Some (Dtd.Mixed names) ->
+    let hidden_expansion = ref false in
+    let keep =
+      List.filter
+        (fun child ->
+          match status_from_visible policy ~parent:name ~child with
+          | Visible _ -> true
+          | Hidden ->
+            (* a hidden child that exposes something forces the fallback *)
+            (match inline_type policy child [ name ] with
+            | Dtd.Eps -> false
+            | _ ->
+              hidden_expansion := true;
+              false
+            | exception Cycle ->
+              hidden_expansion := true;
+              false))
+        names
+    in
+    if !hidden_expansion then
+      (* text plus arbitrary interleaving of the exposed types *)
+      (Dtd.Mixed exposed, true)
+    else (Dtd.Mixed keep, false)
+  | Some (Dtd.Children r) ->
+    (match inline_regex policy ~from_hidden:false name [] r with
+    | Dtd.Eps -> (Dtd.Empty, false)
+    | r' -> (Dtd.Children r', false)
+    | exception Cycle -> (star_fallback (), true))
+
+(* --- Putting it together ------------------------------------------------ *)
+
+let derive policy =
+  let dtd = Policy.dtd policy in
+  let types = Array.of_list (Dtd.reachable dtd) in
+  let index_tbl = Hashtbl.create 16 in
+  Array.iteri (fun i name -> Hashtbl.replace index_tbl name i) types;
+  let index name = Hashtbl.find index_tbl name in
+  let h = hidden_paths policy types index in
+  let sigma_tbl = Hashtbl.create 32 in
+  let exposed_tbl = Hashtbl.create 16 in
+  let exposed_of parent =
+    match Hashtbl.find_opt exposed_tbl parent with
+    | Some children -> children
+    | None ->
+      let children =
+        Array.to_list types
+        |> List.filter_map (fun child ->
+               match sigma_of policy types index h ~parent ~child with
+               | None -> None
+               | Some p ->
+                 Hashtbl.replace sigma_tbl (parent, child) p;
+                 Some child)
+      in
+      Hashtbl.replace exposed_tbl parent children;
+      children
+  in
+  (* Visible types: reachable from the root through exposure. *)
+  let visible = ref [] in
+  let seen = Hashtbl.create 16 in
+  let rec visit name =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.add seen name ();
+      visible := name :: !visible;
+      List.iter visit (exposed_of name)
+    end
+  in
+  visit (Dtd.root dtd);
+  let visible = List.rev !visible in
+  let approximated = ref [] in
+  let prods =
+    List.map
+      (fun name ->
+        let content, approx =
+          view_content policy name ~exposed:(exposed_of name)
+        in
+        if approx then approximated := name :: !approximated;
+        (name, content))
+      visible
+  in
+  let view_dtd = Dtd.create ~root:(Dtd.root dtd) prods in
+  (* Align exposure order with the view DTD's content models, so that
+     materialization in that order validates.  The name sets coincide (both
+     are reachability through the hidden region); the inlined regex also
+     fixes their order. *)
+  List.iter
+    (fun name ->
+      let from_dtd = Dtd.child_types view_dtd name in
+      let current = Option.value ~default:[] (Hashtbl.find_opt exposed_tbl name) in
+      let ordered =
+        from_dtd @ List.filter (fun c -> not (List.mem c from_dtd)) current
+      in
+      Hashtbl.replace exposed_tbl name ordered)
+    visible;
+  {
+    policy = Some policy;
+    visible;
+    sigma_tbl;
+    exposed_tbl;
+    view_dtd;
+    approximated = List.rev !approximated;
+  }
+
+let policy v = v.policy
+
+let unsafe_make ?policy ~visible ~sigma ~view_dtd ~approximated () =
+  let sigma_tbl = Hashtbl.create 32 in
+  List.iter (fun (edge, p) -> Hashtbl.replace sigma_tbl edge p) sigma;
+  let exposed_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun name -> Hashtbl.replace exposed_tbl name (Dtd.child_types view_dtd name))
+    visible;
+  { policy; visible; sigma_tbl; exposed_tbl; view_dtd; approximated }
+let visible_types v = v.visible
+
+let sigma v ~parent ~child =
+  if List.mem parent v.visible then
+    Hashtbl.find_opt v.sigma_tbl (parent, child)
+  else None
+
+let exposed_children v name =
+  if List.mem name v.visible then
+    Option.value ~default:[] (Hashtbl.find_opt v.exposed_tbl name)
+  else []
+
+let view_dtd v = v.view_dtd
+let approximated v = v.approximated
+
+let pp_spec ppf v =
+  List.iter
+    (fun parent ->
+      List.iter
+        (fun child ->
+          match sigma v ~parent ~child with
+          | None -> ()
+          | Some p ->
+            Fmt.pf ppf "sigma(%s, %s) = %a@." parent child
+              Smoqe_rxpath.Pretty.pp_path p)
+        (exposed_children v parent))
+    v.visible

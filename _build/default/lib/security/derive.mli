@@ -1,0 +1,64 @@
+(** Automatic derivation of security views from access-control policies —
+    the paper's Fig. 3(b) to Fig. 3(c)/(d) step (following Fan, Chan,
+    Garofalakis, SIGMOD'04).
+
+    For every visible element type [A] and every type [B] it exposes, the
+    derivation produces a Regular XPath expression [sigma A B] over the
+    {e document} that collects the [B] nodes promoted to [A] in the view:
+    directly visible children, plus visible nodes reachable through regions
+    of hidden ([N]/inherited) types.  Hidden regions may be cyclic in a
+    recursive DTD — the paths through them are computed by state
+    elimination and come out with Kleene stars, which is exactly why view
+    definitions need Regular XPath rather than XPath.
+
+    A view DTD is derived alongside: hidden types' content models are
+    inlined into their nearest visible ancestor's production; productions
+    whose hidden region is cyclic fall back to [(B1 | ... | Bk)*] and are
+    reported in [approximated]. *)
+
+type view
+
+exception Unsupported of string
+(** Raised by {!derive} on DTDs the security model does not cover
+    (currently: [ANY] content under a secured region). *)
+
+val derive : Policy.t -> view
+
+val policy : view -> Policy.t option
+(** The access-control policy the view was derived from; [None] for
+    manually specified views ({!View_spec}). *)
+
+val visible_types : view -> string list
+(** Types exposed in the view, root first. *)
+
+val sigma : view -> parent:string -> child:string -> Smoqe_rxpath.Ast.path option
+(** The extraction query for a view edge, [None] if [child] is not exposed
+    under [parent]. *)
+
+val exposed_children : view -> string -> string list
+(** Exposed child types of a visible type, in schema order. *)
+
+val view_dtd : view -> Smoqe_xml.Dtd.t
+(** The schema shown to users (paper Fig. 3(d)). *)
+
+val approximated : view -> string list
+(** Visible types whose view content model was widened to a star form
+    because their hidden region is recursive. *)
+
+val pp_spec : Format.formatter -> view -> unit
+(** Render the view specification in the paper's sigma-notation
+    (Fig. 3(c)). *)
+
+(**/**)
+
+(* Constructor for View_spec; the inputs must already be coherent. *)
+val unsafe_make :
+  ?policy:Policy.t ->
+  visible:string list ->
+  sigma:((string * string) * Smoqe_rxpath.Ast.path) list ->
+  view_dtd:Smoqe_xml.Dtd.t ->
+  approximated:string list ->
+  unit ->
+  view
+
+(**/**)

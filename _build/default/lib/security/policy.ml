@@ -1,0 +1,114 @@
+module Dtd = Smoqe_xml.Dtd
+module Ast = Smoqe_rxpath.Ast
+
+type annotation =
+  | Allow
+  | Deny
+  | Cond of Ast.qual
+
+type t = {
+  dtd : Dtd.t;
+  anns : (string * string, annotation) Hashtbl.t;
+  order : (string * string) list; (* declaration order, for printing *)
+}
+
+let create dtd anns =
+  let edges = Dtd.edges dtd in
+  let table = Hashtbl.create 32 in
+  List.iter
+    (fun ((parent, child), ann) ->
+      if not (List.mem (parent, child) edges) then
+        invalid_arg
+          (Printf.sprintf "Policy.create: edge (%s, %s) not in the DTD" parent
+             child);
+      if Hashtbl.mem table (parent, child) then
+        invalid_arg
+          (Printf.sprintf "Policy.create: edge (%s, %s) annotated twice" parent
+             child);
+      Hashtbl.add table (parent, child) ann)
+    anns;
+  { dtd; anns = table; order = List.map fst anns }
+
+let dtd t = t.dtd
+
+let annotation t ~parent ~child = Hashtbl.find_opt t.anns (parent, child)
+
+let annotations t =
+  List.map (fun edge -> (edge, Hashtbl.find t.anns edge)) t.order
+
+let pp_annotation ppf = function
+  | Allow -> Fmt.string ppf "Y"
+  | Deny -> Fmt.string ppf "N"
+  | Cond q -> Fmt.pf ppf "[%a]" Smoqe_rxpath.Pretty.pp_qual q
+
+let pp ppf t =
+  List.iter
+    (fun ((parent, child), ann) ->
+      Fmt.pf ppf "ann(%s, %s) = %a@." parent child pp_annotation ann)
+    (annotations t)
+
+let to_string t = Fmt.str "%a" pp t
+
+(* --- Parsing ----------------------------------------------------------- *)
+
+let parse_line line =
+  (* ann(parent, child) = RHS *)
+  let line = String.trim line in
+  if line = "" || String.length line >= 1 && line.[0] = '#' then Ok None
+  else
+    match String.index_opt line '=' with
+    | None -> Error (Printf.sprintf "missing '=' in %S" line)
+    | Some eq ->
+      let lhs = String.trim (String.sub line 0 eq) in
+      let rhs =
+        String.trim (String.sub line (eq + 1) (String.length line - eq - 1))
+      in
+      let fail () = Error (Printf.sprintf "malformed annotation %S" line) in
+      if String.length lhs < 5 || String.sub lhs 0 4 <> "ann(" ||
+         lhs.[String.length lhs - 1] <> ')'
+      then fail ()
+      else begin
+        let inner = String.sub lhs 4 (String.length lhs - 5) in
+        match String.index_opt inner ',' with
+        | None -> fail ()
+        | Some comma ->
+          let parent = String.trim (String.sub inner 0 comma) in
+          let child =
+            String.trim
+              (String.sub inner (comma + 1) (String.length inner - comma - 1))
+          in
+          if parent = "" || child = "" then fail ()
+          else begin
+            match rhs with
+            | "Y" -> Ok (Some ((parent, child), Allow))
+            | "N" -> Ok (Some ((parent, child), Deny))
+            | _ ->
+              if String.length rhs >= 2 && rhs.[0] = '['
+                 && rhs.[String.length rhs - 1] = ']'
+              then begin
+                let body = String.sub rhs 1 (String.length rhs - 2) in
+                match Smoqe_rxpath.Parser.qual_of_string body with
+                | Ok q -> Ok (Some ((parent, child), Cond q))
+                | Error msg ->
+                  Error (Printf.sprintf "bad qualifier in %S: %s" line msg)
+              end
+              else fail ()
+          end
+      end
+
+let of_string dtd input =
+  let lines = String.split_on_char '\n' input in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      (match parse_line line with
+      | Ok None -> go acc rest
+      | Ok (Some ann) -> go (ann :: acc) rest
+      | Error msg -> Error msg)
+  in
+  match go [] lines with
+  | Error msg -> Error msg
+  | Ok anns ->
+    (match create dtd anns with
+    | t -> Ok t
+    | exception Invalid_argument msg -> Error msg)

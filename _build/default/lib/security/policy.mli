@@ -1,0 +1,49 @@
+(** Access-control policies over a document DTD (paper §2 and Fig. 3(b)).
+
+    A security administrator annotates DTD edges (parent type, child type):
+
+    - [Allow] ([Y]): the child is visible whenever the parent context is;
+    - [Deny] ([N]): the child is hidden, but deeper explicit annotations may
+      re-grant access to parts of its content;
+    - [Cond q] ([\[q\]]): the child is visible exactly when the qualifier
+      [q] — a Regular XPath qualifier over the {e document}, evaluated at
+      the child node — holds;
+    - unannotated edges inherit: inside a hidden region they stay hidden,
+      under a visible parent they are visible (the [date] vs [parent]
+      distinction in the paper's figure).
+
+    The root element type is always accessible. *)
+
+type annotation =
+  | Allow
+  | Deny
+  | Cond of Smoqe_rxpath.Ast.qual
+
+type t
+
+val create :
+  Smoqe_xml.Dtd.t -> ((string * string) * annotation) list -> t
+(** Raises [Invalid_argument] if an annotated edge does not exist in the
+    DTD or is annotated twice. *)
+
+val dtd : t -> Smoqe_xml.Dtd.t
+
+val annotation : t -> parent:string -> child:string -> annotation option
+(** The explicit annotation, if any ([None] = inherit). *)
+
+val annotations : t -> ((string * string) * annotation) list
+
+(** {1 Parsing}
+
+    Concrete syntax, one annotation per line, mirroring Fig. 3(b):
+    {v
+    ann(patient, pname) = N
+    ann(hospital, patient) = [visit/treatment/medication = 'autism']
+    ann(parent, patient) = Y
+    v} *)
+
+val of_string : Smoqe_xml.Dtd.t -> string -> (t, string) result
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

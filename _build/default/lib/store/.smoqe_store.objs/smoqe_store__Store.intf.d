@@ -1,0 +1,1 @@
+lib/store/store.mli: Smoqe Smoqe_security Smoqe_xml

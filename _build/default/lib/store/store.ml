@@ -1,0 +1,218 @@
+module Tree = Smoqe_xml.Tree
+module Dtd = Smoqe_xml.Dtd
+module Dtd_parser = Smoqe_xml.Dtd_parser
+module Xml_parser = Smoqe_xml.Parser
+module Serializer = Smoqe_xml.Serializer
+module Policy = Smoqe_security.Policy
+module Engine = Smoqe.Engine
+module Session = Smoqe.Session
+
+type t = {
+  dir : string;
+  dtd : Dtd.t option;
+  tree : Tree.t;
+  mutable policies : (string * Policy.t) list; (* group order preserved *)
+  mutable engine : Engine.t;
+}
+
+let manifest_name = "MANIFEST"
+let document_name = "document.xml"
+let dtd_name = "document.dtd"
+let index_name = "document.tax"
+let policies_dir = "policies"
+
+let ( / ) = Filename.concat
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let result =
+      try Ok (really_input_string ic (in_channel_length ic))
+      with End_of_file -> Error (path ^ ": truncated")
+    in
+    close_in_noerr ic;
+    result
+
+let write_file path contents =
+  match open_out_bin path with
+  | exception Sys_error msg -> Error msg
+  | oc ->
+    output_string oc contents;
+    close_out oc;
+    Ok ()
+
+let ( let* ) = Result.bind
+
+let valid_group g =
+  g <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_' || c = '-')
+       g
+
+(* The manifest is the inventory: one "key value..." line per entry. *)
+let render_manifest t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "smoqe-store 1\n";
+  Buffer.add_string buf (Printf.sprintf "document %s\n" document_name);
+  if t.dtd <> None then
+    Buffer.add_string buf (Printf.sprintf "dtd %s\n" dtd_name);
+  Buffer.add_string buf (Printf.sprintf "index %s\n" index_name);
+  List.iter
+    (fun (group, _) ->
+      Buffer.add_string buf
+        (Printf.sprintf "policy %s %s\n" group
+           (policies_dir ^ "/" ^ group ^ ".policy")))
+    t.policies;
+  Buffer.contents buf
+
+let save_manifest t = write_file (t.dir / manifest_name) (render_manifest t)
+
+let build_engine dir dtd tree policies =
+  let engine = Engine.of_tree ?dtd tree in
+  let* () =
+    List.fold_left
+      (fun acc (group, policy) ->
+        let* () = acc in
+        Engine.register_policy engine ~group policy)
+      (Ok ()) policies
+  in
+  let* () =
+    match Engine.load_index engine (dir / index_name) with
+    | Ok () -> Ok ()
+    | Error _ ->
+      (* index missing or stale: rebuild and rewrite it *)
+      Engine.build_index engine;
+      Engine.save_index engine (dir / index_name)
+  in
+  Ok engine
+
+let create ~dir ?dtd tree =
+  let* () =
+    if Sys.file_exists dir then
+      if Sys.is_directory dir then
+        if Sys.file_exists (dir / manifest_name) then
+          Error (dir ^ ": already a SMOQE store")
+        else Ok ()
+      else Error (dir ^ ": not a directory")
+    else begin
+      match Sys.mkdir dir 0o755 with
+      | () -> Ok ()
+      | exception Sys_error msg -> Error msg
+    end
+  in
+  let* () =
+    match dtd with
+    | None -> Ok ()
+    | Some d ->
+      (match Smoqe_xml.Validator.validate d tree with
+      | Ok () -> write_file (dir / dtd_name) (Dtd.to_string d)
+      | Error (e :: _) ->
+        Error (Fmt.str "document invalid: %a" Smoqe_xml.Validator.pp_error e)
+      | Error [] -> Ok ())
+  in
+  let* () =
+    write_file (dir / document_name)
+      (Serializer.to_string ~indent:false ~decl:true tree)
+  in
+  (match Sys.mkdir (dir / policies_dir) 0o755 with
+  | () -> ()
+  | exception Sys_error _ -> ());
+  let* engine = build_engine dir dtd tree [] in
+  let t = { dir; dtd; tree; policies = []; engine } in
+  let* () = save_manifest t in
+  Ok t
+
+let parse_manifest contents =
+  let lines =
+    String.split_on_char '\n' contents
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | "smoqe-store 1" :: rest ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | line :: rest ->
+        (match String.split_on_char ' ' line with
+        | [ "document"; _ ] | [ "dtd"; _ ] | [ "index"; _ ] ->
+          go acc rest
+        | [ "policy"; group; path ] -> go ((group, path) :: acc) rest
+        | _ -> Error (Printf.sprintf "bad manifest line: %s" line))
+    in
+    go [] rest
+  | _ -> Error "not a SMOQE store (bad manifest header)"
+
+let open_dir dir =
+  let* manifest = read_file (dir / manifest_name) in
+  let* policy_entries = parse_manifest manifest in
+  let* doc_text = read_file (dir / document_name) in
+  let* tree =
+    match Xml_parser.tree_of_string doc_text with
+    | tree -> Ok tree
+    | exception Smoqe_xml.Pull.Error (line, col, msg) ->
+      Error (Printf.sprintf "%s:%d:%d: %s" document_name line col msg)
+  in
+  let* dtd =
+    if Sys.file_exists (dir / dtd_name) then begin
+      let* dtd_text = read_file (dir / dtd_name) in
+      match Dtd_parser.of_string dtd_text with
+      | dtd -> Ok (Some dtd)
+      | exception Dtd_parser.Error (off, msg) ->
+        Error (Printf.sprintf "%s: offset %d: %s" dtd_name off msg)
+      | exception Invalid_argument msg -> Error (dtd_name ^ ": " ^ msg)
+    end
+    else Ok None
+  in
+  let* policies =
+    List.fold_left
+      (fun acc (group, path) ->
+        let* acc = acc in
+        let* text = read_file (dir / path) in
+        match dtd with
+        | None -> Error "store has policies but no DTD"
+        | Some d ->
+          let* policy = Policy.of_string d text in
+          Ok ((group, policy) :: acc))
+      (Ok []) policy_entries
+  in
+  let policies = List.rev policies in
+  let* engine = build_engine dir dtd tree policies in
+  Ok { dir; dtd; tree; policies; engine }
+
+let dir t = t.dir
+let engine t = t.engine
+let groups t = List.map fst t.policies
+
+let add_policy t ~group policy =
+  if not (valid_group group) then
+    Error (Printf.sprintf "invalid group name %S" group)
+  else begin
+    let* () = Engine.register_policy t.engine ~group policy in
+    let* () =
+      write_file
+        (t.dir / policies_dir / (group ^ ".policy"))
+        (Policy.to_string policy)
+    in
+    t.policies <- List.remove_assoc group t.policies @ [ (group, policy) ];
+    save_manifest t
+  end
+
+let remove_policy t ~group =
+  if not (List.mem_assoc group t.policies) then
+    Error (Printf.sprintf "no policy for group %s" group)
+  else begin
+    t.policies <- List.remove_assoc group t.policies;
+    (try Sys.remove (t.dir / policies_dir / (group ^ ".policy"))
+     with Sys_error _ -> ());
+    (* The engine has no view-removal operation: rebuild it. *)
+    let* engine = build_engine t.dir t.dtd t.tree t.policies in
+    t.engine <- engine;
+    save_manifest t
+  end
+
+let login t role = Session.login t.engine role

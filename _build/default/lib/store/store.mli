@@ -1,0 +1,51 @@
+(** On-disk SMOQE stores.
+
+    A store is a directory holding everything the engine needs to serve a
+    document securely across sessions: the document, its DTD, the
+    compressed TAX index (built once, "uploaded from disk when needed" —
+    paper §3, Indexer), and one access-control policy per user group.
+
+    Layout:
+    {v
+    <dir>/MANIFEST            format marker and file inventory
+    <dir>/document.xml
+    <dir>/document.dtd        (when a DTD was provided)
+    <dir>/document.tax        compressed TAX index
+    <dir>/policies/<group>.policy
+    v}
+
+    All operations return [Error] with a message rather than raising on
+    IO or format problems. *)
+
+type t
+
+val create :
+  dir:string ->
+  ?dtd:Smoqe_xml.Dtd.t ->
+  Smoqe_xml.Tree.t ->
+  (t, string) result
+(** Initialize a store in [dir] (created if missing, must be empty of
+    SMOQE files), serialize the document, build and persist the index. *)
+
+val open_dir : string -> (t, string) result
+(** Open an existing store: parses the manifest, loads document, DTD,
+    index and all policies, and prepares an engine. *)
+
+val dir : t -> string
+
+val engine : t -> Smoqe.Engine.t
+(** The ready engine: document loaded, index loaded, one view registered
+    per stored policy. *)
+
+val add_policy :
+  t -> group:string -> Smoqe_security.Policy.t -> (unit, string) result
+(** Persist a policy and register its derived view with the engine.
+    Requires the store to have a DTD. *)
+
+val remove_policy : t -> group:string -> (unit, string) result
+
+val groups : t -> string list
+
+val login :
+  t -> Smoqe.Session.role -> (Smoqe.Session.t, string) result
+(** Convenience: a session against the store's engine. *)

@@ -1,0 +1,1 @@
+lib/tax/codec.ml: Array Buffer Bytes Char Hashtbl List Tax

@@ -1,0 +1,1 @@
+lib/tax/codec.mli: Tax

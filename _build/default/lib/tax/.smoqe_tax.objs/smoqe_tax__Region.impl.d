@@ -1,0 +1,1 @@
+lib/tax/region.ml: Array Smoqe_xml

@@ -1,0 +1,1 @@
+lib/tax/region.mli: Smoqe_xml

@@ -1,0 +1,1 @@
+lib/tax/tax.ml: Array List Smoqe_xml String Sys

@@ -1,0 +1,1 @@
+lib/tax/tax.mli: Smoqe_xml

@@ -1,0 +1,87 @@
+module Tree = Smoqe_xml.Tree
+
+(* One bitset of tag ids per node, flattened into a single int array:
+   row [n] occupies words [n*w .. n*w+w-1]. Bit [i] of the row is set when
+   tag id [i] occurs among the strict descendants of [n]. *)
+type t = {
+  words_per_row : int;
+  bits : int array;
+  n_nodes : int;
+  n_tags : int;
+}
+
+let bits_per_word = Sys.int_size
+
+let build tree =
+  let n = Tree.n_nodes tree in
+  let n_tags = Tree.n_tags tree in
+  let w = (n_tags + bits_per_word - 1) / bits_per_word in
+  let w = max w 1 in
+  let bits = Array.make (n * w) 0 in
+  (* Bottom-up: process nodes in reverse pre-order, so every node is seen
+     after all of its descendants. *)
+  for node = n - 1 downto 0 do
+    Tree.iter_children tree node (fun c ->
+        (* fold child's row into ours *)
+        for k = 0 to w - 1 do
+          bits.((node * w) + k) <- bits.((node * w) + k) lor bits.((c * w) + k)
+        done;
+        let tag = Tree.tag_id tree c in
+        let word = tag / bits_per_word and bit = tag mod bits_per_word in
+        bits.((node * w) + word) <-
+          bits.((node * w) + word) lor (1 lsl bit))
+  done;
+  { words_per_row = w; bits; n_nodes = n; n_tags }
+
+let mem t node tag =
+  if tag < 0 || tag >= t.n_tags then false
+  else begin
+    let word = tag / bits_per_word and bit = tag mod bits_per_word in
+    t.bits.((node * t.words_per_row) + word) land (1 lsl bit) <> 0
+  end
+
+let mem_name t tree node name =
+  match Tree.id_of_tag tree name with
+  | None -> false
+  | Some id -> mem t node id
+
+let has_text t node = mem t node Tree.text_tag
+
+let n_nodes t = t.n_nodes
+let n_tags t = t.n_tags
+
+let descendant_tags t tree node =
+  let out = ref [] in
+  for tag = t.n_tags - 1 downto 0 do
+    if mem t node tag then out := Tree.tag_name tree tag :: !out
+  done;
+  List.sort String.compare !out
+
+let memory_words t = Array.length t.bits
+
+let equal a b =
+  a.n_nodes = b.n_nodes && a.n_tags = b.n_tags
+  && a.words_per_row = b.words_per_row
+  && a.bits = b.bits
+
+let row_bits t node =
+  let out = ref [] in
+  for tag = t.n_tags - 1 downto 0 do
+    if mem t node tag then out := tag :: !out
+  done;
+  !out
+
+let of_rows ~n_tags rows =
+  let n = Array.length rows in
+  let w = max 1 ((n_tags + bits_per_word - 1) / bits_per_word) in
+  let bits = Array.make (n * w) 0 in
+  Array.iteri
+    (fun node tags ->
+      List.iter
+        (fun tag ->
+          if tag < 0 || tag >= n_tags then invalid_arg "Tax.of_rows";
+          let word = tag / bits_per_word and bit = tag mod bits_per_word in
+          bits.((node * w) + word) <- bits.((node * w) + word) lor (1 lsl bit))
+        tags)
+    rows;
+  { words_per_row = w; bits; n_nodes = n; n_tags }

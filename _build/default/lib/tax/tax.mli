@@ -1,0 +1,46 @@
+(** TAX — the Type-Aware XML index (paper §3, Indexer).
+
+    For every node the index records which element types (and whether text)
+    occur among its {e strict descendants}.  The HyPE evaluator consults it
+    to prune whole subtrees that cannot contain any node test the active
+    automaton states still need — effective with or without the descendant
+    axis, unlike ancestor/descendant labeling schemes.
+
+    Internally one bitset over the document's interned tag ids per node,
+    built in a single bottom-up pass.  Use {!Codec} for the compressed
+    on-disk form. *)
+
+type t
+
+val build : Smoqe_xml.Tree.t -> t
+(** One pass over the document. *)
+
+val mem : t -> Smoqe_xml.Tree.node -> int -> bool
+(** [mem idx n tag_id]: does an element with this tag id occur strictly
+    below [n]?  (Tag ids are the document's, {!Smoqe_xml.Tree.id_of_tag}.) *)
+
+val mem_name : t -> Smoqe_xml.Tree.t -> Smoqe_xml.Tree.node -> string -> bool
+(** Name-based convenience lookup. *)
+
+val has_text : t -> Smoqe_xml.Tree.node -> bool
+(** Is there a text node strictly below [n]? *)
+
+val n_nodes : t -> int
+val n_tags : t -> int
+
+val descendant_tags : t -> Smoqe_xml.Tree.t -> Smoqe_xml.Tree.node -> string list
+(** Tag names below a node, sorted — what the iSMOQE index view displays
+    (paper Fig. 6). *)
+
+val memory_words : t -> int
+(** Size of the in-memory bitset matrix, in words (a reporting measure). *)
+
+val equal : t -> t -> bool
+
+(**/**)
+
+(* Raw row access for the codec. *)
+val row_bits : t -> int -> int list
+val of_rows : n_tags:int -> int list array -> t
+
+(**/**)

@@ -1,0 +1,1 @@
+lib/workload/bib.ml: Array List Printf Random Smoqe_security Smoqe_xml

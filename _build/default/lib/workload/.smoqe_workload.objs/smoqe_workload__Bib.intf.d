@@ -1,0 +1,1 @@
+lib/workload/bib.mli: Smoqe_security Smoqe_xml

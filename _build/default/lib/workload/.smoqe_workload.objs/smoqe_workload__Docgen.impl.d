@@ -1,0 +1,1 @@
+lib/workload/docgen.ml: Hashtbl List Random Smoqe_xml

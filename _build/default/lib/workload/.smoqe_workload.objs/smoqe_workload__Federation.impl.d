@@ -1,0 +1,1 @@
+lib/workload/federation.ml: List Printf Random Smoqe_xml

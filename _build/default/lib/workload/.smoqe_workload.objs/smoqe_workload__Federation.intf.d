@@ -1,0 +1,1 @@
+lib/workload/federation.mli: Smoqe_xml

@@ -1,0 +1,1 @@
+lib/workload/hospital.ml: Array List Printf Random Smoqe_security Smoqe_xml

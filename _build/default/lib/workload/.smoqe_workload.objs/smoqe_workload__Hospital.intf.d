@@ -1,0 +1,1 @@
+lib/workload/hospital.mli: Smoqe_security Smoqe_xml

@@ -1,0 +1,1 @@
+lib/workload/random_dtd.ml: List Printf Random Smoqe_rxpath Smoqe_security Smoqe_xml

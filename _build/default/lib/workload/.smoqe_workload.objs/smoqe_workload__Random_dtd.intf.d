@@ -1,0 +1,1 @@
+lib/workload/random_dtd.mli: Smoqe_rxpath Smoqe_security Smoqe_xml

@@ -1,0 +1,84 @@
+module Dtd = Smoqe_xml.Dtd
+module Tree = Smoqe_xml.Tree
+module Policy = Smoqe_security.Policy
+
+let dtd =
+  Dtd.create ~root:"bib"
+    [
+      ("bib", Dtd.Children (Dtd.Star (Dtd.Name "book")));
+      ( "book",
+        Dtd.Children
+          (Dtd.Seq
+             ( Dtd.Name "title",
+               Dtd.Seq
+                 ( Dtd.Star (Dtd.Name "author"),
+                   Dtd.Seq
+                     ( Dtd.Star (Dtd.Name "review"),
+                       Dtd.Star (Dtd.Name "section") ) ) )) );
+      ( "section",
+        Dtd.Children
+          (Dtd.Seq
+             ( Dtd.Name "title",
+               Dtd.Seq (Dtd.Star (Dtd.Name "para"), Dtd.Star (Dtd.Name "section"))
+             )) );
+      ("review", Dtd.Children (Dtd.Seq (Dtd.Name "reviewer", Dtd.Name "comment")));
+      ("title", Dtd.Mixed []);
+      ("author", Dtd.Mixed []);
+      ("reviewer", Dtd.Mixed []);
+      ("comment", Dtd.Mixed []);
+      ("para", Dtd.Mixed []);
+    ]
+
+let policy_text =
+  "ann(book, author) = N\n\
+   ann(book, review) = N\n\
+   ann(review, comment) = Y\n\
+   ann(book, section) = [not(title = 'internal')]\n\
+   ann(section, section) = [not(title = 'internal')]\n"
+
+let policy =
+  match Policy.of_string dtd policy_text with
+  | Ok p -> p
+  | Error msg -> invalid_arg ("Bib.policy: " ^ msg)
+
+let titles = [| "intro"; "methods"; "results"; "internal"; "appendix" |]
+let words = [| "lorem"; "ipsum"; "dolor"; "sit"; "amet" |]
+
+let generate ?(seed = 11) ~n_books ~section_depth () =
+  let rng = Random.State.make [| seed |] in
+  let pick arr = arr.(Random.State.int rng (Array.length arr)) in
+  let text tag pool = Tree.E (tag, [], [ Tree.T (pick pool) ]) in
+  let rec section depth =
+    let subs =
+      if depth > 0 then
+        List.init (Random.State.int rng 3) (fun _ -> section (depth - 1))
+      else []
+    in
+    let paras =
+      List.init (1 + Random.State.int rng 2) (fun _ -> text "para" words)
+    in
+    Tree.E ("section", [], (text "title" titles :: paras) @ subs)
+  in
+  let book i =
+    let authors =
+      List.init (1 + Random.State.int rng 2) (fun _ -> text "author" words)
+    in
+    let reviews =
+      List.init (Random.State.int rng 3) (fun _ ->
+          Tree.E
+            ( "review",
+              [],
+              [ text "reviewer" words; text "comment" words ] ))
+    in
+    let sections =
+      List.init (1 + Random.State.int rng 2) (fun _ ->
+          section section_depth)
+    in
+    Tree.E
+      ( "book",
+        [],
+        (Tree.E ("title", [], [ Tree.T (Printf.sprintf "book-%d" i) ])
+         :: authors)
+        @ reviews @ sections )
+  in
+  Tree.of_source (Tree.E ("bib", [], List.init n_books book))

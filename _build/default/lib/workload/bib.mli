@@ -1,0 +1,19 @@
+(** A second domain workload: a bibliography with recursively nested
+    sections, plus a policy hiding reviewer identities and embargoed
+    content.  Exercises view derivation over a recursive region that is
+    {e not} a simple self-loop (sections within sections within books). *)
+
+val dtd : Smoqe_xml.Dtd.t
+(** [bib -> book*], [book -> title, author*, review*, section*],
+    [section -> title, para*, section*], [review -> reviewer, comment],
+    PCDATA leaves. *)
+
+val policy : Smoqe_security.Policy.t
+(** Hide authors and reviewer names; expose review comments directly under
+    books; expose only sections whose title is not ["internal"]. *)
+
+val policy_text : string
+
+val generate :
+  ?seed:int -> n_books:int -> section_depth:int -> unit -> Smoqe_xml.Tree.t
+(** Valid against {!dtd}; deterministic per seed. *)

@@ -1,0 +1,150 @@
+module Dtd = Smoqe_xml.Dtd
+module Tree = Smoqe_xml.Tree
+
+exception No_finite_expansion of string
+
+(* Minimal expansion height per type, by fixpoint: [None] = not yet known
+   finite.  Regex cost: Seq adds both sides, Alt takes the cheaper branch,
+   Star/Opt cost nothing (expand to zero repetitions). *)
+let min_depths dtd =
+  let table : (string, int option) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun name -> Hashtbl.replace table name None)
+    (Dtd.element_names dtd);
+  let opt_min a b =
+    match a, b with
+    | None, x | x, None -> x
+    | Some a, Some b -> Some (min a b)
+  in
+  let opt_add a b =
+    match a, b with Some a, Some b -> Some (max a b) | _ -> None
+  in
+  let rec regex_depth = function
+    | Dtd.Eps | Dtd.Pcdata -> Some 1 (* a text child has height 1 *)
+    | Dtd.Name child -> Hashtbl.find table child
+    | Dtd.Seq (a, b) -> opt_add (regex_depth a) (regex_depth b)
+    | Dtd.Alt (a, b) -> opt_min (regex_depth a) (regex_depth b)
+    | Dtd.Star _ | Dtd.Opt _ -> Some 0
+    | Dtd.Plus r -> regex_depth r
+  in
+  let content_depth = function
+    | Dtd.Empty -> Some 0
+    | Dtd.Any -> Some 0 (* expandable to empty in our generator *)
+    | Dtd.Mixed _ -> Some 0
+    | Dtd.Children r -> regex_depth r
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (name, content) ->
+        let d =
+          match content_depth content with
+          | None -> None
+          | Some k -> Some (k + 1)
+        in
+        if d <> Hashtbl.find table name && d <> None then begin
+          (match Hashtbl.find table name, d with
+          | None, Some _ -> Hashtbl.replace table name d; changed := true
+          | Some old, Some fresh when fresh < old ->
+            Hashtbl.replace table name d;
+            changed := true
+          | _ -> ())
+        end)
+      (Dtd.productions dtd)
+  done;
+  table
+
+let min_depth_of_type dtd name = Hashtbl.find (min_depths dtd) name
+
+let generate ?(seed = 42) ?(max_depth = 12) ?(fanout = 3)
+    ?(text_pool = [ "alpha"; "beta"; "gamma"; "delta"; "x"; "y" ]) dtd =
+  let rng = Random.State.make [| seed |] in
+  let depths = min_depths dtd in
+  let min_depth name =
+    match Hashtbl.find_opt depths name with
+    | Some (Some d) -> d
+    | Some None | None -> raise (No_finite_expansion name)
+  in
+  List.iter
+    (fun name -> ignore (min_depth name))
+    (Dtd.reachable dtd);
+  let pick_text () =
+    match text_pool with
+    | [] -> "t"
+    | pool -> List.nth pool (Random.State.int rng (List.length pool))
+  in
+  let rec regex_min_depth = function
+    | Dtd.Eps -> 0
+    | Dtd.Pcdata -> 1
+    | Dtd.Name child -> min_depth child
+    | Dtd.Seq (a, b) -> max (regex_min_depth a) (regex_min_depth b)
+    | Dtd.Alt (a, b) -> min (regex_min_depth a) (regex_min_depth b)
+    | Dtd.Star _ | Dtd.Opt _ -> 0
+    | Dtd.Plus r -> regex_min_depth r
+  in
+  let rec expand_regex budget r =
+    match r with
+    | Dtd.Eps -> []
+    | Dtd.Pcdata -> [ Tree.T (pick_text ()) ]
+    | Dtd.Name child -> [ expand_type budget child ]
+    | Dtd.Seq (a, b) -> expand_regex budget a @ expand_regex budget b
+    | Dtd.Alt (a, b) ->
+      let da = regex_min_depth a and db = regex_min_depth b in
+      let pick_a =
+        if max da db > budget then da <= db else Random.State.bool rng
+      in
+      expand_regex budget (if pick_a then a else b)
+    | Dtd.Star r ->
+      if regex_min_depth r > budget then []
+      else begin
+        let k = Random.State.int rng (fanout + 1) in
+        List.concat (List.init k (fun _ -> expand_regex budget r))
+      end
+    | Dtd.Plus r ->
+      let k = 1 + Random.State.int rng fanout in
+      let k = if regex_min_depth r > budget then 1 else k in
+      List.concat (List.init k (fun _ -> expand_regex budget r))
+    | Dtd.Opt r ->
+      if regex_min_depth r > budget then []
+      else if Random.State.bool rng then expand_regex budget r
+      else []
+  and expand_type budget name =
+    let budget = budget - 1 in
+    let kids =
+      match Dtd.content dtd name with
+      | None | Some Dtd.Empty | Some Dtd.Any -> []
+      | Some (Dtd.Mixed names) ->
+        (* a few interleaved text and allowed elements *)
+        let k = Random.State.int rng (fanout + 1) in
+        let budgeted =
+          List.filter (fun child -> min_depth child <= budget) names
+        in
+        Tree.T (pick_text ())
+        :: List.concat
+             (List.init k (fun _ ->
+                  if budgeted = [] || Random.State.bool rng then
+                    [ Tree.T (pick_text ()) ]
+                  else begin
+                    let child =
+                      List.nth budgeted
+                        (Random.State.int rng (List.length budgeted))
+                    in
+                    [ expand_type budget child ]
+                  end))
+      | Some (Dtd.Children r) -> expand_regex budget r
+    in
+    Tree.E (name, [], kids)
+  in
+  let root = Dtd.root dtd in
+  Tree.of_source (expand_type (max max_depth (min_depth root)) root)
+
+let generate_sized ?(seed = 42) ?max_depth ?text_pool ~target_nodes dtd =
+  let rec try_fanout fanout best =
+    let t = generate ~seed ?max_depth ~fanout ?text_pool dtd in
+    let n = Tree.n_nodes t in
+    if n >= target_nodes || fanout > 64 then
+      if n >= target_nodes then t else best
+    else try_fanout (fanout * 2) t
+  in
+  try_fanout 2 (generate ~seed ?max_depth ~fanout:2 ?text_pool dtd)

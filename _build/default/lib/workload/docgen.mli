@@ -1,0 +1,36 @@
+(** Random document generation from a DTD.
+
+    Documents are valid with respect to the DTD by construction: content
+    models are expanded regex-directed, with a depth budget steering
+    choices and repetition counts toward the shallowest expansion once the
+    budget runs out.  Deterministic for a given seed. *)
+
+exception No_finite_expansion of string
+(** Raised when some reachable element type cannot be expanded into a
+    finite tree (e.g. [a -> (a)]). *)
+
+val generate :
+  ?seed:int ->
+  ?max_depth:int ->
+  ?fanout:int ->
+  ?text_pool:string list ->
+  Smoqe_xml.Dtd.t ->
+  Smoqe_xml.Tree.t
+(** [fanout] bounds the repetitions drawn for each [*]/[+] (default 3);
+    [max_depth] (default 12) is the recursion budget; [text_pool] supplies
+    text contents (drawn uniformly). *)
+
+val generate_sized :
+  ?seed:int ->
+  ?max_depth:int ->
+  ?text_pool:string list ->
+  target_nodes:int ->
+  Smoqe_xml.Dtd.t ->
+  Smoqe_xml.Tree.t
+(** Repeatedly widens the fanout until the document reaches roughly
+    [target_nodes] nodes (within a factor of two, when the DTD allows
+    growth at all). *)
+
+val min_depth_of_type : Smoqe_xml.Dtd.t -> string -> int option
+(** Height of the shallowest valid tree rooted at a type; [None] when no
+    finite expansion exists. *)

@@ -1,0 +1,19 @@
+(** A heterogeneous "federated corporation" workload for the TAX index
+    experiment (E3).
+
+    Real deployments that need an index are rarely uniform: different
+    departments hold different record kinds.  TAX discriminates subtrees by
+    the element {e types} they contain, so a query about audit findings can
+    prune every department that files no audits — the "large document
+    subtrees" pruning of the paper's Indexer section.  Each generated
+    department hosts only one or two of the four section kinds. *)
+
+val dtd : Smoqe_xml.Dtd.t
+
+val generate :
+  ?seed:int -> n_departments:int -> section_size:int -> unit -> Smoqe_xml.Tree.t
+(** [section_size] is the number of records per hosted section.  Valid
+    against {!dtd}; deterministic per seed. *)
+
+val queries : (string * string) list
+(** Selective queries, each targeting one record kind. *)

@@ -1,0 +1,86 @@
+module Dtd = Smoqe_xml.Dtd
+module Tree = Smoqe_xml.Tree
+module Policy = Smoqe_security.Policy
+
+let dtd =
+  Dtd.create ~root:"hospital"
+    [
+      ("hospital", Dtd.Children (Dtd.Star (Dtd.Name "patient")));
+      ( "patient",
+        Dtd.Children
+          (Dtd.Seq
+             ( Dtd.Name "pname",
+               Dtd.Seq
+                 (Dtd.Star (Dtd.Name "visit"), Dtd.Star (Dtd.Name "parent"))
+             )) );
+      ("parent", Dtd.Children (Dtd.Name "patient"));
+      ("visit", Dtd.Children (Dtd.Seq (Dtd.Name "treatment", Dtd.Name "date")));
+      ( "treatment",
+        Dtd.Children (Dtd.Alt (Dtd.Name "test", Dtd.Name "medication")) );
+      ("pname", Dtd.Mixed []);
+      ("date", Dtd.Mixed []);
+      ("test", Dtd.Mixed []);
+      ("medication", Dtd.Mixed []);
+    ]
+
+let policy_text =
+  "ann(hospital, patient) = [visit/treatment/medication = 'autism']\n\
+   ann(patient, pname) = N\n\
+   ann(patient, visit) = N\n\
+   ann(visit, treatment) = [medication]\n\
+   ann(treatment, test) = N\n"
+
+let policy =
+  match Policy.of_string dtd policy_text with
+  | Ok p -> p
+  | Error msg -> invalid_arg ("Hospital.policy: " ^ msg)
+
+let medications = [ "autism"; "headache"; "insomnia"; "flu" ]
+
+let first_names =
+  [| "Ann"; "Bob"; "Carol"; "Dan"; "Eve"; "Fred"; "Gina"; "Hugo" |]
+
+let generate ?(seed = 7) ~n_patients ~recursion_depth () =
+  let rng = Random.State.make [| seed |] in
+  let pick arr = arr.(Random.State.int rng (Array.length arr)) in
+  let meds = Array.of_list medications in
+  let visit () =
+    let treatment =
+      if Random.State.int rng 100 < 60 then
+        Tree.E ("medication", [], [ Tree.T (pick meds) ])
+      else
+        Tree.E
+          ( "test",
+            [],
+            [ Tree.T (Printf.sprintf "t%d" (Random.State.int rng 100)) ] )
+    in
+    Tree.E
+      ( "visit",
+        [],
+        [
+          Tree.E ("treatment", [], [ treatment ]);
+          Tree.E
+            ( "date",
+              [],
+              [ Tree.T (Printf.sprintf "2006-%02d-%02d"
+                          (1 + Random.State.int rng 12)
+                          (1 + Random.State.int rng 28)) ] );
+        ] )
+  in
+  let rec patient depth idx =
+    let visits = List.init (1 + Random.State.int rng 3) (fun _ -> visit ()) in
+    let parents =
+      if depth > 0 && Random.State.int rng 100 < 70 then
+        [ Tree.E ("parent", [], [ patient (depth - 1) (idx * 7 + 1) ]) ]
+      else []
+    in
+    Tree.E
+      ( "patient",
+        [],
+        Tree.E
+          ("pname", [], [ Tree.T (Printf.sprintf "%s-%d" (pick first_names) idx) ])
+        :: (visits @ parents) )
+  in
+  let patients = List.init n_patients (fun i -> patient recursion_depth i) in
+  Tree.of_source (Tree.E ("hospital", [], patients))
+

@@ -1,0 +1,32 @@
+(** The paper's running example (Fig. 3): the hospital schema, the access
+    control policy S0, and a parameterized generator of hospital records
+    (the documents the demo's evaluation runs on — no public corpus exists,
+    so they are synthesized from the figure's own schema). *)
+
+val dtd : Smoqe_xml.Dtd.t
+(** Fig. 3(a): [hospital -> patient*], [patient -> pname, visit*, parent*],
+    [parent -> patient], [visit -> treatment, date],
+    [treatment -> test | medication], PCDATA leaves. *)
+
+val policy : Smoqe_security.Policy.t
+(** Fig. 3(b) — S0: expose only patients treated for autism, hiding their
+    names, tests and visit structure. *)
+
+val policy_text : string
+(** S0 in the concrete annotation syntax (kept parseable for the CLI and
+    documentation). *)
+
+val generate :
+  ?seed:int ->
+  n_patients:int ->
+  recursion_depth:int ->
+  unit ->
+  Smoqe_xml.Tree.t
+(** A hospital document: [n_patients] top-level patients, each with 1–3
+    visits (medications drawn from a pool containing ["autism"] and
+    ["headache"], or tests), and chains of [parent] ancestors up to
+    [recursion_depth] deep.  Valid against {!dtd}; deterministic per
+    seed. *)
+
+val medications : string list
+(** The medication vocabulary used by the generator. *)

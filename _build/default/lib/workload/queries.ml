@@ -1,0 +1,33 @@
+let q0 =
+  "patient[(parent/patient)*/visit/treatment/test and \
+   visit/treatment[medication/text()=\"headache\"]]/pname"
+
+let suite =
+  [
+    ("Q1", "patient/pname");
+    ("Q2", "//medication");
+    ("Q3", "(patient/parent)*/patient/pname");
+    ("Q4", "patient[visit/treatment/medication = 'autism']/pname");
+    ("Q5", "//treatment[medication]/medication");
+    ("Q6", "patient[not(visit/treatment/test)]/visit/date");
+    ("Q7", "patient[(parent/patient)*/visit/treatment/medication = 'flu']/pname");
+    ("Q8", q0);
+  ]
+
+let parsed =
+  List.map
+    (fun (name, text) ->
+      match Smoqe_rxpath.Parser.path_of_string text with
+      | Ok p -> (name, p)
+      | Error msg ->
+        invalid_arg (Printf.sprintf "Queries.parsed: %s: %s" name msg))
+    suite
+
+let view_suite =
+  [
+    ("V1", "patient/treatment/medication");
+    ("V2", "(patient/parent)*/patient/treatment/medication");
+    ("V3", "patient[parent/patient/treatment]/treatment/medication");
+    ("V4", "//medication");
+    ("V5", "patient[treatment/medication = 'autism']");
+  ]

@@ -1,0 +1,19 @@
+(** The benchmark query suite over the hospital schema (experiments E1–E4).
+
+    Q1–Q8 cover the axes the demo exercises: plain paths, descendant axis,
+    Kleene recursion through [parent], predicate-heavy selections, value
+    tests, negation, and the paper's own Q0. *)
+
+val suite : (string * string) list
+(** (name, concrete syntax) pairs, in order Q1..Q8. *)
+
+val parsed : (string * Smoqe_rxpath.Ast.path) list
+(** The suite, parsed.  Raises only if the built-in texts are broken
+    (covered by tests). *)
+
+val q0 : string
+(** The paper's Fig. 4 query (root-relative form, as evaluated from the
+    document root node). *)
+
+val view_suite : (string * string) list
+(** Queries over the Fig. 3(d) view schema, for rewriting benchmarks. *)

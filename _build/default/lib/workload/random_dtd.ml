@@ -1,0 +1,109 @@
+module Dtd = Smoqe_xml.Dtd
+module Ast = Smoqe_rxpath.Ast
+module Policy = Smoqe_security.Policy
+
+let type_name i = Printf.sprintf "t%d" i
+
+let generate ?(seed = 3) ~n_types ~recursion () =
+  if n_types < 2 then invalid_arg "Random_dtd.generate: n_types must be >= 2";
+  let rng = Random.State.make [| seed |] in
+  let prods =
+    List.init n_types (fun i ->
+        let name = type_name i in
+        if i >= n_types - 1 then (name, Dtd.Mixed [])
+        else begin
+          (* Children drawn from deeper types (guaranteeing finite
+             expansion), optionally plus a starred back-edge. *)
+          let n_kids = 1 + Random.State.int rng 3 in
+          let kid () =
+            let j = i + 1 + Random.State.int rng (n_types - i - 1) in
+            let base = Dtd.Name (type_name j) in
+            match Random.State.int rng 4 with
+            | 0 -> Dtd.Star base
+            | 1 -> Dtd.Opt base
+            | 2 -> Dtd.Plus base
+            | _ -> base
+          in
+          let kids = List.init n_kids (fun _ -> kid ()) in
+          let kids =
+            if recursion && Random.State.int rng 100 < 50 then begin
+              let back = Random.State.int rng (i + 1) in
+              Dtd.Star (Dtd.Name (type_name back)) :: kids
+            end
+            else kids
+          in
+          let regex =
+            match kids with
+            | [] -> Dtd.Eps
+            | first :: rest ->
+              List.fold_left (fun acc r -> Dtd.Seq (acc, r)) first rest
+          in
+          (name, Dtd.Children regex)
+        end)
+  in
+  Dtd.create ~root:(type_name 0) prods
+
+let random_policy ?(seed = 5) ?(deny_ratio = 0.3) ?(cond_ratio = 0.2) dtd =
+  let rng = Random.State.make [| seed |] in
+  let anns =
+    List.filter_map
+      (fun (parent, child) ->
+        let r = Random.State.float rng 1.0 in
+        if r < deny_ratio then Some ((parent, child), Policy.Deny)
+        else if r < deny_ratio +. cond_ratio then begin
+          let q =
+            match Random.State.int rng 3 with
+            | 0 ->
+              (* child has some grandchild of a random reachable type *)
+              let types = Dtd.child_types dtd child in
+              (match types with
+              | [] -> Ast.Exists Ast.Text
+              | ts ->
+                Ast.Exists
+                  (Ast.Tag (List.nth ts (Random.State.int rng (List.length ts)))))
+            | 1 -> Ast.Exists (Ast.seq Ast.descendant_or_self Ast.Text)
+            | _ ->
+              Ast.Value_eq
+                ( Ast.seq Ast.descendant_or_self Ast.Text,
+                  if Random.State.bool rng then "alpha" else "beta" )
+          in
+          Some ((parent, child), Policy.Cond q)
+        end
+        else if r < deny_ratio +. cond_ratio +. 0.2 then
+          Some ((parent, child), Policy.Allow)
+        else None)
+      (List.sort_uniq compare (Dtd.edges dtd))
+  in
+  Policy.create dtd anns
+
+let random_query ?(seed = 9) ?(size = 8) ~tags () =
+  let rng = Random.State.make [| seed |] in
+  let pick_tag () = List.nth tags (Random.State.int rng (List.length tags)) in
+  let rec path n =
+    if n <= 1 then
+      match Random.State.int rng 5 with
+      | 0 -> Ast.Self
+      | 1 -> Ast.Wildcard
+      | 2 -> Ast.Text
+      | _ -> Ast.Tag (pick_tag ())
+    else
+      match Random.State.int rng 10 with
+      | 0 | 1 | 2 | 3 -> Ast.seq (path (n / 2)) (path (n - (n / 2)))
+      | 4 | 5 -> Ast.union (path (n / 2)) (path (n - (n / 2)))
+      | 6 -> Ast.star (path (n - 1))
+      | 7 | 8 -> Ast.filter (path (n / 2)) (qual (n - (n / 2)))
+      | _ -> Ast.Tag (pick_tag ())
+  and qual n =
+    if n <= 1 then
+      match Random.State.int rng 3 with
+      | 0 -> Ast.Value_eq (Ast.Text, "alpha")
+      | 1 -> Ast.Exists (Ast.Tag (pick_tag ()))
+      | _ -> Ast.Exists Ast.Wildcard
+    else
+      match Random.State.int rng 6 with
+      | 0 -> Ast.q_not (qual (n - 1))
+      | 1 -> Ast.q_and (qual (n / 2)) (qual (n - (n / 2)))
+      | 2 -> Ast.q_or (qual (n / 2)) (qual (n - (n / 2)))
+      | _ -> Ast.Exists (path (n - 1))
+  in
+  path size

@@ -1,0 +1,33 @@
+(** Random (possibly recursive) DTDs and random policies over them — the
+    workload of experiment E7 and of the rewriting property tests.
+
+    Generated schemas always admit finite documents: every type's content
+    is a sequence of starred/optional groups plus at least a PCDATA escape
+    at the leaves. *)
+
+val generate :
+  ?seed:int ->
+  n_types:int ->
+  recursion:bool ->
+  unit ->
+  Smoqe_xml.Dtd.t
+(** [n_types >= 2]; with [recursion] the generator adds back-edges to
+    ancestors (inside starred groups, so expansion can always stop). *)
+
+val random_policy :
+  ?seed:int ->
+  ?deny_ratio:float ->
+  ?cond_ratio:float ->
+  Smoqe_xml.Dtd.t ->
+  Smoqe_security.Policy.t
+(** Annotate a random subset of edges: [deny_ratio] of them [N],
+    [cond_ratio] conditional on a child-existence or value qualifier,
+    the rest [Y] or unannotated. *)
+
+val random_query :
+  ?seed:int ->
+  ?size:int ->
+  tags:string list ->
+  unit ->
+  Smoqe_rxpath.Ast.path
+(** A random Regular XPath query over a tag vocabulary. *)

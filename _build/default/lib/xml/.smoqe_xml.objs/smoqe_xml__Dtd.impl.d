@@ -1,0 +1,1 @@
+lib/xml/dtd.ml: Fmt Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/xml/dtd_parser.ml: Dtd List Option Printf String

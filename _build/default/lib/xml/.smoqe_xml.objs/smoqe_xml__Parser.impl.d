@@ -1,0 +1,1 @@
+lib/xml/parser.ml: List Pull Tree

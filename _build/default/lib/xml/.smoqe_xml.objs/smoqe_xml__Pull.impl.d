@@ -1,0 +1,1 @@
+lib/xml/pull.ml: Buffer Bytes Char List Printf String

@@ -1,0 +1,1 @@
+lib/xml/tree.ml: Array Buffer Fmt Hashtbl List Printf String

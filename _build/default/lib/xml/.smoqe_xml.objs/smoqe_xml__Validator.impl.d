@@ -1,0 +1,1 @@
+lib/xml/validator.ml: Dtd Fmt List Printf Result Tree

@@ -1,0 +1,1 @@
+lib/xml/validator.mli: Dtd Format Tree

@@ -1,0 +1,204 @@
+type regex =
+  | Eps
+  | Name of string
+  | Pcdata
+  | Seq of regex * regex
+  | Alt of regex * regex
+  | Star of regex
+  | Plus of regex
+  | Opt of regex
+
+type content =
+  | Empty
+  | Any
+  | Children of regex
+  | Mixed of string list
+
+type t = {
+  root : string;
+  prods : (string * content) list; (* declaration order, root first *)
+  table : (string, content) Hashtbl.t;
+}
+
+let rec regex_names acc = function
+  | Eps | Pcdata -> acc
+  | Name s -> if List.mem s acc then acc else acc @ [ s ]
+  | Seq (a, b) | Alt (a, b) -> regex_names (regex_names acc a) b
+  | Star r | Plus r | Opt r -> regex_names acc r
+
+let content_names = function
+  | Empty | Any -> []
+  | Children r -> regex_names [] r
+  | Mixed names ->
+    List.fold_left
+      (fun acc s -> if List.mem s acc then acc else acc @ [ s ])
+      [] names
+
+(* Reassociate Seq and Alt to the right so that structurally different but
+   equivalent parses (the parser is left-associative) compare equal. *)
+let rec normalize_regex = function
+  | (Eps | Pcdata | Name _) as r -> r
+  | Seq (Seq (a, b), c) -> normalize_regex (Seq (a, Seq (b, c)))
+  | Seq (a, b) -> Seq (normalize_regex a, normalize_regex b)
+  | Alt (Alt (a, b), c) -> normalize_regex (Alt (a, Alt (b, c)))
+  | Alt (a, b) -> Alt (normalize_regex a, normalize_regex b)
+  | Star r -> Star (normalize_regex r)
+  | Plus r -> Plus (normalize_regex r)
+  | Opt r -> Opt (normalize_regex r)
+
+let normalize_content = function
+  | (Empty | Any | Mixed _) as c -> c
+  | Children r -> Children (normalize_regex r)
+
+let create ~root prods =
+  let prods = List.map (fun (n, c) -> (n, normalize_content c)) prods in
+  let table = Hashtbl.create 32 in
+  List.iter
+    (fun (name, content) ->
+      if Hashtbl.mem table name then
+        invalid_arg (Printf.sprintf "Dtd.create: duplicate production for %s" name);
+      Hashtbl.add table name content)
+    prods;
+  if not (Hashtbl.mem table root) then
+    invalid_arg (Printf.sprintf "Dtd.create: no production for root %s" root);
+  List.iter
+    (fun (name, content) ->
+      List.iter
+        (fun child ->
+          if not (Hashtbl.mem table child) then
+            invalid_arg
+              (Printf.sprintf
+                 "Dtd.create: %s mentions undeclared element type %s" name
+                 child))
+        (content_names content))
+    prods;
+  (* Put the root production first for readability. *)
+  let prods =
+    (root, Hashtbl.find table root)
+    :: List.filter (fun (name, _) -> name <> root) prods
+  in
+  { root; prods; table }
+
+let root t = t.root
+let element_names t = List.map fst t.prods
+let content t name = Hashtbl.find_opt t.table name
+let productions t = t.prods
+
+let child_types t name =
+  match content t name with None -> [] | Some c -> content_names c
+
+let allows_text t name =
+  match content t name with
+  | None | Some (Empty | Children _) -> false
+  | Some (Any | Mixed _) -> true
+  | exception Not_found -> false
+
+let edges t =
+  List.concat_map
+    (fun (name, content) ->
+      List.map (fun child -> (name, child)) (content_names content))
+    t.prods
+
+let reachable t =
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec visit name =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.add seen name ();
+      order := name :: !order;
+      List.iter visit (child_types t name)
+    end
+  in
+  visit t.root;
+  List.rev !order
+
+let is_recursive t =
+  (* DFS with colors over the schema graph. *)
+  let color = Hashtbl.create 16 in
+  let cyclic = ref false in
+  let rec visit name =
+    match Hashtbl.find_opt color name with
+    | Some `Gray -> cyclic := true
+    | Some `Black -> ()
+    | None ->
+      Hashtbl.replace color name `Gray;
+      List.iter visit (child_types t name);
+      Hashtbl.replace color name `Black
+  in
+  List.iter (fun (name, _) -> visit name) t.prods;
+  !cyclic
+
+let rec rename_regex ~old_name ~new_name = function
+  | Eps -> Eps
+  | Pcdata -> Pcdata
+  | Name s -> Name (if s = old_name then new_name else s)
+  | Seq (a, b) ->
+    Seq (rename_regex ~old_name ~new_name a, rename_regex ~old_name ~new_name b)
+  | Alt (a, b) ->
+    Alt (rename_regex ~old_name ~new_name a, rename_regex ~old_name ~new_name b)
+  | Star r -> Star (rename_regex ~old_name ~new_name r)
+  | Plus r -> Plus (rename_regex ~old_name ~new_name r)
+  | Opt r -> Opt (rename_regex ~old_name ~new_name r)
+
+let rename_content ~old_name ~new_name = function
+  | (Empty | Any) as c -> c
+  | Children r -> Children (rename_regex ~old_name ~new_name r)
+  | Mixed names ->
+    Mixed (List.map (fun s -> if s = old_name then new_name else s) names)
+
+let rename_type t ~old_name ~new_name =
+  if List.mem_assoc new_name t.prods then
+    invalid_arg (Printf.sprintf "Dtd.rename_type: %s already exists" new_name);
+  let prods =
+    List.map
+      (fun (name, c) ->
+        let name = if name = old_name then new_name else name in
+        (name, rename_content ~old_name ~new_name c))
+      t.prods
+  in
+  let root = if t.root = old_name then new_name else t.root in
+  create ~root prods
+
+(* Precedence for printing: Alt < Seq < postfix. *)
+let rec pp_regex_prec prec ppf r =
+  let paren p body =
+    if prec > p then Fmt.pf ppf "(%t)" body else body ppf
+  in
+  match r with
+  | Eps -> Fmt.string ppf "EMPTY"
+  | Pcdata -> Fmt.string ppf "#PCDATA"
+  | Name s -> Fmt.string ppf s
+  | Alt (a, b) ->
+    paren 0 (fun ppf ->
+        Fmt.pf ppf "%a | %a" (pp_regex_prec 0) a (pp_regex_prec 0) b)
+  | Seq (a, b) ->
+    paren 1 (fun ppf ->
+        Fmt.pf ppf "%a, %a" (pp_regex_prec 1) a (pp_regex_prec 1) b)
+  | Star r -> Fmt.pf ppf "%a*" (pp_regex_prec 2) r
+  | Plus r -> Fmt.pf ppf "%a+" (pp_regex_prec 2) r
+  | Opt r -> Fmt.pf ppf "%a?" (pp_regex_prec 2) r
+
+let pp_regex ppf r = pp_regex_prec 0 ppf r
+
+let pp_content ppf = function
+  | Empty -> Fmt.string ppf "EMPTY"
+  | Any -> Fmt.string ppf "ANY"
+  | Children r -> Fmt.pf ppf "(%a)" pp_regex r
+  | Mixed [] -> Fmt.string ppf "(#PCDATA)"
+  | Mixed names ->
+    Fmt.pf ppf "(#PCDATA | %a)*" Fmt.(list ~sep:(any " | ") string) names
+
+let pp ppf t =
+  List.iter
+    (fun (name, c) -> Fmt.pf ppf "<!ELEMENT %s %a>@." name pp_content c)
+    t.prods
+
+let to_string t = Fmt.str "%a" pp t
+
+let equal a b =
+  a.root = b.root
+  && List.length a.prods = List.length b.prods
+  && List.for_all
+       (fun (name, c) ->
+         match content b name with Some c' -> c = c' | None -> false)
+       a.prods

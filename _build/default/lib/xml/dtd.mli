@@ -1,0 +1,69 @@
+(** DTD schemas: the view- and document-schema substrate of SMOQE.
+
+    A DTD is a root element type plus one production per element type,
+    [A -> content].  Content models are the usual regular expressions over
+    element names; PCDATA marks text content.  Recursive DTDs — the case
+    SMOQE is specifically built to support — are first-class: productions
+    may reach their own type (e.g. [parent -> patient] under
+    [patient -> ..., parent*] in the paper's hospital schema). *)
+
+type regex =
+  | Eps
+  | Name of string
+  | Pcdata
+  | Seq of regex * regex
+  | Alt of regex * regex
+  | Star of regex
+  | Plus of regex
+  | Opt of regex
+
+type content =
+  | Empty  (** [EMPTY] *)
+  | Any  (** [ANY] *)
+  | Children of regex  (** element content *)
+  | Mixed of string list  (** [(#PCDATA | a | b)*] *)
+
+type t
+
+val create : root:string -> (string * content) list -> t
+(** Build a DTD.  Raises [Invalid_argument] when the root has no
+    production, a type has two productions, or a content model mentions a
+    type with no production. *)
+
+val root : t -> string
+
+val element_names : t -> string list
+(** All declared element types, root first, in declaration order. *)
+
+val content : t -> string -> content option
+
+val productions : t -> (string * content) list
+
+val child_types : t -> string -> string list
+(** Element types that may occur as children of the given type, in first
+    mention order ([[]] for undeclared types). *)
+
+val allows_text : t -> string -> bool
+(** Whether text children are allowed (PCDATA present, [Mixed] or [Any]). *)
+
+val edges : t -> (string * string) list
+(** All (parent type, child type) pairs of the schema graph. *)
+
+val is_recursive : t -> bool
+(** Whether the schema graph has a cycle. *)
+
+val reachable : t -> string list
+(** Types reachable from the root (root included). *)
+
+val rename_type : t -> old_name:string -> new_name:string -> t
+(** Consistently rename an element type.  Raises [Invalid_argument] if the
+    new name already exists. *)
+
+val pp : Format.formatter -> t -> unit
+(** Render in DTD syntax, one [<!ELEMENT ...>] line per production. *)
+
+val to_string : t -> string
+
+val pp_regex : Format.formatter -> regex -> unit
+
+val equal : t -> t -> bool

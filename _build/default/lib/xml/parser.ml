@@ -1,0 +1,77 @@
+(* Folding pull events into a Tree.source, then into a Tree.  The stack
+   holds, for each open element, its tag, attributes and the reversed list
+   of children built so far. *)
+
+type frame = { tag : string; attrs : (string * string) list;
+               mutable rev_kids : Tree.source list }
+
+let build_from next =
+  let stack : frame list ref = ref [] in
+  let result = ref None in
+  let push_kid kid =
+    match !stack with
+    | [] ->
+      (match kid with
+      | Tree.E _ ->
+        if !result <> None then invalid_arg "Parser: multiple roots";
+        result := Some kid
+      | Tree.T _ -> invalid_arg "Parser: text outside the root element")
+    | frame :: _ -> frame.rev_kids <- kid :: frame.rev_kids
+  in
+  let rec loop () =
+    match next () with
+    | None -> ()
+    | Some ev ->
+      (match ev with
+      | Pull.Start_element (tag, attrs) ->
+        stack := { tag; attrs; rev_kids = [] } :: !stack
+      | Pull.End_element tag ->
+        (match !stack with
+        | [] -> invalid_arg "Parser: unbalanced end element"
+        | frame :: rest ->
+          if frame.tag <> tag then invalid_arg "Parser: mismatched end element";
+          stack := rest;
+          push_kid (Tree.E (frame.tag, frame.attrs, List.rev frame.rev_kids)))
+      | Pull.Text s -> push_kid (Tree.T s));
+      loop ()
+  in
+  loop ();
+  if !stack <> [] then invalid_arg "Parser: unclosed elements";
+  match !result with
+  | None -> invalid_arg "Parser: empty document"
+  | Some src -> Tree.of_source src
+
+let tree_of_string ?keep_ws s =
+  let p = Pull.of_string ?keep_ws s in
+  build_from (fun () -> Pull.next p)
+
+let tree_of_channel ?keep_ws ic =
+  let p = Pull.of_channel ?keep_ws ic in
+  build_from (fun () -> Pull.next p)
+
+let tree_of_file ?keep_ws path =
+  let ic = open_in_bin path in
+  match tree_of_channel ?keep_ws ic with
+  | t -> close_in ic; t
+  | exception e -> close_in_noerr ic; raise e
+
+let tree_of_events events =
+  let remaining = ref events in
+  let next () =
+    match !remaining with
+    | [] -> None
+    | ev :: rest -> remaining := rest; Some ev
+  in
+  build_from next
+
+let events_of_tree t =
+  let rec go n acc =
+    if Tree.is_text t n then Pull.Text (Tree.text_content t n) :: acc
+    else begin
+      let tag = Tree.name t n in
+      let acc = Pull.Start_element (tag, Tree.attributes t n) :: acc in
+      let acc = Tree.fold_children t n ~init:acc ~f:(fun acc c -> go c acc) in
+      Pull.End_element tag :: acc
+    end
+  in
+  List.rev (go Tree.root [])

@@ -1,0 +1,16 @@
+(** Convenience DOM parsing: {!Pull} events folded into a {!Tree}. *)
+
+val tree_of_string : ?keep_ws:bool -> string -> Tree.t
+(** Parse a complete document.  Raises {!Pull.Error} on malformed input. *)
+
+val tree_of_channel : ?keep_ws:bool -> in_channel -> Tree.t
+
+val tree_of_file : ?keep_ws:bool -> string -> Tree.t
+
+val tree_of_events : Pull.event list -> Tree.t
+(** Build from an already-produced event list.  Raises [Invalid_argument]
+    if the events are not balanced around a single root. *)
+
+val events_of_tree : Tree.t -> Pull.event list
+(** The event stream a streaming parse of the serialized tree would
+    produce (text nodes emitted as-is). *)

@@ -1,0 +1,367 @@
+type event =
+  | Start_element of string * (string * string) list
+  | End_element of string
+  | Text of string
+
+exception Error of int * int * string
+
+(* A chunked reader with one character of lookahead.  [of_string] wraps the
+   whole string as a single chunk; [of_channel] refills a fixed buffer, so
+   arbitrarily large documents are scanned in constant memory. *)
+type reader = {
+  mutable buf : string;
+  mutable pos : int;
+  mutable len : int;
+  refill : unit -> string; (* "" at end of input *)
+  mutable line : int;
+  mutable col : int;
+}
+
+type t = {
+  rd : reader;
+  keep_ws : bool;
+  mutable stack : string list; (* open elements, innermost first *)
+  mutable seen_root : bool;
+  mutable finished : bool;
+  mutable pending : event option; (* one event of push-back *)
+}
+
+let chunk_size = 65536
+
+let reader_of_string s =
+  { buf = s; pos = 0; len = String.length s; refill = (fun () -> "");
+    line = 1; col = 1 }
+
+let reader_of_channel ic =
+  let refill () =
+    let b = Bytes.create chunk_size in
+    let n = input ic b 0 chunk_size in
+    if n = 0 then "" else Bytes.sub_string b 0 n
+  in
+  { buf = ""; pos = 0; len = 0; refill; line = 1; col = 1 }
+
+let err rd msg = raise (Error (rd.line, rd.col, msg))
+
+let peek rd =
+  if rd.pos < rd.len then Some rd.buf.[rd.pos]
+  else begin
+    let chunk = rd.refill () in
+    if chunk = "" then None
+    else begin
+      rd.buf <- chunk;
+      rd.pos <- 0;
+      rd.len <- String.length chunk;
+      Some chunk.[0]
+    end
+  end
+
+let advance rd =
+  (match peek rd with
+  | Some '\n' ->
+    rd.line <- rd.line + 1;
+    rd.col <- 1
+  | Some _ -> rd.col <- rd.col + 1
+  | None -> ());
+  rd.pos <- rd.pos + 1
+
+let read rd =
+  match peek rd with
+  | None -> err rd "unexpected end of input"
+  | Some c -> advance rd; c
+
+let expect rd c =
+  let got = read rd in
+  if got <> c then
+    err rd (Printf.sprintf "expected %C, found %C" c got)
+
+let expect_str rd s = String.iter (fun c -> expect rd c) s
+
+let is_ws = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_ws rd =
+  let rec loop () =
+    match peek rd with
+    | Some c when is_ws c -> advance rd; loop ()
+    | Some _ | None -> ()
+  in
+  loop ()
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let read_name rd =
+  let buf = Buffer.create 12 in
+  (match peek rd with
+  | Some c when is_name_start c -> Buffer.add_char buf (read rd)
+  | Some c -> err rd (Printf.sprintf "invalid name start %C" c)
+  | None -> err rd "unexpected end of input in name");
+  let rec loop () =
+    match peek rd with
+    | Some c when is_name_char c ->
+      Buffer.add_char buf (read rd);
+      loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  Buffer.contents buf
+
+(* Entity and character references. *)
+let read_reference rd =
+  (* '&' already consumed *)
+  match peek rd with
+  | Some '#' ->
+    advance rd;
+    let hex =
+      match peek rd with
+      | Some 'x' -> advance rd; true
+      | Some _ | None -> false
+    in
+    let buf = Buffer.create 6 in
+    let rec digits () =
+      match peek rd with
+      | Some c
+        when (c >= '0' && c <= '9')
+             || (hex && ((c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F'))) ->
+        Buffer.add_char buf (read rd);
+        digits ()
+      | Some _ | None -> ()
+    in
+    digits ();
+    expect rd ';';
+    let s = Buffer.contents buf in
+    if s = "" then err rd "empty character reference";
+    let code =
+      try int_of_string (if hex then "0x" ^ s else s)
+      with Failure _ -> err rd "invalid character reference"
+    in
+    if code < 0 || code > 0x10FFFF then err rd "character reference out of range";
+    (* Encode as UTF-8. *)
+    let b = Buffer.create 4 in
+    (if code < 0x80 then Buffer.add_char b (Char.chr code)
+     else if code < 0x800 then begin
+       Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+       Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+     end
+     else if code < 0x10000 then begin
+       Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+       Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+       Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+     end
+     else begin
+       Buffer.add_char b (Char.chr (0xF0 lor (code lsr 18)));
+       Buffer.add_char b (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+       Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+       Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+     end);
+    Buffer.contents b
+  | Some _ ->
+    let name = read_name rd in
+    expect rd ';';
+    (match name with
+    | "lt" -> "<"
+    | "gt" -> ">"
+    | "amp" -> "&"
+    | "apos" -> "'"
+    | "quot" -> "\""
+    | other -> err rd (Printf.sprintf "unknown entity &%s;" other))
+  | None -> err rd "unexpected end of input in reference"
+
+let read_attr_value rd =
+  let quote = read rd in
+  if quote <> '"' && quote <> '\'' then err rd "expected quoted attribute value";
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match read rd with
+    | c when c = quote -> Buffer.contents buf
+    | '&' ->
+      Buffer.add_string buf (read_reference rd);
+      loop ()
+    | '<' -> err rd "'<' in attribute value"
+    | c -> Buffer.add_char buf c; loop ()
+  in
+  loop ()
+
+let read_attributes rd =
+  let rec loop acc =
+    skip_ws rd;
+    match peek rd with
+    | Some ('/' | '>') | None -> List.rev acc
+    | Some c when is_name_start c ->
+      let key = read_name rd in
+      skip_ws rd;
+      expect rd '=';
+      skip_ws rd;
+      let v = read_attr_value rd in
+      if List.mem_assoc key acc then
+        err rd (Printf.sprintf "duplicate attribute %s" key);
+      loop ((key, v) :: acc)
+    | Some c -> err rd (Printf.sprintf "unexpected %C in tag" c)
+  in
+  loop []
+
+(* Skip until the given terminator string has been consumed. *)
+let skip_until rd terminator =
+  let k = String.length terminator in
+  let matched = ref 0 in
+  while !matched < k do
+    let c = read rd in
+    if c = terminator.[!matched] then incr matched
+    else if c = terminator.[0] then matched := 1
+    else matched := 0
+  done
+
+let skip_comment rd = skip_until rd "-->"
+let skip_pi rd = skip_until rd "?>"
+
+(* Skip a DOCTYPE declaration, including a bracketed internal subset. *)
+let skip_doctype rd =
+  let rec loop depth =
+    match read rd with
+    | '[' -> loop (depth + 1)
+    | ']' -> loop (depth - 1)
+    | '>' when depth = 0 -> ()
+    | _ -> loop depth
+  in
+  loop 0
+
+let read_cdata rd =
+  expect_str rd "CDATA[";
+  let buf = Buffer.create 32 in
+  let rec loop () =
+    let c = read rd in
+    if c = ']' then begin
+      match peek rd with
+      | Some ']' ->
+        advance rd;
+        let rec brackets () =
+          (* "]]]>" should emit "]" then close: keep shifting. *)
+          match peek rd with
+          | Some '>' -> advance rd
+          | Some ']' -> Buffer.add_char buf ']'; advance rd; brackets ()
+          | Some _ | None ->
+            Buffer.add_string buf "]]";
+            loop ()
+        in
+        brackets ()
+      | Some _ | None -> Buffer.add_char buf ']'; loop ()
+    end
+    else begin
+      Buffer.add_char buf c;
+      loop ()
+    end
+  in
+  loop ();
+  Buffer.contents buf
+
+let mk rd keep_ws =
+  { rd; keep_ws; stack = []; seen_root = false; finished = false;
+    pending = None }
+
+let of_string ?(keep_ws = false) s = mk (reader_of_string s) keep_ws
+let of_channel ?(keep_ws = false) ic = mk (reader_of_channel ic) keep_ws
+
+let ws_only s =
+  let ok = ref true in
+  String.iter (fun c -> if not (is_ws c) then ok := false) s;
+  !ok
+
+let rec next t =
+  match t.pending with
+  | Some ev ->
+    t.pending <- None;
+    Some ev
+  | None ->
+    if t.finished then None
+    else begin
+      let rd = t.rd in
+      match peek rd with
+      | None ->
+        if t.stack <> [] then err rd "unexpected end of input: unclosed elements"
+        else if not t.seen_root then err rd "empty document"
+        else begin
+          t.finished <- true;
+          None
+        end
+      | Some '<' ->
+        advance rd;
+        (match peek rd with
+        | Some '?' ->
+          advance rd;
+          skip_pi rd;
+          next t
+        | Some '!' ->
+          advance rd;
+          (match peek rd with
+          | Some '-' ->
+            expect_str rd "--";
+            skip_comment rd;
+            next t
+          | Some '[' ->
+            advance rd;
+            if t.stack = [] then err rd "CDATA outside the root element";
+            let s = read_cdata rd in
+            if s = "" then next t else Some (Text s)
+          | Some 'D' ->
+            expect_str rd "DOCTYPE";
+            skip_doctype rd;
+            next t
+          | Some c -> err rd (Printf.sprintf "unexpected <!%C" c)
+          | None -> err rd "unexpected end of input after <!")
+        | Some '/' ->
+          advance rd;
+          let tag = read_name rd in
+          skip_ws rd;
+          expect rd '>';
+          (match t.stack with
+          | [] -> err rd (Printf.sprintf "closing tag </%s> with no open element" tag)
+          | top :: rest ->
+            if top <> tag then
+              err rd (Printf.sprintf "closing tag </%s> does not match <%s>" tag top);
+            t.stack <- rest;
+            Some (End_element tag))
+        | Some _ ->
+          let tag = read_name rd in
+          let attrs = read_attributes rd in
+          if t.stack = [] && t.seen_root then
+            err rd "document has more than one root element";
+          t.seen_root <- true;
+          (match read rd with
+          | '>' ->
+            t.stack <- tag :: t.stack;
+            Some (Start_element (tag, attrs))
+          | '/' ->
+            expect rd '>';
+            t.pending <- Some (End_element tag);
+            Some (Start_element (tag, attrs))
+          | c -> err rd (Printf.sprintf "unexpected %C in start tag" c))
+        | None -> err rd "unexpected end of input after '<'")
+      | Some _ ->
+        let buf = Buffer.create 32 in
+        let rec text () =
+          match peek rd with
+          | Some '<' | None -> ()
+          | Some '&' ->
+            advance rd;
+            Buffer.add_string buf (read_reference rd);
+            text ()
+          | Some c -> advance rd; Buffer.add_char buf c; text ()
+        in
+        text ();
+        let s = Buffer.contents buf in
+        if t.stack = [] then
+          if ws_only s then next t else err rd "text outside the root element"
+        else if (not t.keep_ws) && ws_only s then next t
+        else Some (Text s)
+    end
+
+let fold t ~init ~f =
+  let rec loop acc =
+    match next t with None -> acc | Some ev -> loop (f acc ev)
+  in
+  loop init
+
+let line t = t.rd.line
+let column t = t.rd.col

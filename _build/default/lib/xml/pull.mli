@@ -1,0 +1,40 @@
+(** Streaming XML pull parser — the StAX mode of SMOQE.
+
+    A single sequential scan of the input produces a stream of events; no
+    tree is built.  The parser handles the XML 1.0 constructs needed by
+    data-centric documents: prolog, DOCTYPE (skipped), comments, processing
+    instructions (skipped), CDATA, attributes, self-closing tags, the five
+    predefined entities and numeric character references.
+
+    Well-formedness is enforced: mismatched or unbalanced tags, text outside
+    the root element, or multiple roots raise {!Error} with a location. *)
+
+type event =
+  | Start_element of string * (string * string) list
+  | End_element of string
+  | Text of string
+
+type t
+
+exception Error of int * int * string
+(** [Error (line, column, message)] — 1-based location of a syntax or
+    well-formedness error. *)
+
+val of_string : ?keep_ws:bool -> string -> t
+(** Parse from a string.  When [keep_ws] is [false] (the default),
+    whitespace-only text between elements is dropped, matching the
+    data-centric documents of the paper. *)
+
+val of_channel : ?keep_ws:bool -> in_channel -> t
+(** Parse incrementally from a channel: the document is never held in
+    memory in full. *)
+
+val next : t -> event option
+(** The next event, or [None] once the root element has been closed and
+    only trailing whitespace/comments remain.  May raise {!Error}. *)
+
+val fold : t -> init:'a -> f:('a -> event -> 'a) -> 'a
+(** Drain the stream. *)
+
+val line : t -> int
+val column : t -> int

@@ -1,0 +1,118 @@
+let escape ~quotes s =
+  let needs_escape = ref false in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' | '<' | '>' -> needs_escape := true
+      | '"' | '\'' -> if quotes then needs_escape := true
+      | _ -> ())
+    s;
+  if not !needs_escape then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '&' -> Buffer.add_string buf "&amp;"
+        | '<' -> Buffer.add_string buf "&lt;"
+        | '>' -> Buffer.add_string buf "&gt;"
+        | '"' when quotes -> Buffer.add_string buf "&quot;"
+        | '\'' when quotes -> Buffer.add_string buf "&apos;"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  end
+
+let escape_text s = escape ~quotes:false s
+let escape_attr s = escape ~quotes:true s
+
+let add_attrs buf attrs =
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf k;
+      Buffer.add_string buf "=\"";
+      Buffer.add_string buf (escape_attr v);
+      Buffer.add_char buf '"')
+    attrs
+
+let subtree_to_buf ~indent buf t start =
+  let rec go level n =
+    let pad () =
+      if indent then
+        for _ = 1 to 2 * level do
+          Buffer.add_char buf ' '
+        done
+    in
+    if Tree.is_text t n then begin
+      pad ();
+      Buffer.add_string buf (escape_text (Tree.text_content t n));
+      if indent then Buffer.add_char buf '\n'
+    end
+    else begin
+      let tag = Tree.name t n in
+      pad ();
+      Buffer.add_char buf '<';
+      Buffer.add_string buf tag;
+      add_attrs buf (Tree.attributes t n);
+      match Tree.children t n with
+      | [] ->
+        Buffer.add_string buf "/>";
+        if indent then Buffer.add_char buf '\n'
+      | [ only ] when Tree.is_text t only ->
+        Buffer.add_char buf '>';
+        Buffer.add_string buf (escape_text (Tree.text_content t only));
+        Buffer.add_string buf "</";
+        Buffer.add_string buf tag;
+        Buffer.add_char buf '>';
+        if indent then Buffer.add_char buf '\n'
+      | kids ->
+        Buffer.add_char buf '>';
+        if indent then Buffer.add_char buf '\n';
+        List.iter (go (level + 1)) kids;
+        pad ();
+        Buffer.add_string buf "</";
+        Buffer.add_string buf tag;
+        Buffer.add_char buf '>';
+        if indent then Buffer.add_char buf '\n'
+    end
+  in
+  go 0 start
+
+let to_string ?(indent = true) ?(decl = false) t =
+  let buf = Buffer.create 1024 in
+  if decl then Buffer.add_string buf "<?xml version=\"1.0\"?>\n";
+  subtree_to_buf ~indent buf t Tree.root;
+  Buffer.contents buf
+
+let subtree_to_string ?(indent = true) t n =
+  let buf = Buffer.create 256 in
+  subtree_to_buf ~indent buf t n;
+  Buffer.contents buf
+
+let to_channel ?indent ?decl oc t =
+  output_string oc (to_string ?indent ?decl t)
+
+let to_file ?indent ?decl path t =
+  let oc = open_out_bin path in
+  match to_channel ?indent ?decl oc t with
+  | () -> close_out oc
+  | exception e -> close_out_noerr oc; raise e
+
+let events_to_string events =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Pull.Start_element (tag, attrs) ->
+        Buffer.add_char buf '<';
+        Buffer.add_string buf tag;
+        add_attrs buf attrs;
+        Buffer.add_char buf '>'
+      | Pull.End_element tag ->
+        Buffer.add_string buf "</";
+        Buffer.add_string buf tag;
+        Buffer.add_char buf '>'
+      | Pull.Text s -> Buffer.add_string buf (escape_text s))
+    events;
+  Buffer.contents buf

@@ -1,0 +1,23 @@
+(** XML output: trees and event streams back to markup. *)
+
+val escape_text : string -> string
+(** Escape ampersands and angle brackets for character data. *)
+
+val escape_attr : string -> string
+(** Escape ampersands, angle brackets and both quote characters for
+    attribute values. *)
+
+val to_string : ?indent:bool -> ?decl:bool -> Tree.t -> string
+(** Serialize a document.  [indent] (default [true]) pretty-prints with two
+    spaces per level, keeping elements whose only child is text on one
+    line.  [decl] (default [false]) emits an XML declaration. *)
+
+val to_channel : ?indent:bool -> ?decl:bool -> out_channel -> Tree.t -> unit
+
+val to_file : ?indent:bool -> ?decl:bool -> string -> Tree.t -> unit
+
+val subtree_to_string : ?indent:bool -> Tree.t -> Tree.node -> string
+(** Serialize a single subtree. *)
+
+val events_to_string : Pull.event list -> string
+(** Serialize a balanced event stream (compact, no indentation). *)

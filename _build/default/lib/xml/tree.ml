@@ -1,0 +1,220 @@
+type node = int
+
+let root = 0
+
+type source =
+  | E of string * (string * string) list * source list
+  | T of string
+
+let text_tag = 0
+let text_tag_name = "#text"
+
+type t = {
+  tag : int array;
+  parent : int array;
+  first_child : int array;
+  next_sibling : int array;
+  subtree_end : int array;
+  depth : int array;
+  text : string array; (* text content; "" for elements *)
+  attrs : (string * string) list array;
+  tag_names : string array; (* tag id -> name; slot 0 is #text *)
+  tag_ids : (string, int) Hashtbl.t;
+  value_cache : string option array; (* lazy per-node comparison value *)
+}
+
+let n_nodes t = Array.length t.tag
+let n_tags t = Array.length t.tag_names
+
+let check t n =
+  if n < 0 || n >= n_nodes t then
+    invalid_arg (Printf.sprintf "Tree: node id %d out of range" n)
+
+let tag_id t n = check t n; t.tag.(n)
+let is_text t n = tag_id t n = text_tag
+let is_element t n = not (is_text t n)
+
+let tag_name t id =
+  if id < 0 || id >= Array.length t.tag_names then
+    invalid_arg (Printf.sprintf "Tree: tag id %d out of range" id)
+  else t.tag_names.(id)
+
+let name t n = tag_name t (tag_id t n)
+let id_of_tag t s = Hashtbl.find_opt t.tag_ids s
+
+let parent t n =
+  check t n;
+  if n = root then None else Some t.parent.(n)
+
+let first_child t n =
+  check t n;
+  let c = t.first_child.(n) in
+  if c < 0 then None else Some c
+
+let next_sibling t n =
+  check t n;
+  let s = t.next_sibling.(n) in
+  if s < 0 then None else Some s
+
+let iter_children t n f =
+  let rec loop c = if c >= 0 then (f c; loop t.next_sibling.(c)) in
+  check t n;
+  loop t.first_child.(n)
+
+let fold_children t n ~init ~f =
+  let rec loop acc c =
+    if c < 0 then acc else loop (f acc c) t.next_sibling.(c)
+  in
+  check t n;
+  loop init t.first_child.(n)
+
+let children t n =
+  List.rev (fold_children t n ~init:[] ~f:(fun acc c -> c :: acc))
+
+let subtree_end t n = check t n; t.subtree_end.(n)
+let subtree_size t n = subtree_end t n - n
+let depth t n = check t n; t.depth.(n)
+let attributes t n = check t n; t.attrs.(n)
+let attribute t n key = List.assoc_opt key (attributes t n)
+let text_content t n = check t n; t.text.(n)
+
+let value t n =
+  check t n;
+  match t.value_cache.(n) with
+  | Some v -> v
+  | None ->
+    let v =
+      if is_text t n then t.text.(n)
+      else
+        fold_children t n ~init:[] ~f:(fun acc c ->
+            if t.tag.(c) = text_tag then t.text.(c) :: acc else acc)
+        |> List.rev |> String.concat ""
+    in
+    t.value_cache.(n) <- Some v;
+    v
+
+let descendant_or_self_texts t n =
+  let stop = subtree_end t n in
+  let buf = Buffer.create 16 in
+  for i = n to stop - 1 do
+    if t.tag.(i) = text_tag then Buffer.add_string buf t.text.(i)
+  done;
+  Buffer.contents buf
+
+let iter_preorder t f =
+  for i = 0 to n_nodes t - 1 do
+    f i
+  done
+
+let fold_preorder t ~init ~f =
+  let acc = ref init in
+  for i = 0 to n_nodes t - 1 do
+    acc := f !acc i
+  done;
+  !acc
+
+(* Construction: a first pass counts nodes, a second fills the arrays. *)
+
+let count_nodes src =
+  let rec go acc = function
+    | T _ -> acc + 1
+    | E (_, _, kids) -> List.fold_left go (acc + 1) kids
+  in
+  go 0 src
+
+let of_source src =
+  let n = count_nodes src in
+  let tag = Array.make n 0
+  and parent = Array.make n (-1)
+  and first_child = Array.make n (-1)
+  and next_sibling = Array.make n (-1)
+  and subtree_end = Array.make n 0
+  and depth = Array.make n 0
+  and text = Array.make n ""
+  and attrs = Array.make n [] in
+  let tag_ids = Hashtbl.create 64 in
+  Hashtbl.add tag_ids text_tag_name text_tag;
+  let names = ref [ text_tag_name ] in
+  let n_names = ref 1 in
+  let intern s =
+    match Hashtbl.find_opt tag_ids s with
+    | Some id -> id
+    | None ->
+      let id = !n_names in
+      incr n_names;
+      names := s :: !names;
+      Hashtbl.add tag_ids s id;
+      id
+  in
+  let next = ref 0 in
+  let rec fill par dep src =
+    let id = !next in
+    incr next;
+    parent.(id) <- par;
+    depth.(id) <- dep;
+    (match src with
+    | T s ->
+      tag.(id) <- text_tag;
+      text.(id) <- s
+    | E (tg, ats, kids) ->
+      if tg = "" then invalid_arg "Tree.of_source: empty tag name";
+      tag.(id) <- intern tg;
+      attrs.(id) <- ats;
+      let prev = ref (-1) in
+      let attach kid =
+        let kid_id = fill id (dep + 1) kid in
+        if !prev < 0 then first_child.(id) <- kid_id
+        else next_sibling.(!prev) <- kid_id;
+        prev := kid_id
+      in
+      List.iter attach kids);
+    subtree_end.(id) <- !next;
+    id
+  in
+  let (_ : int) = fill (-1) 0 src in
+  let tag_names = Array.of_list (List.rev !names) in
+  {
+    tag;
+    parent;
+    first_child;
+    next_sibling;
+    subtree_end;
+    depth;
+    text;
+    attrs;
+    tag_names;
+    tag_ids;
+    value_cache = Array.make n None;
+  }
+
+let rec to_source t n =
+  if is_text t n then T (text_content t n)
+  else
+    let kids = List.map (to_source t) (children t n) in
+    E (name t n, attributes t n, kids)
+
+let rec source_equal a b =
+  match a, b with
+  | T x, T y -> String.equal x y
+  | E (ta, aa, ka), E (tb, ab, kb) ->
+    String.equal ta tb
+    && List.length aa = List.length ab
+    && List.for_all2
+         (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && String.equal v1 v2)
+         aa ab
+    && List.length ka = List.length kb
+    && List.for_all2 source_equal ka kb
+  | T _, E _ | E _, T _ -> false
+
+let equal a b =
+  n_nodes a = n_nodes b && source_equal (to_source a root) (to_source b root)
+
+let rec pp_source ppf = function
+  | T s -> Fmt.pf ppf "%S" s
+  | E (tg, _, kids) ->
+    Fmt.pf ppf "@[<hov 1><%s%a>@]" tg
+      (fun ppf kids ->
+        List.iter (fun k -> Fmt.pf ppf "@ %a" pp_source k) kids)
+      kids
+
+let pp ppf t = pp_source ppf (to_source t root)

@@ -1,0 +1,105 @@
+(** In-memory XML documents (the DOM mode of SMOQE).
+
+    A document is an ordered, unranked tree of element and text nodes.
+    Nodes are identified by their pre-order rank, so the subtree rooted at a
+    node occupies a contiguous id range — the property both the TAX index
+    and the Cans candidate store exploit.  Element tags are interned to
+    small integers ([tag id]s) shared with the automata and the index. *)
+
+type t
+(** An immutable XML document. *)
+
+type node = int
+(** A node id: the pre-order rank of the node, starting at [root = 0]. *)
+
+val root : node
+
+type source =
+  | E of string * (string * string) list * source list
+      (** [E (tag, attributes, children)] *)
+  | T of string  (** A text node. *)
+
+(** {1 Construction} *)
+
+val of_source : source -> t
+(** Build a document from a nested description.  Raises [Invalid_argument]
+    on an empty tag name. *)
+
+val to_source : t -> node -> source
+(** Re-export the subtree rooted at a node as a nested description. *)
+
+val text_tag : int
+(** The reserved tag id of text nodes (its name is ["#text"]). *)
+
+(** {1 Structure} *)
+
+val n_nodes : t -> int
+
+val is_element : t -> node -> bool
+val is_text : t -> node -> bool
+
+val tag_id : t -> node -> int
+(** Interned tag of a node; [text_tag] for text nodes. *)
+
+val tag_name : t -> int -> string
+(** Name of an interned tag.  Raises [Invalid_argument] on an unknown id. *)
+
+val name : t -> node -> string
+(** [name t n] is [tag_name t (tag_id t n)]. *)
+
+val id_of_tag : t -> string -> int option
+(** Look up the id of a tag name, if any node of the document uses it. *)
+
+val n_tags : t -> int
+(** Number of distinct tags, text included. *)
+
+val parent : t -> node -> node option
+(** [None] exactly for the root. *)
+
+val first_child : t -> node -> node option
+val next_sibling : t -> node -> node option
+
+val children : t -> node -> node list
+
+val iter_children : t -> node -> (node -> unit) -> unit
+val fold_children : t -> node -> init:'a -> f:('a -> node -> 'a) -> 'a
+
+val subtree_end : t -> node -> node
+(** [subtree_end t n] is the first id after the subtree of [n]; the subtree
+    of [n] is exactly the range [n .. subtree_end t n - 1]. *)
+
+val subtree_size : t -> node -> int
+
+val depth : t -> node -> int
+(** Distance from the root (the root has depth 0). *)
+
+val attributes : t -> node -> (string * string) list
+(** Attributes of an element, in document order; [[]] for text nodes. *)
+
+val attribute : t -> node -> string -> string option
+
+(** {1 Content} *)
+
+val text_content : t -> node -> string
+(** Content of a text node; [""] for elements. *)
+
+val value : t -> node -> string
+(** The comparison value of a node, as used by Regular XPath equality
+    tests: a text node's content, or the concatenation of an element's
+    immediate text children. *)
+
+val descendant_or_self_texts : t -> node -> string
+(** Full XPath-style string value: concatenation of all text descendants. *)
+
+(** {1 Traversal} *)
+
+val iter_preorder : t -> (node -> unit) -> unit
+
+val fold_preorder : t -> init:'a -> f:('a -> node -> 'a) -> 'a
+
+val equal : t -> t -> bool
+(** Structural equality of documents (tags, texts and attributes; interned
+    ids may differ). *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line rendering for debugging; use {!Serializer} for real output. *)

@@ -1,0 +1,137 @@
+type error = {
+  node : Tree.node;
+  element : string;
+  message : string;
+}
+
+let pp_error ppf e =
+  Fmt.pf ppf "node %d <%s>: %s" e.node e.element e.message
+
+(* Brzozowski derivatives over content-model regexes.  Content models are
+   small, so we recompute derivatives without memoization; smart
+   constructors keep the intermediate regexes compact. *)
+
+let seq a b =
+  match a, b with
+  | Dtd.Eps, r | r, Dtd.Eps -> r
+  | _ -> Dtd.Seq (a, b)
+
+let alt a b = if a = b then a else Dtd.Alt (a, b)
+
+(* The empty language, encoded without extending Dtd.regex: we use a
+   dedicated name that cannot clash with element names. *)
+let void = Dtd.Name "\000void"
+
+let is_void r = r = void
+
+let rec nullable = function
+  | Dtd.Eps -> true
+  | Dtd.Name _ | Dtd.Pcdata -> false
+  | Dtd.Seq (a, b) -> nullable a && nullable b
+  | Dtd.Alt (a, b) -> nullable a || nullable b
+  | Dtd.Star _ | Dtd.Opt _ -> true
+  | Dtd.Plus r -> nullable r
+
+let rec deriv sym = function
+  | Dtd.Eps -> void
+  | Dtd.Name s -> if s = sym then Dtd.Eps else void
+  | Dtd.Pcdata -> if sym = "#text" then Dtd.Eps else void
+  | Dtd.Seq (a, b) ->
+    let da = deriv sym a in
+    let left = if is_void da then void else seq da b in
+    if nullable a then begin
+      let db = deriv sym b in
+      if is_void left then db else if is_void db then left else alt left db
+    end
+    else left
+  | Dtd.Alt (a, b) ->
+    let da = deriv sym a and db = deriv sym b in
+    if is_void da then db else if is_void db then da else alt da db
+  | Dtd.Star r as star ->
+    let dr = deriv sym r in
+    if is_void dr then void else seq dr star
+  | Dtd.Plus r ->
+    let dr = deriv sym r in
+    if is_void dr then void else seq dr (Dtd.Star r)
+  | Dtd.Opt r -> deriv sym r
+
+let matches r names =
+  let rec go r = function
+    | [] -> nullable r
+    | sym :: rest ->
+      let d = deriv sym r in
+      if is_void d then false else go d rest
+  in
+  go r names
+
+let child_names t n =
+  List.map
+    (fun c -> if Tree.is_text t c then "#text" else Tree.name t c)
+    (Tree.children t n)
+
+let check_element dtd t n errors =
+  let tag = Tree.name t n in
+  match Dtd.content dtd tag with
+  | None ->
+    { node = n; element = tag; message = "undeclared element type" } :: errors
+  | Some Dtd.Any -> errors
+  | Some Dtd.Empty ->
+    if Tree.children t n = [] then errors
+    else
+      { node = n; element = tag; message = "EMPTY element has children" }
+      :: errors
+  | Some (Dtd.Mixed allowed) ->
+    Tree.fold_children t n ~init:errors ~f:(fun errors c ->
+        if Tree.is_text t c then errors
+        else
+          let child_tag = Tree.name t c in
+          if List.mem child_tag allowed then errors
+          else
+            {
+              node = n;
+              element = tag;
+              message =
+                Printf.sprintf "element %s not allowed in mixed content"
+                  child_tag;
+            }
+            :: errors)
+  | Some (Dtd.Children r) ->
+    let names = child_names t n in
+    (* Element content: text children are invalid outright. *)
+    let errors =
+      if List.mem "#text" names then
+        { node = n; element = tag; message = "text in element content" }
+        :: errors
+      else errors
+    in
+    let element_names = List.filter (fun s -> s <> "#text") names in
+    if matches r element_names then errors
+    else
+      {
+        node = n;
+        element = tag;
+        message =
+          Fmt.str "children (%a) do not match content model %a"
+            Fmt.(list ~sep:comma string)
+            element_names Dtd.pp_regex r;
+      }
+      :: errors
+
+let validate dtd t =
+  let errors = ref [] in
+  if Tree.name t Tree.root <> Dtd.root dtd then
+    errors :=
+      [
+        {
+          node = Tree.root;
+          element = Tree.name t Tree.root;
+          message =
+            Printf.sprintf "root element is not %s" (Dtd.root dtd);
+        };
+      ];
+  Tree.iter_preorder t (fun n ->
+      if Tree.is_element t n then
+        errors := check_element dtd t n !errors);
+  match List.rev !errors with [] -> Ok () | es -> Error es
+
+let is_valid dtd t = Result.is_ok (validate dtd t)

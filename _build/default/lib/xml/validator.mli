@@ -1,0 +1,22 @@
+(** DTD validation of documents, via Brzozowski derivatives of the content
+    models.  Used to check generated documents, materialized views against
+    the derived view DTD, and user inputs. *)
+
+type error = {
+  node : Tree.node;
+  element : string;  (** the offending element's tag *)
+  message : string;
+}
+
+val validate : Dtd.t -> Tree.t -> (unit, error list) result
+(** All violations, in document order: undeclared element types, root-type
+    mismatch, children sequences not matching the content model, and text
+    where the content model forbids it. *)
+
+val is_valid : Dtd.t -> Tree.t -> bool
+
+val pp_error : Format.formatter -> error -> unit
+
+val matches : Dtd.regex -> string list -> bool
+(** [matches r names]: does the word of element names match the content
+    regex?  ([Pcdata] in [r] matches the pseudo-name ["#text"].) *)

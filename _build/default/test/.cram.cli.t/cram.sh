@@ -1,0 +1,22 @@
+  $ smoqe gen --kind hospital --size 2 --depth 1 --seed 3 > hospital.xml
+  $ smoqe gen --emit-dtd > hospital.dtd
+  $ smoqe gen --emit-policy > s0.policy
+  $ smoqe schema hospital.dtd
+  $ smoqe view -s hospital.dtd -p s0.policy
+  $ smoqe query -d hospital.xml -o ids "//pname" | wc -l | tr -d ' '
+  $ smoqe query -d hospital.xml -s hospital.dtd -p s0.policy -g staff -o ids "//pname" | wc -l | tr -d ' '
+  $ smoqe query -d hospital.xml --mode dom -o ids "//medication" > dom.ids
+  $ smoqe query -d hospital.xml --mode stax -o ids "//medication" > stax.ids
+  $ diff dom.ids stax.ids
+  $ smoqe rewrite -s hospital.dtd -p s0.policy "patient/treatment" | head -1
+  $ smoqe rewrite -s hospital.dtd -p s0.policy --dot "patient" | head -1
+  $ smoqe index -d hospital.xml --save hospital.tax
+  $ test -s hospital.tax
+  $ smoqe query -d hospital.xml "patient[" 2>&1
+  $ smoqe query -d hospital.xml -g ghosts "patient" 2>&1
+  $ smoqe store init mystore -d hospital.xml -s hospital.dtd
+  $ smoqe store add-policy mystore researchers -p s0.policy
+  $ smoqe store info mystore
+  $ smoqe store query mystore -o ids "//pname" | wc -l | tr -d ' '
+  $ smoqe store query mystore -g researchers -o ids "//pname" | wc -l | tr -d ' '
+  $ smoqe store query mystore -g ghosts "patient" 2>&1

@@ -1,0 +1,1 @@
+test/test_automata.ml: Alcotest Array List Printf QCheck2 QCheck_alcotest Smoqe_automata Smoqe_rewrite Smoqe_rxpath Smoqe_security Smoqe_workload Smoqe_xml String

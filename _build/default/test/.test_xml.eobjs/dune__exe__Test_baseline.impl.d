@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Buffer Lazy List Printf QCheck2 QCheck_alcotest Smoqe_automata Smoqe_baseline Smoqe_hype Smoqe_rxpath Smoqe_workload Smoqe_xml

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Filename List Option Smoqe Smoqe_hype Smoqe_workload Smoqe_xml String Sys

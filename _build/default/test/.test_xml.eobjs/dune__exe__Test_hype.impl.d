@@ -1,0 +1,1 @@
+test/test_hype.ml: Alcotest Buffer Lazy List Printf QCheck2 QCheck_alcotest Smoqe_automata Smoqe_hype Smoqe_rxpath Smoqe_tax Smoqe_xml String

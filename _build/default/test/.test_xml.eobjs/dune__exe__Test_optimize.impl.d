@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Array Fmt List Printf QCheck2 QCheck_alcotest Smoqe_automata Smoqe_hype Smoqe_rewrite Smoqe_rxpath Smoqe_security Smoqe_workload Smoqe_xml

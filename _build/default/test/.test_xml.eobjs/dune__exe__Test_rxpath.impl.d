@@ -1,0 +1,1 @@
+test/test_rxpath.ml: Alcotest Lazy List Printf QCheck2 QCheck_alcotest Smoqe_rxpath Smoqe_xml

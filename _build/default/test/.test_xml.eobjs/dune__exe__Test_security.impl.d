@@ -1,0 +1,1 @@
+test/test_security.ml: Alcotest Array Fmt Lazy List Printf Smoqe_hype Smoqe_rewrite Smoqe_rxpath Smoqe_security Smoqe_workload Smoqe_xml Str_replace String

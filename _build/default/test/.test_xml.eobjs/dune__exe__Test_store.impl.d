@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Array Filename Fun List Smoqe Smoqe_store Smoqe_tax Smoqe_workload Smoqe_xml String Sys

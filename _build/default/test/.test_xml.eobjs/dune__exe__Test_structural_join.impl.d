@@ -1,0 +1,1 @@
+test/test_structural_join.ml: Alcotest List Option Printf QCheck2 QCheck_alcotest Smoqe_baseline Smoqe_rxpath Smoqe_tax Smoqe_workload Smoqe_xml

@@ -1,0 +1,1 @@
+test/test_tax.ml: Alcotest Buffer Bytes Filename List Option Printf QCheck2 QCheck_alcotest Smoqe_tax Smoqe_xml Sys

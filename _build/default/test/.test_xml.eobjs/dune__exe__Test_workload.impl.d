@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Fmt List Printf Smoqe_rxpath Smoqe_workload Smoqe_xml

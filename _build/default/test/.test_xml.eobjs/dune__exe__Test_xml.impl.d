@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Filename List Printf QCheck2 QCheck_alcotest Smoqe_xml Sys

@@ -1,0 +1,13 @@
+(* Tiny test helper: first-occurrence substring replacement. *)
+let replace hay needle replacement =
+  let nl = String.length needle and hl = String.length hay in
+  let rec find i =
+    if i + nl > hl then None
+    else if String.sub hay i nl = needle then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> hay
+  | Some i ->
+    String.sub hay 0 i ^ replacement
+    ^ String.sub hay (i + nl) (hl - i - nl)

@@ -1,0 +1,218 @@
+(* Tests for the engine façade, sessions, and the terminal iSMOQE. *)
+
+module Tree = Smoqe_xml.Tree
+module Dtd = Smoqe_xml.Dtd
+module Serializer = Smoqe_xml.Serializer
+module Engine = Smoqe.Engine
+module Session = Smoqe.Session
+module Ismoqe = Smoqe.Ismoqe
+module Trace = Smoqe_hype.Trace
+module Hospital = Smoqe_workload.Hospital
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = (i + nl <= hl) && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let ok = function
+  | Ok v -> v
+  | Error msg -> Alcotest.fail msg
+
+let hospital_engine () =
+  let doc = Hospital.generate ~seed:31 ~n_patients:10 ~recursion_depth:2 () in
+  let e = Engine.of_string ~dtd:Hospital.dtd (Serializer.to_string doc) in
+  let e = ok e in
+  ok (Engine.register_policy e ~group:"researchers" Hospital.policy);
+  e
+
+let test_engine_of_string_errors () =
+  (match Engine.of_string "<oops" with
+  | Error msg -> Alcotest.(check bool) "located" true (contains msg "parse error")
+  | Ok _ -> Alcotest.fail "accepted bad xml");
+  match Engine.of_string ~dtd:Hospital.dtd "<zzz/>" with
+  | Error msg -> Alcotest.(check bool) "invalid" true (contains msg "invalid")
+  | Ok _ -> Alcotest.fail "accepted invalid doc"
+
+let test_engine_direct_query () =
+  let e = hospital_engine () in
+  let r = ok (Engine.query e "patient/pname") in
+  Alcotest.(check bool) "answers found" true (r.Engine.answers <> []);
+  Alcotest.(check int) "xml per answer"
+    (List.length r.Engine.answers)
+    (List.length r.Engine.answer_xml);
+  List.iter
+    (fun xml -> Alcotest.(check bool) "pname xml" true (contains xml "<pname>"))
+    r.Engine.answer_xml
+
+let test_engine_modes_agree () =
+  let e = hospital_engine () in
+  List.iter
+    (fun q ->
+      let dom = ok (Engine.query e ~mode:Engine.Dom q) in
+      let stax = ok (Engine.query e ~mode:Engine.Stax q) in
+      Alcotest.(check (list int)) q dom.Engine.answers stax.Engine.answers)
+    [ "patient/pname"; "//medication"; Smoqe_workload.Queries.q0 ]
+
+let test_engine_view_query () =
+  let e = hospital_engine () in
+  let direct = ok (Engine.query e "//pname") in
+  Alcotest.(check bool) "admin sees names" true (direct.Engine.answers <> []);
+  let through_view = ok (Engine.query e ~group:"researchers" "//pname") in
+  Alcotest.(check (list int)) "view hides names" [] through_view.Engine.answers;
+  let meds = ok (Engine.query e ~group:"researchers" "patient/treatment/medication") in
+  (* Medications are exposed only for autism patients. *)
+  let doc = Engine.document e in
+  List.iter
+    (fun n ->
+      Alcotest.(check string) "a medication" "medication" (Tree.name doc n))
+    meds.Engine.answers
+
+let test_engine_unknown_group () =
+  let e = hospital_engine () in
+  match Engine.query e ~group:"nope" "patient" with
+  | Error msg -> Alcotest.(check bool) "mentions group" true (contains msg "nope")
+  | Ok _ -> Alcotest.fail "unknown group accepted"
+
+let test_engine_bad_query () =
+  let e = hospital_engine () in
+  match Engine.query e "patient[" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad query accepted"
+
+let test_engine_index_lifecycle () =
+  let e = hospital_engine () in
+  Alcotest.(check bool) "no index yet" true (Engine.index e = None);
+  Engine.build_index e;
+  Alcotest.(check bool) "index built" true (Engine.index e <> None);
+  let with_index = ok (Engine.query e "//medication") in
+  let without = ok (Engine.query e ~use_index:false "//medication") in
+  Alcotest.(check (list int)) "same answers" without.Engine.answers
+    with_index.Engine.answers;
+  (* persistence *)
+  let path = Filename.temp_file "smoqe" ".tax" in
+  ok (Engine.save_index e path);
+  let e2 = hospital_engine () in
+  ok (Engine.load_index e2 path);
+  Sys.remove path;
+  Alcotest.(check bool) "loaded" true (Engine.index e2 <> None)
+
+let test_engine_index_mismatch () =
+  let e = hospital_engine () in
+  Engine.build_index e;
+  let path = Filename.temp_file "smoqe" ".tax" in
+  ok (Engine.save_index e path);
+  let other =
+    ok (Engine.of_string "<hospital><patient><pname>X</pname></patient></hospital>")
+  in
+  (match Engine.load_index other path with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "mismatched index accepted");
+  Sys.remove path
+
+let test_engine_policy_needs_dtd () =
+  let e = ok (Engine.of_string "<hospital/>") in
+  match Engine.register_policy e ~group:"g" Hospital.policy with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "policy without dtd accepted"
+
+let test_session_roles () =
+  let e = hospital_engine () in
+  let admin = ok (Session.login e Session.Admin) in
+  let user = ok (Session.login e (Session.Member "researchers")) in
+  Alcotest.(check bool) "admin direct" true (Session.can_access_document admin);
+  Alcotest.(check bool) "member restricted" false
+    (Session.can_access_document user);
+  (match Session.login e (Session.Member "ghosts") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "ghost group logged in");
+  (* same query, different worlds *)
+  let a = ok (Session.run admin "//pname") in
+  let u = ok (Session.run user "//pname") in
+  Alcotest.(check bool) "admin sees" true (a.Engine.answers <> []);
+  Alcotest.(check (list int)) "member blind" [] u.Engine.answers
+
+let test_static_short_circuit () =
+  let e = hospital_engine () in
+  (* names a tag the schema does not declare: provably empty, no pass *)
+  let r = ok (Engine.query e "//zebra") in
+  Alcotest.(check (list int)) "no answers" [] r.Engine.answers;
+  Alcotest.(check int) "no pass over the data" 0
+    r.Engine.stats.Smoqe_hype.Stats.passes_over_data;
+  (* through the view: hidden types are statically refused too *)
+  let r = ok (Engine.query e ~group:"researchers" "//pname") in
+  Alcotest.(check int) "view query skipped" 0
+    r.Engine.stats.Smoqe_hype.Stats.passes_over_data;
+  (* a satisfiable query still runs *)
+  let r = ok (Engine.query e "patient/pname") in
+  Alcotest.(check int) "real query runs" 1
+    r.Engine.stats.Smoqe_hype.Stats.passes_over_data
+
+let test_session_schema () =
+  let e = hospital_engine () in
+  let admin = ok (Session.login e Session.Admin) in
+  let user = ok (Session.login e (Session.Member "researchers")) in
+  (match Session.schema admin with
+  | Some d -> Alcotest.(check bool) "admin sees pname" true
+                (List.mem "pname" (Dtd.element_names d))
+  | None -> Alcotest.fail "admin schema missing");
+  match Session.schema user with
+  | Some d ->
+    Alcotest.(check bool) "member does not see pname" false
+      (List.mem "pname" (Dtd.element_names d));
+    Alcotest.(check bool) "member sees treatment" true
+      (List.mem "treatment" (Dtd.element_names d))
+  | None -> Alcotest.fail "member schema missing"
+
+let test_ismoqe_renderings () =
+  let e = hospital_engine () in
+  Engine.build_index e;
+  let schema = Ismoqe.schema_graph Hospital.dtd in
+  Alcotest.(check bool) "schema mentions patient" true (contains schema "patient");
+  let v = Option.get (Engine.view e ~group:"researchers") in
+  let spec = Ismoqe.view_specification v in
+  Alcotest.(check bool) "spec has sigma" true (contains spec "sigma(");
+  Alcotest.(check bool) "spec has view dtd" true (contains spec "<!ELEMENT");
+  let mfa = ok (Engine.rewrite_only e ~group:"researchers" "patient/treatment") in
+  Alcotest.(check bool) "ascii automaton" true
+    (contains (Ismoqe.mfa_ascii mfa) "SELECT");
+  Alcotest.(check bool) "dot automaton" true
+    (contains (Ismoqe.mfa_dot mfa) "digraph");
+  let trace = Trace.create () in
+  let r = ok (Engine.query e ~trace "patient/pname") in
+  let rendered = Ismoqe.evaluation_trace ~color:false trace (Engine.document e) in
+  Alcotest.(check bool) "trace marks answers" true (contains rendered "ANSWER");
+  let colored = Ismoqe.evaluation_trace ~color:true trace (Engine.document e) in
+  Alcotest.(check bool) "ansi colors" true (contains colored "\027[");
+  let tax = Ismoqe.tax_view (Option.get (Engine.index e)) (Engine.document e) in
+  Alcotest.(check bool) "tax view" true (contains tax "{");
+  let text = Ismoqe.answers_text (Engine.document e) r.Engine.answers in
+  Alcotest.(check bool) "answers text" true (contains text "pname");
+  let tree_view = Ismoqe.answers_tree (Engine.document e) r.Engine.answers in
+  Alcotest.(check bool) "answers tree" true (contains tree_view "<== answer");
+  Alcotest.(check bool) "stats" true
+    (String.length (Ismoqe.stats_table r.Engine.stats) > 0)
+
+let () =
+  Alcotest.run "smoqe_core"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "input errors" `Quick test_engine_of_string_errors;
+          Alcotest.test_case "direct query" `Quick test_engine_direct_query;
+          Alcotest.test_case "modes agree" `Quick test_engine_modes_agree;
+          Alcotest.test_case "view query" `Quick test_engine_view_query;
+          Alcotest.test_case "unknown group" `Quick test_engine_unknown_group;
+          Alcotest.test_case "bad query" `Quick test_engine_bad_query;
+          Alcotest.test_case "index lifecycle" `Quick test_engine_index_lifecycle;
+          Alcotest.test_case "index mismatch" `Quick test_engine_index_mismatch;
+          Alcotest.test_case "policy needs dtd" `Quick test_engine_policy_needs_dtd;
+          Alcotest.test_case "static short-circuit" `Quick
+            test_static_short_circuit;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "roles" `Quick test_session_roles;
+          Alcotest.test_case "schema" `Quick test_session_schema;
+        ] );
+      ("ismoqe", [ Alcotest.test_case "renderings" `Quick test_ismoqe_renderings ]);
+    ]

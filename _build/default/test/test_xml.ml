@@ -1,0 +1,556 @@
+(* Tests for the XML substrate: Tree, Pull, Parser, Serializer, Dtd,
+   Dtd_parser, Validator. *)
+
+module Tree = Smoqe_xml.Tree
+module Pull = Smoqe_xml.Pull
+module Parser = Smoqe_xml.Parser
+module Serializer = Smoqe_xml.Serializer
+module Dtd = Smoqe_xml.Dtd
+module Dtd_parser = Smoqe_xml.Dtd_parser
+module Validator = Smoqe_xml.Validator
+
+let sample_source =
+  Tree.E
+    ( "hospital",
+      [],
+      [
+        Tree.E
+          ( "patient",
+            [ ("id", "p1") ],
+            [
+              Tree.E ("pname", [], [ Tree.T "Ann" ]);
+              Tree.E
+                ( "visit",
+                  [],
+                  [
+                    Tree.E
+                      ( "treatment",
+                        [],
+                        [ Tree.E ("medication", [], [ Tree.T "autism" ]) ] );
+                    Tree.E ("date", [], [ Tree.T "2006-01-02" ]);
+                  ] );
+            ] );
+        Tree.E
+          ( "patient",
+            [ ("id", "p2") ],
+            [ Tree.E ("pname", [], [ Tree.T "Bob" ]) ] );
+      ] )
+
+let sample () = Tree.of_source sample_source
+
+(* --- Tree ------------------------------------------------------------ *)
+
+let test_tree_counts () =
+  let t = sample () in
+  (* hospital(0) patient(1) pname(2) Ann(3) visit(4) treatment(5)
+     medication(6) autism(7) date(8) text(9) patient(10) pname(11)
+     Bob(12) — 13 nodes. *)
+  Alcotest.(check int) "node count" 13 (Tree.n_nodes t);
+  Alcotest.(check string) "root name" "hospital" (Tree.name t Tree.root);
+  Alcotest.(check (option int)) "root parent" None (Tree.parent t Tree.root)
+
+let test_tree_structure () =
+  let t = sample () in
+  let kids = Tree.children t Tree.root in
+  Alcotest.(check int) "root children" 2 (List.length kids);
+  let p1 = List.nth kids 0 in
+  Alcotest.(check string) "p1 tag" "patient" (Tree.name t p1);
+  Alcotest.(check (option string)) "p1 id attr" (Some "p1")
+    (Tree.attribute t p1 "id");
+  Alcotest.(check (option string)) "missing attr" None
+    (Tree.attribute t p1 "nope");
+  let p2 = List.nth kids 1 in
+  Alcotest.(check (option int)) "sibling" (Some p2) (Tree.next_sibling t p1);
+  Alcotest.(check (option int)) "parent of p1" (Some Tree.root)
+    (Tree.parent t p1);
+  Alcotest.(check int) "depth p1" 1 (Tree.depth t p1)
+
+let test_tree_subtree_range () =
+  let t = sample () in
+  let p1 = List.hd (Tree.children t Tree.root) in
+  (* patient p1 subtree: ids 1..9 *)
+  Alcotest.(check int) "subtree end" 10 (Tree.subtree_end t p1);
+  Alcotest.(check int) "subtree size" 9 (Tree.subtree_size t p1);
+  Alcotest.(check int) "root subtree = all" (Tree.n_nodes t)
+    (Tree.subtree_end t Tree.root)
+
+let test_tree_value () =
+  let t = sample () in
+  let p1 = List.hd (Tree.children t Tree.root) in
+  let pname = List.hd (Tree.children t p1) in
+  Alcotest.(check string) "element value" "Ann" (Tree.value t pname);
+  let ann = List.hd (Tree.children t pname) in
+  Alcotest.(check string) "text value" "Ann" (Tree.value t ann);
+  Alcotest.(check bool) "is_text" true (Tree.is_text t ann);
+  Alcotest.(check string) "deep texts" "Annautism2006-01-02"
+    (Tree.descendant_or_self_texts t p1)
+
+let test_tree_roundtrip () =
+  let t = sample () in
+  let again = Tree.of_source (Tree.to_source t Tree.root) in
+  Alcotest.(check bool) "equal" true (Tree.equal t again)
+
+let test_tree_tags_interned () =
+  let t = sample () in
+  Alcotest.(check string) "text tag name" "#text"
+    (Tree.tag_name t Tree.text_tag);
+  (match Tree.id_of_tag t "patient" with
+  | None -> Alcotest.fail "patient tag not interned"
+  | Some id ->
+    Alcotest.(check string) "roundtrip" "patient" (Tree.tag_name t id));
+  Alcotest.(check (option int)) "unknown tag" None (Tree.id_of_tag t "zzz");
+  (* distinct tags: #text hospital patient pname visit treatment medication
+     date = 8 *)
+  Alcotest.(check int) "tag count" 8 (Tree.n_tags t)
+
+let test_tree_invalid () =
+  Alcotest.check_raises "empty tag"
+    (Invalid_argument "Tree.of_source: empty tag name") (fun () ->
+      ignore (Tree.of_source (Tree.E ("", [], []))))
+
+(* --- Pull ------------------------------------------------------------ *)
+
+let drain s =
+  Pull.fold (Pull.of_string s) ~init:[] ~f:(fun acc e -> e :: acc)
+  |> List.rev
+
+let test_pull_basic () =
+  match drain "<a><b>hi</b><c/></a>" with
+  | [ Pull.Start_element ("a", []); Start_element ("b", []); Text "hi";
+      End_element "b"; Start_element ("c", []); End_element "c";
+      End_element "a" ] ->
+    ()
+  | evs ->
+    Alcotest.fail (Printf.sprintf "unexpected events (%d)" (List.length evs))
+
+let test_pull_attributes () =
+  match drain {|<a x="1" y='two &amp; three'/>|} with
+  | [ Pull.Start_element ("a", attrs); Pull.End_element "a" ] ->
+    Alcotest.(check (list (pair string string)))
+      "attrs" [ ("x", "1"); ("y", "two & three") ] attrs
+  | _ -> Alcotest.fail "bad events"
+
+let test_pull_entities () =
+  match drain "<a>&lt;&gt;&amp;&apos;&quot;&#65;&#x42;</a>" with
+  | [ Pull.Start_element _; Pull.Text s; Pull.End_element _ ] ->
+    Alcotest.(check string) "decoded" "<>&'\"AB" s
+  | _ -> Alcotest.fail "bad events"
+
+let test_pull_cdata () =
+  match drain "<a><![CDATA[<not> &parsed;]]></a>" with
+  | [ Pull.Start_element _; Pull.Text s; Pull.End_element _ ] ->
+    Alcotest.(check string) "cdata" "<not> &parsed;" s
+  | _ -> Alcotest.fail "bad events"
+
+let test_pull_comments_and_pi () =
+  match
+    drain "<?xml version=\"1.0\"?><!-- c --><a><!-- in -->t<?pi data?></a>"
+  with
+  | [ Pull.Start_element ("a", []); Pull.Text "t"; Pull.End_element "a" ] -> ()
+  | _ -> Alcotest.fail "comments/PIs should be invisible"
+
+let test_pull_doctype_skipped () =
+  let evs = drain "<!DOCTYPE a [ <!ELEMENT a (#PCDATA)> ]><a>t</a>" in
+  Alcotest.(check int) "events" 3 (List.length evs)
+
+let test_pull_ws_dropped_and_kept () =
+  let evs = drain "<a>\n  <b/>\n</a>" in
+  Alcotest.(check int) "dropped" 4 (List.length evs);
+  let p = Pull.of_string ~keep_ws:true "<a>\n  <b/>\n</a>" in
+  let evs = Pull.fold p ~init:[] ~f:(fun acc e -> e :: acc) in
+  Alcotest.(check int) "kept" 6 (List.length evs)
+
+let expect_pull_error s =
+  match drain s with
+  | exception Pull.Error _ -> ()
+  | _ -> Alcotest.fail (Printf.sprintf "no error for %s" s)
+
+let test_pull_errors () =
+  expect_pull_error "<a><b></a></b>";
+  expect_pull_error "<a>";
+  expect_pull_error "text only";
+  expect_pull_error "<a/><b/>";
+  expect_pull_error "<a x=1/>";
+  expect_pull_error "<a>&unknown;</a>";
+  expect_pull_error "";
+  expect_pull_error "<a x='1' x='2'/>"
+
+let test_pull_error_location () =
+  match drain "<a>\n<b></c>\n</a>" with
+  | exception Pull.Error (line, _, _) -> Alcotest.(check int) "line" 2 line
+  | _ -> Alcotest.fail "expected error"
+
+let test_pull_channel () =
+  let path = Filename.temp_file "smoqe" ".xml" in
+  let oc = open_out path in
+  output_string oc "<r><x>1</x><x>2</x></r>";
+  close_out oc;
+  let ic = open_in path in
+  let p = Pull.of_channel ic in
+  let n = Pull.fold p ~init:0 ~f:(fun acc _ -> acc + 1) in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check int) "events via channel" 8 n
+
+(* --- Parser / Serializer --------------------------------------------- *)
+
+let test_parser_roundtrip () =
+  let t = sample () in
+  let s = Serializer.to_string ~indent:false t in
+  let t' = Parser.tree_of_string s in
+  Alcotest.(check bool) "roundtrip equal" true (Tree.equal t t')
+
+let test_parser_roundtrip_indented () =
+  let t = sample () in
+  let s = Serializer.to_string ~indent:true ~decl:true t in
+  let t' = Parser.tree_of_string s in
+  Alcotest.(check bool) "indented roundtrip equal" true (Tree.equal t t')
+
+let test_serializer_escaping () =
+  let t =
+    Tree.of_source (Tree.E ("a", [ ("k", "<\"'>") ], [ Tree.T "a<b>&c" ]))
+  in
+  let s = Serializer.to_string ~indent:false t in
+  let t' = Parser.tree_of_string s in
+  Alcotest.(check bool) "escaped roundtrip" true (Tree.equal t t')
+
+let test_events_of_tree () =
+  let t = sample () in
+  let evs = Parser.events_of_tree t in
+  let t' = Parser.tree_of_events evs in
+  Alcotest.(check bool) "events roundtrip" true (Tree.equal t t');
+  let s = Serializer.events_to_string evs in
+  let t'' = Parser.tree_of_string s in
+  Alcotest.(check bool) "events->string->tree" true (Tree.equal t t'')
+
+(* --- Dtd ------------------------------------------------------------- *)
+
+let hospital_dtd () =
+  Dtd.create ~root:"hospital"
+    [
+      ("hospital", Dtd.Children (Dtd.Star (Dtd.Name "patient")));
+      ( "patient",
+        Dtd.Children
+          (Dtd.Seq
+             ( Dtd.Name "pname",
+               Dtd.Seq
+                 (Dtd.Star (Dtd.Name "visit"), Dtd.Star (Dtd.Name "parent"))
+             )) );
+      ("parent", Dtd.Children (Dtd.Name "patient"));
+      ("visit", Dtd.Children (Dtd.Seq (Dtd.Name "treatment", Dtd.Name "date")));
+      ( "treatment",
+        Dtd.Children (Dtd.Alt (Dtd.Name "test", Dtd.Name "medication")) );
+      ("pname", Dtd.Mixed []);
+      ("date", Dtd.Mixed []);
+      ("test", Dtd.Mixed []);
+      ("medication", Dtd.Mixed []);
+    ]
+
+let test_dtd_basics () =
+  let d = hospital_dtd () in
+  Alcotest.(check string) "root" "hospital" (Dtd.root d);
+  Alcotest.(check (list string))
+    "children of patient"
+    [ "pname"; "visit"; "parent" ]
+    (Dtd.child_types d "patient");
+  Alcotest.(check bool) "recursive" true (Dtd.is_recursive d);
+  Alcotest.(check bool) "pcdata" true (Dtd.allows_text d "pname");
+  Alcotest.(check bool) "no pcdata" false (Dtd.allows_text d "hospital");
+  Alcotest.(check int) "reachable" 9 (List.length (Dtd.reachable d))
+
+let test_dtd_errors () =
+  (let raised =
+     try
+       ignore (Dtd.create ~root:"a" [ ("b", Dtd.Empty) ]);
+       false
+     with Invalid_argument _ -> true
+   in
+   Alcotest.(check bool) "missing root" true raised);
+  let raised =
+    try
+      ignore (Dtd.create ~root:"a" [ ("a", Dtd.Children (Dtd.Name "zz")) ]);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "undeclared child" true raised
+
+let test_dtd_rename () =
+  let d = hospital_dtd () in
+  let d' = Dtd.rename_type d ~old_name:"patient" ~new_name:"person" in
+  Alcotest.(check (list string))
+    "renamed edge" [ "person" ]
+    (Dtd.child_types d' "parent");
+  Alcotest.(check bool) "old gone" true (Dtd.content d' "patient" = None)
+
+let test_dtd_parser () =
+  let src =
+    {|<!DOCTYPE hospital [
+        <!-- the schema of Fig. 3(a) -->
+        <!ELEMENT hospital (patient*)>
+        <!ELEMENT patient (pname, visit*, parent*)>
+        <!ELEMENT parent (patient)>
+        <!ELEMENT visit (treatment, date)>
+        <!ELEMENT treatment (test | medication)>
+        <!ELEMENT pname (#PCDATA)>
+        <!ELEMENT date (#PCDATA)>
+        <!ELEMENT test (#PCDATA)>
+        <!ELEMENT medication (#PCDATA)>
+      ]>|}
+  in
+  let d = Dtd_parser.of_string src in
+  Alcotest.(check bool) "equal to handbuilt" true (Dtd.equal d (hospital_dtd ()))
+
+let test_dtd_parser_bare () =
+  let d =
+    Dtd_parser.of_string
+      "<!ELEMENT r (a?, b+)> <!ELEMENT a EMPTY> <!ELEMENT b ANY>"
+  in
+  Alcotest.(check string) "root defaults to first" "r" (Dtd.root d);
+  (match Dtd.content d "r" with
+  | Some
+      (Dtd.Children
+        (Dtd.Seq (Dtd.Opt (Dtd.Name "a"), Dtd.Plus (Dtd.Name "b")))) ->
+    ()
+  | _ -> Alcotest.fail "wrong content model for r");
+  Alcotest.(check bool) "a EMPTY" true (Dtd.content d "a" = Some Dtd.Empty);
+  Alcotest.(check bool) "b ANY" true (Dtd.content d "b" = Some Dtd.Any)
+
+let test_dtd_parser_mixed_names () =
+  let d =
+    Dtd_parser.of_string
+      "<!ELEMENT p (#PCDATA | em | strong)*> <!ELEMENT em (#PCDATA)> <!ELEMENT strong (#PCDATA)>"
+  in
+  match Dtd.content d "p" with
+  | Some (Dtd.Mixed [ "em"; "strong" ]) -> ()
+  | _ -> Alcotest.fail "wrong mixed model"
+
+let test_dtd_parser_attlist_skipped () =
+  let d =
+    Dtd_parser.of_string "<!ELEMENT a EMPTY> <!ATTLIST a id CDATA #REQUIRED>"
+  in
+  Alcotest.(check (list string)) "only a" [ "a" ] (Dtd.element_names d)
+
+let test_dtd_parser_error () =
+  match Dtd_parser.of_string "<!ELEMENT r (a" with
+  | exception Dtd_parser.Error _ -> ()
+  | _ -> Alcotest.fail "expected parse error"
+
+let test_dtd_print_parse_roundtrip () =
+  let d = hospital_dtd () in
+  let d' = Dtd_parser.of_string ~root:"hospital" (Dtd.to_string d) in
+  Alcotest.(check bool) "print/parse" true (Dtd.equal d d')
+
+(* --- Validator -------------------------------------------------------- *)
+
+let test_validator_valid () =
+  let d = hospital_dtd () in
+  let t =
+    Parser.tree_of_string
+      "<hospital><patient><pname>Ann</pname><visit><treatment><medication>autism</medication></treatment><date>d</date></visit></patient></hospital>"
+  in
+  Alcotest.(check bool) "valid" true (Validator.is_valid d t)
+
+let test_validator_recursive_valid () =
+  let d = hospital_dtd () in
+  let t =
+    Parser.tree_of_string
+      "<hospital><patient><pname>A</pname><parent><patient><pname>B</pname></patient></parent></patient></hospital>"
+  in
+  Alcotest.(check bool) "recursive valid" true (Validator.is_valid d t)
+
+let test_validator_invalid_sequence () =
+  let d = hospital_dtd () in
+  (* visit before pname violates the sequence *)
+  let t =
+    Parser.tree_of_string
+      "<hospital><patient><visit><treatment><test>t</test></treatment><date>d</date></visit><pname>A</pname></patient></hospital>"
+  in
+  match Validator.validate d t with
+  | Ok () -> Alcotest.fail "should be invalid"
+  | Error errs ->
+    Alcotest.(check bool) "mentions patient" true
+      (List.exists (fun e -> e.Validator.element = "patient") errs)
+
+let test_validator_undeclared () =
+  let d = hospital_dtd () in
+  let t = Parser.tree_of_string "<hospital><intruder/></hospital>" in
+  match Validator.validate d t with
+  | Ok () -> Alcotest.fail "should be invalid"
+  | Error errs -> Alcotest.(check bool) "has errors" true (errs <> [])
+
+let test_validator_wrong_root () =
+  let d = hospital_dtd () in
+  let t = Parser.tree_of_string "<patient><pname>A</pname></patient>" in
+  Alcotest.(check bool) "wrong root" false (Validator.is_valid d t)
+
+let test_validator_text_in_element_content () =
+  let d = hospital_dtd () in
+  let t = Parser.tree_of_string "<hospital>stray</hospital>" in
+  Alcotest.(check bool) "text rejected" false (Validator.is_valid d t)
+
+let test_matches_regex () =
+  let r = Dtd.(Seq (Name "a", Star (Alt (Name "b", Name "c")))) in
+  Alcotest.(check bool) "abc" true (Validator.matches r [ "a"; "b"; "c" ]);
+  Alcotest.(check bool) "a" true (Validator.matches r [ "a" ]);
+  Alcotest.(check bool) "ba" false (Validator.matches r [ "b"; "a" ]);
+  Alcotest.(check bool) "empty" false (Validator.matches r []);
+  Alcotest.(check bool) "opt" true
+    (Validator.matches (Dtd.Opt (Dtd.Name "x")) []);
+  Alcotest.(check bool) "plus needs one" false
+    (Validator.matches (Dtd.Plus (Dtd.Name "x")) [])
+
+(* --- Property tests --------------------------------------------------- *)
+
+let tag_gen = QCheck2.Gen.oneofl [ "a"; "b"; "c"; "d"; "item"; "node" ]
+
+let text_gen =
+  QCheck2.Gen.oneofl [ "x"; "hello"; "a&b"; "<raw>"; "  spaced  "; "'\"q\"'" ]
+
+let source_gen =
+  QCheck2.Gen.(
+    sized_size (int_bound 6)
+    @@ fix (fun self n ->
+           if n = 0 then
+             oneof
+               [
+                 map (fun s -> Tree.T s) text_gen;
+                 map (fun tag -> Tree.E (tag, [], [])) tag_gen;
+               ]
+           else
+             map2
+               (fun tag kids -> Tree.E (tag, [], kids))
+               tag_gen
+               (list_size (int_bound 4) (self (n / 2)))))
+
+let root_source_gen =
+  QCheck2.Gen.(
+    map2
+      (fun tag kids -> Tree.E (tag, [], kids))
+      tag_gen
+      (list_size (int_bound 4) source_gen))
+
+(* Parsing merges adjacent text nodes, so compare canonical forms. *)
+let rec canonical = function
+  | Tree.T s -> Tree.T s
+  | Tree.E (tag, attrs, kids) ->
+    let kids = List.map canonical kids in
+    let merged =
+      List.fold_left
+        (fun acc kid ->
+          match kid, acc with
+          | Tree.T s, Tree.T p :: rest -> Tree.T (p ^ s) :: rest
+          | kid, acc -> kid :: acc)
+        [] kids
+      |> List.rev
+      |> List.filter (function Tree.T "" -> false | Tree.T _ | Tree.E _ -> true)
+    in
+    Tree.E (tag, attrs, merged)
+
+let prop_serialize_parse_roundtrip =
+  QCheck2.Test.make ~count:200 ~name:"serialize/parse roundtrip (compact)"
+    root_source_gen (fun src ->
+      let t = Tree.of_source (canonical src) in
+      let s = Serializer.to_string ~indent:false t in
+      Tree.equal t (Parser.tree_of_string ~keep_ws:true s))
+
+let prop_subtree_ranges_nested =
+  QCheck2.Test.make ~count:200 ~name:"subtree ranges are nested intervals"
+    root_source_gen (fun src ->
+      let t = Tree.of_source src in
+      let ok = ref true in
+      Tree.iter_preorder t (fun n ->
+          Tree.iter_children t n (fun c ->
+              if not (n < c && Tree.subtree_end t c <= Tree.subtree_end t n)
+              then ok := false;
+              if Tree.parent t c <> Some n then ok := false));
+      !ok)
+
+let prop_depth_consistent =
+  QCheck2.Test.make ~count:200 ~name:"depth = parent depth + 1" root_source_gen
+    (fun src ->
+      let t = Tree.of_source src in
+      let ok = ref true in
+      Tree.iter_preorder t (fun n ->
+          match Tree.parent t n with
+          | None -> if Tree.depth t n <> 0 then ok := false
+          | Some p -> if Tree.depth t n <> Tree.depth t p + 1 then ok := false);
+      !ok)
+
+let prop_events_roundtrip =
+  QCheck2.Test.make ~count:200 ~name:"events_of_tree/tree_of_events identity"
+    root_source_gen (fun src ->
+      let t = Tree.of_source src in
+      Tree.equal t (Parser.tree_of_events (Parser.events_of_tree t)))
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_serialize_parse_roundtrip;
+      prop_subtree_ranges_nested;
+      prop_depth_consistent;
+      prop_events_roundtrip;
+    ]
+
+let () =
+  Alcotest.run "smoqe_xml"
+    [
+      ( "tree",
+        [
+          Alcotest.test_case "counts" `Quick test_tree_counts;
+          Alcotest.test_case "structure" `Quick test_tree_structure;
+          Alcotest.test_case "subtree range" `Quick test_tree_subtree_range;
+          Alcotest.test_case "value" `Quick test_tree_value;
+          Alcotest.test_case "roundtrip" `Quick test_tree_roundtrip;
+          Alcotest.test_case "tags interned" `Quick test_tree_tags_interned;
+          Alcotest.test_case "invalid input" `Quick test_tree_invalid;
+        ] );
+      ( "pull",
+        [
+          Alcotest.test_case "basic" `Quick test_pull_basic;
+          Alcotest.test_case "attributes" `Quick test_pull_attributes;
+          Alcotest.test_case "entities" `Quick test_pull_entities;
+          Alcotest.test_case "cdata" `Quick test_pull_cdata;
+          Alcotest.test_case "comments and PIs" `Quick test_pull_comments_and_pi;
+          Alcotest.test_case "doctype skipped" `Quick test_pull_doctype_skipped;
+          Alcotest.test_case "whitespace modes" `Quick
+            test_pull_ws_dropped_and_kept;
+          Alcotest.test_case "errors" `Quick test_pull_errors;
+          Alcotest.test_case "error location" `Quick test_pull_error_location;
+          Alcotest.test_case "channel input" `Quick test_pull_channel;
+        ] );
+      ( "parser-serializer",
+        [
+          Alcotest.test_case "roundtrip compact" `Quick test_parser_roundtrip;
+          Alcotest.test_case "roundtrip indented" `Quick
+            test_parser_roundtrip_indented;
+          Alcotest.test_case "escaping" `Quick test_serializer_escaping;
+          Alcotest.test_case "event stream" `Quick test_events_of_tree;
+        ] );
+      ( "dtd",
+        [
+          Alcotest.test_case "basics" `Quick test_dtd_basics;
+          Alcotest.test_case "errors" `Quick test_dtd_errors;
+          Alcotest.test_case "rename" `Quick test_dtd_rename;
+          Alcotest.test_case "parser doctype" `Quick test_dtd_parser;
+          Alcotest.test_case "parser bare" `Quick test_dtd_parser_bare;
+          Alcotest.test_case "parser mixed" `Quick test_dtd_parser_mixed_names;
+          Alcotest.test_case "attlist skipped" `Quick
+            test_dtd_parser_attlist_skipped;
+          Alcotest.test_case "parse error" `Quick test_dtd_parser_error;
+          Alcotest.test_case "print/parse" `Quick test_dtd_print_parse_roundtrip;
+        ] );
+      ( "validator",
+        [
+          Alcotest.test_case "valid doc" `Quick test_validator_valid;
+          Alcotest.test_case "recursive valid" `Quick
+            test_validator_recursive_valid;
+          Alcotest.test_case "invalid sequence" `Quick
+            test_validator_invalid_sequence;
+          Alcotest.test_case "undeclared" `Quick test_validator_undeclared;
+          Alcotest.test_case "wrong root" `Quick test_validator_wrong_root;
+          Alcotest.test_case "text in element content" `Quick
+            test_validator_text_in_element_content;
+          Alcotest.test_case "regex matching" `Quick test_matches_regex;
+        ] );
+      ("properties", qsuite);
+    ]
