@@ -1,0 +1,102 @@
+The smoqe CLI, end to end on the paper's Fig. 3 example.
+
+Generate the workload artifacts:
+
+  $ smoqe gen --kind hospital --size 2 --depth 1 --seed 3 > hospital.xml
+  $ smoqe gen --emit-dtd > hospital.dtd
+  $ smoqe gen --emit-policy > s0.policy
+
+The schema graph (iSMOQE's view-definition panel, Fig. 2):
+
+  $ smoqe schema hospital.dtd
+  schema (root: hospital)
+    hospital -> patient*
+      patient -> pname, visit*, parent*
+        pname -> #PCDATA
+        visit -> treatment, date
+          treatment -> test | medication
+            test -> #PCDATA
+            medication -> #PCDATA
+          date -> #PCDATA
+        parent -> patient
+          patient -> (see above)
+
+View derivation (Fig. 3(b) -> 3(c) and 3(d)):
+
+  $ smoqe view -s hospital.dtd -p s0.policy
+  == access control policy ==
+  ann(hospital, patient) = [visit/treatment/medication = 'autism']
+  ann(patient, pname) = N
+  ann(patient, visit) = N
+  ann(visit, treatment) = [medication]
+  ann(treatment, test) = N
+  
+  == derived view specification ==
+  sigma(hospital, patient) = patient[visit/treatment/medication = 'autism']
+  sigma(patient, treatment) = visit/treatment[medication]
+  sigma(patient, parent) = parent
+  sigma(treatment, medication) = medication
+  sigma(parent, patient) = patient
+  
+  == view DTD exposed to users ==
+  <!ELEMENT hospital (patient*)>
+  <!ELEMENT patient (treatment*, parent*)>
+  <!ELEMENT treatment (medication?)>
+  <!ELEMENT medication (#PCDATA)>
+  <!ELEMENT parent (patient)>
+
+
+
+Queries run directly or through the view; hidden types are unreachable:
+
+  $ smoqe query -d hospital.xml -o ids "//pname" | wc -l | tr -d ' '
+  3
+  $ smoqe query -d hospital.xml -s hospital.dtd -p s0.policy -g staff -o ids "//pname" | wc -l | tr -d ' '
+  0
+
+DOM and StAX modes agree:
+
+  $ smoqe query -d hospital.xml --mode dom -o ids "//medication" > dom.ids
+  $ smoqe query -d hospital.xml --mode stax -o ids "//medication" > stax.ids
+  $ diff dom.ids stax.ids
+
+The rewriter emits an automaton, and DOT when asked:
+
+  $ smoqe rewrite -s hospital.dtd -p s0.policy "patient/treatment" | head -1
+  MFA: 27 states, start 0, 2 qualifier(s), 2 atom(s)
+  $ smoqe rewrite -s hospital.dtd -p s0.policy --dot "patient" | head -1
+  digraph mfa {
+
+The index round-trips through its compressed file form:
+
+  $ smoqe index -d hospital.xml --save hospital.tax
+  index written to hospital.tax
+  $ test -s hospital.tax
+
+Errors are reported, not crashed on:
+
+  $ smoqe query -d hospital.xml "patient[" 2>&1
+  smoqe: query error: query: at offset 8: expected a step
+  [1]
+  $ smoqe query -d hospital.xml -g ghosts "patient" 2>&1
+  smoqe: policy error: unknown group ghosts
+  [1]
+
+Persistent stores:
+
+  $ smoqe store init mystore -d hospital.xml -s hospital.dtd
+  store initialized in mystore
+  $ smoqe store add-policy mystore researchers -p s0.policy
+  policy for group researchers stored
+  $ smoqe store info mystore
+  document: 53 nodes
+  dtd: hospital (9 element types)
+  index: loaded
+  groups: researchers
+  $ smoqe store query mystore -o ids "//pname" | wc -l | tr -d ' '
+  3
+  $ smoqe store query mystore -g researchers -o ids "//pname" | wc -l | tr -d ' '
+  0
+  $ smoqe store query mystore -g ghosts "patient" 2>&1
+  smoqe: no view registered for group ghosts
+  [1]

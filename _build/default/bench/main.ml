@@ -428,6 +428,79 @@ let e9 () =
       "(dept)*/audit";
     ]
 
+(* --- E10: budget-check overhead ------------------------------------------------ *)
+
+let e10 () =
+  banner "E10" "resource-guard overhead: budget checks must stay under 2%";
+  let doc = Smoqe_workload.Bib.generate ~seed:11 ~n_books:400 ~section_depth:4 () in
+  Printf.printf "document: %d nodes (bib, 400 books)\n" (Tree.n_nodes doc);
+  Printf.printf "%-40s %-11s %-11s %9s\n" "query" "no budget" "budget"
+    "overhead";
+  (* A percent-level differential on millisecond runs is below the noise
+     floor of OLS-per-cell timing: measure interleaved pairs instead and
+     compare medians, which cancels drift and absorbs GC spikes. *)
+  let floor_of xs = List.fold_left min infinity xs in
+  let median xs =
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  let time_one f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let all_ratios = ref [] in
+  List.iter
+    (fun q_text ->
+      let mfa = Compile.compile (parse q_text) in
+      let run_plain () =
+        ignore (Sys.opaque_identity (Eval_dom.run mfa doc))
+      in
+      let run_budgeted () =
+        (* generous limits: every check runs, none fires *)
+        let budget =
+          Smoqe_robust.Budget.create ~timeout_ms:600_000
+            ~max_nodes:max_int ~max_cans:max_int ()
+        in
+        ignore (Sys.opaque_identity (Eval_dom.run ~budget mfa doc))
+      in
+      run_plain (); run_budgeted (); (* warm up *)
+      let ps = ref [] and bs = ref [] and ratios = ref [] in
+      for i = 1 to 200 do
+        (* alternate the order within the pair: whichever runs second
+           sits on a warmer cache and a fuller minor heap, and that bias
+           must not land on one variant only *)
+        let p, b =
+          if i land 1 = 0 then
+            let p = time_one run_plain in
+            (p, time_one run_budgeted)
+          else
+            let b = time_one run_budgeted in
+            (time_one run_plain, b)
+        in
+        ps := p :: !ps;
+        bs := b :: !bs;
+        ratios := ((b -. p) /. p) :: !ratios
+      done;
+      (* Each pair is measured back to back, so frequency drift and
+         scheduler state cancel inside the pair; the median over pairs
+         absorbs GC spikes.  The floor (min) is shown for scale. *)
+      let plain = floor_of !ps and budgeted = floor_of !bs in
+      all_ratios := !ratios @ !all_ratios;
+      Printf.printf "%-40s %s %s %8.2f%%\n%!" q_text
+        (pp_time (plain *. 1e9)) (pp_time (budgeted *. 1e9))
+        (100. *. median !ratios))
+    [
+      "//title";
+      "//book[review/comment]/title";
+      "book/(section)*/para";
+    ];
+  (* Gate on the whole workload, not the noisiest cell. *)
+  let overhead = 100. *. median !all_ratios in
+  Printf.printf "workload overhead %.2f%%: %s (guard: < 2%%)\n" overhead
+    (if overhead < 2. then "PASS" else "FAIL")
+
 (* --- Figures ----------------------------------------------------------------- *)
 
 let figures () =
@@ -458,7 +531,7 @@ let figures () =
 (* --- driver -------------------------------------------------------------- *)
 
 let all = [ "e1", e1; "e2", e2; "e3", e3; "e4", e4; "e5", e5; "e6", e6;
-            "e7", e7; "e8", e8; "e9", e9; "figures", figures ]
+            "e7", e7; "e8", e8; "e9", e9; "e10", e10; "figures", figures ]
 
 let () =
   let requested =

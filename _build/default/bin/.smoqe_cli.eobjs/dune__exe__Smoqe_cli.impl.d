@@ -1,1 +1,1 @@
-bin/smoqe_cli.ml: Arg Cmd Cmdliner List Option Printf Smoqe Smoqe_hype Smoqe_rewrite Smoqe_rxpath Smoqe_security Smoqe_store Smoqe_workload Smoqe_xml String Term Unix_compat
+bin/smoqe_cli.ml: Arg Cmd Cmdliner List Option Printf Smoqe Smoqe_hype Smoqe_rewrite Smoqe_robust Smoqe_rxpath Smoqe_security Smoqe_store Smoqe_workload Smoqe_xml String Term Unix_compat

@@ -12,6 +12,8 @@ module Serializer = Smoqe_xml.Serializer
 module Policy = Smoqe_security.Policy
 module Derive = Smoqe_security.Derive
 module Trace = Smoqe_hype.Trace
+module Budget = Smoqe_robust.Budget
+module Robust_error = Smoqe_robust.Error
 
 let read_file path =
   let ic = open_in_bin path in
@@ -25,6 +27,14 @@ let or_die = function
   | Error msg ->
     prerr_endline ("smoqe: " ^ msg);
     exit 1
+
+(* Typed errors keep their exit codes: budget exhaustion (3) is
+   distinguishable from plain failure (1) by callers and schedulers. *)
+let or_die_robust = function
+  | Ok v -> v
+  | Error e ->
+    prerr_endline ("smoqe: " ^ Robust_error.to_string e);
+    exit (Robust_error.exit_code e)
 
 let load_dtd path =
   match Dtd_parser.of_string (read_file path) with
@@ -77,6 +87,38 @@ let query_arg =
     required
     & pos 0 (some string) None
     & info [] ~docv:"QUERY" ~doc:"Regular XPath query.")
+
+(* Resource budgets (wired into Smoqe_robust.Budget).  [budget_term]
+   evaluates to [None] when no limit is given, or a thunk building a fresh
+   budget — the wall-clock deadline must be armed when the query starts,
+   not at argument parsing. *)
+let budget_term =
+  let timeout_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:"Abort the query after this many milliseconds of wall clock.")
+  in
+  let max_nodes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-nodes" ] ~docv:"N"
+          ~doc:"Abort after scanning this many nodes/events.")
+  in
+  let max_cans =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-cans" ] ~docv:"N"
+          ~doc:"Abort once the candidate-answer set exceeds this size.")
+  in
+  let mk timeout_ms max_nodes max_cans =
+    if timeout_ms = None && max_nodes = None && max_cans = None then None
+    else Some (fun () -> Budget.create ?timeout_ms ?max_nodes ?max_cans ())
+  in
+  Term.(const mk $ timeout_ms $ max_nodes $ max_cans)
 
 (* --- schema ------------------------------------------------------------- *)
 
@@ -154,7 +196,7 @@ let rewrite_cmd =
 
 let query_cmd =
   let run doc_path dtd_path policy_path group mode use_index trace output
-      stats query =
+      stats budget query =
     let dtd = Option.map load_dtd dtd_path in
     let engine = or_die (Engine.of_file ?dtd doc_path) in
     (match policy_path, dtd with
@@ -174,8 +216,11 @@ let query_cmd =
     in
     let mode = if mode = "stax" then Engine.Stax else Engine.Dom in
     let tracer = if trace then Some (Trace.create ()) else None in
+    let budget = Option.map (fun mk -> mk ()) budget in
     let outcome =
-      or_die (Engine.query engine ?group ~mode ~use_index ?trace:tracer query)
+      or_die_robust
+        (Engine.query_robust engine ?group ~mode ~use_index ?budget
+           ?trace:tracer query)
     in
     (match output with
     | "ids" ->
@@ -215,6 +260,7 @@ let query_cmd =
                  "text"
              & info [ "o"; "output" ] ~doc:"Output mode.")
       $ Arg.(value & flag & info [ "stats" ] ~doc:"Print evaluation counters.")
+      $ budget_term
       $ query_arg)
 
 (* --- index -------------------------------------------------------------- *)

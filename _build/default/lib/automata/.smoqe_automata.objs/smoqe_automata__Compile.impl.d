@@ -1,1 +1,1 @@
-lib/automata/compile.ml: Afa Mfa Nfa Smoqe_rxpath
+lib/automata/compile.ml: Afa Mfa Nfa Smoqe_robust Smoqe_rxpath

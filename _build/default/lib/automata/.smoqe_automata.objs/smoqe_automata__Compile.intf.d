@@ -1,1 +1,1 @@
-lib/automata/compile.mli: Afa Mfa Nfa Smoqe_rxpath
+lib/automata/compile.mli: Afa Mfa Nfa Smoqe_robust Smoqe_rxpath

@@ -1,1 +1,1 @@
-lib/core/engine.ml: Fmt Hashtbl List Logs Option Printf Result Smoqe_automata Smoqe_hype Smoqe_rewrite Smoqe_rxpath Smoqe_security Smoqe_tax Smoqe_xml
+lib/core/engine.ml: Fmt Fun Hashtbl List Logs Option Printf Result Smoqe_automata Smoqe_hype Smoqe_rewrite Smoqe_robust Smoqe_rxpath Smoqe_security Smoqe_tax Smoqe_xml

@@ -1,1 +1,1 @@
-lib/core/engine.mli: Smoqe_automata Smoqe_hype Smoqe_security Smoqe_tax Smoqe_xml
+lib/core/engine.mli: Smoqe_automata Smoqe_hype Smoqe_robust Smoqe_security Smoqe_tax Smoqe_xml

@@ -1,1 +1,1 @@
-lib/core/session.ml: Engine Printf
+lib/core/session.ml: Engine Printf Result Smoqe_robust

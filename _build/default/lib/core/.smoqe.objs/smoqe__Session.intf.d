@@ -1,1 +1,1 @@
-lib/core/session.mli: Engine Smoqe_hype Smoqe_xml
+lib/core/session.mli: Engine Smoqe_hype Smoqe_robust Smoqe_xml

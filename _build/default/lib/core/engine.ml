@@ -3,6 +3,7 @@ module Parser = Smoqe_xml.Parser
 module Pull = Smoqe_xml.Pull
 module Serializer = Smoqe_xml.Serializer
 module Dtd = Smoqe_xml.Dtd
+module Dtd_parser = Smoqe_xml.Dtd_parser
 module Validator = Smoqe_xml.Validator
 module Rx_parser = Smoqe_rxpath.Parser
 module Compile = Smoqe_automata.Compile
@@ -12,8 +13,33 @@ module Derive = Smoqe_security.Derive
 module Rewriter = Smoqe_rewrite.Rewriter
 module Eval_dom = Smoqe_hype.Eval_dom
 module Eval_stax = Smoqe_hype.Eval_stax
+module Stats = Smoqe_hype.Stats
 module Tax = Smoqe_tax.Tax
 module Codec = Smoqe_tax.Codec
+module Error = Smoqe_robust.Error
+module Budget = Smoqe_robust.Budget
+module Failpoint = Smoqe_robust.Failpoint
+
+(* Teach the taxonomy this stack's exception types: the guard at the
+   façade maps anything the libraries throw into one Error.t.  Runs once,
+   when this module is initialized. *)
+let () =
+  Error.register_classifier (function
+    | Pull.Error (line, col, msg) ->
+      Some (Error.Parse_error { loc = Some (Error.location ~line ~col ()); msg })
+    | Dtd_parser.Error (off, msg) ->
+      Some
+        (Error.Parse_error
+           { loc = None; msg = Printf.sprintf "DTD offset %d: %s" off msg })
+    | Derive.Unsupported msg -> Some (Error.Policy_error msg)
+    | Smoqe_rewrite.Expr_rewriter.Too_large n ->
+      Some
+        (Error.Query_error
+           (Printf.sprintf "expression rewriting exceeded the size budget \
+                            (reached %.2g)" n))
+    | Smoqe_hype.Engine.Driver_error msg ->
+      Some (Error.Internal ("evaluation driver: " ^ msg))
+    | _ -> None)
 
 type mode =
   | Dom
@@ -36,7 +62,7 @@ type t = {
 type outcome = {
   answers : int list;
   answer_xml : string list;
-  stats : Smoqe_hype.Stats.t;
+  stats : Stats.t;
   mfa : Mfa.t;
   cans_size : int;
 }
@@ -57,32 +83,23 @@ let validate_against dtd tree =
 
 let of_tree ?dtd tree = make ?dtd tree From_tree
 
+let with_dtd ?dtd tree source =
+  match dtd with
+  | None -> Ok (make tree source)
+  | Some d ->
+    (match validate_against d tree with
+    | Ok () -> Ok (make ~dtd:d tree source)
+    | Error msg -> Error msg)
+
 let of_string ?dtd input =
-  match Parser.tree_of_string input with
-  | exception Pull.Error (line, col, msg) ->
-    Error (Printf.sprintf "parse error at %d:%d: %s" line col msg)
-  | exception Invalid_argument msg -> Error msg
-  | tree ->
-    (match dtd with
-    | None -> Ok (make tree (From_string input))
-    | Some d ->
-      (match validate_against d tree with
-      | Ok () -> Ok (make ~dtd:d tree (From_string input))
-      | Error msg -> Error msg))
+  match Parser.tree_of_string_res input with
+  | Error msg -> Error ("parse error at " ^ msg)
+  | Ok tree -> with_dtd ?dtd tree (From_string input)
 
 let of_file ?dtd path =
-  match Parser.tree_of_file path with
-  | exception Pull.Error (line, col, msg) ->
-    Error (Printf.sprintf "%s:%d:%d: %s" path line col msg)
-  | exception Sys_error msg -> Error msg
-  | exception Invalid_argument msg -> Error msg
-  | tree ->
-    (match dtd with
-    | None -> Ok (make tree (From_file path))
-    | Some d ->
-      (match validate_against d tree with
-      | Ok () -> Ok (make ~dtd:d tree (From_file path))
-      | Error msg -> Error msg))
+  match Parser.tree_of_file_res path with
+  | Error msg -> Error msg
+  | Ok tree -> with_dtd ?dtd tree (From_file path)
 
 let document t = t.tree
 let dtd t = t.dtd
@@ -117,10 +134,20 @@ let save_index t path =
   | Some idx ->
     (match Codec.save path idx with
     | () -> Ok ()
-    | exception Sys_error msg -> Error msg)
+    | exception Sys_error msg -> Error msg
+    | exception Failpoint.Injected site -> Error ("injected fault at " ^ site))
 
 let load_index t path =
-  match Codec.load path with
+  let loaded =
+    match
+      Error.guard (fun () ->
+          Failpoint.trigger "index.load";
+          Codec.load path)
+    with
+    | Ok r -> r
+    | Error e -> Error (Error.to_string e)
+  in
+  match loaded with
   | Error msg -> Error msg
   | Ok idx ->
     if Tax.n_nodes idx <> Tree.n_nodes t.tree then
@@ -130,19 +157,40 @@ let load_index t path =
       Ok ()
     end
 
-let compile_query t ?group ?(optimize = true) text =
+(* --- query compilation ---------------------------------------------------- *)
+
+let compile_query_robust t ?group ?(optimize = true) ?budget text =
   match Rx_parser.path_of_string text with
-  | Error msg -> Error ("query: " ^ msg)
+  | Error msg -> Error (Error.Query_error msg)
   | Ok path ->
-    let raw =
-      match group with
-      | None -> Ok (Compile.compile path)
-      | Some g ->
-        (match view t ~group:g with
-        | None -> Error (Printf.sprintf "unknown group %s" g)
-        | Some v -> Ok (Rewriter.rewrite v path))
-    in
-    if optimize then Result.map Smoqe_automata.Optimize.optimize raw else raw
+    Result.join
+      (Error.guard (fun () ->
+           let raw =
+             match group with
+             | None -> Ok (Compile.compile ?budget path)
+             | Some g ->
+               (match view t ~group:g with
+               | None ->
+                 Error (Error.Policy_error (Printf.sprintf "unknown group %s" g))
+               | Some v -> Ok (Rewriter.rewrite v path))
+           in
+           Result.map
+             (fun mfa ->
+               let mfa =
+                 if optimize then Smoqe_automata.Optimize.optimize mfa else mfa
+               in
+               (* A rewritten view query can be much larger than the text
+                  the user typed: re-check the state budget on the final
+                  automaton. *)
+               (match budget with
+               | None -> ()
+               | Some b -> Budget.check_states b (Mfa.n_states mfa));
+               mfa)
+             raw))
+
+let compile_query t ?group ?optimize text =
+  Result.map_error Error.to_string
+    (compile_query_robust t ?group ?optimize text)
 
 let rewrite_only t ~group ?optimize text =
   compile_query t ~group ?optimize text
@@ -161,35 +209,51 @@ let statically_empty t mfa =
   | Some d ->
     Smoqe_automata.Analysis.satisfiable mfa d = Smoqe_automata.Analysis.Empty
 
-let query t ?group ?(mode = Dom) ?use_index ?optimize ?trace text =
-  match compile_query t ?group ?optimize text with
-  | Error msg -> Error msg
-  | Ok mfa when statically_empty t mfa ->
-    (* The schema proves the query selects nothing: skip the document. *)
-    Log.info (fun m -> m "query statically empty against the schema");
-    let stats = Smoqe_hype.Stats.create () in
-    stats.Smoqe_hype.Stats.passes_over_data <- 0;
-    Ok { answers = []; answer_xml = []; stats; mfa; cans_size = 0 }
-  | Ok mfa ->
-    (match mode with
-    | Dom ->
-      let tax =
-        match use_index, t.tax with
-        | Some false, _ | _, None -> None
-        | (Some true | None), Some idx -> Some idx
-      in
-      let r = Eval_dom.run ?tax ?trace mfa t.tree in
+(* --- evaluation ------------------------------------------------------------ *)
+
+let budget_error (what, limit) stats =
+  Error.Budget_exceeded
+    { what; limit; partial_stats = Stats.to_assoc stats }
+
+(* DOM evaluation; [degraded_from_stax] marks a retry after a StAX driver
+   failure.  Requesting the index without one loaded is served unindexed
+   and recorded as a degradation rather than failed. *)
+let run_dom t ~mfa ?use_index ?budget ?trace ~degraded_from_stax () =
+  let index_requested = use_index = Some true in
+  let tax =
+    match use_index, t.tax with
+    | Some false, _ | _, None -> None
+    | (Some true | None), Some idx -> Some idx
+  in
+  let r = Eval_dom.run ?tax ?budget ?trace mfa t.tree in
+  match r.Eval_dom.budget_hit with
+  | Some hit -> Error (budget_error hit r.Eval_dom.stats)
+  | None ->
+    let stats = r.Eval_dom.stats in
+    if degraded_from_stax then begin
+      stats.Stats.degraded_stax_retry <- 1;
+      (* the failed StAX scan consumed a pass over the data too *)
+      stats.Stats.passes_over_data <- stats.Stats.passes_over_data + 1
+    end;
+    if index_requested && tax = None then begin
+      stats.Stats.degraded_no_index <- 1;
+      Log.warn (fun m -> m "index requested but unavailable: unindexed pass")
+    end;
+    Ok
+      {
+        answers = r.Eval_dom.answers;
+        answer_xml = answer_xml t r.Eval_dom.answers;
+        stats;
+        mfa;
+        cans_size = r.Eval_dom.cans_size;
+      }
+
+let run_stax t ~mfa ?budget ?trace () =
+  let outcome_of r =
+    match r.Eval_stax.budget_hit with
+    | Some hit -> Error (budget_error hit r.Eval_stax.stats)
+    | None ->
       Ok
-        {
-          answers = r.Eval_dom.answers;
-          answer_xml = answer_xml t r.Eval_dom.answers;
-          stats = r.Eval_dom.stats;
-          mfa;
-          cans_size = r.Eval_dom.cans_size;
-        }
-    | Stax ->
-      let run_pull pull =
-        let r = Eval_stax.run ~capture:true ?trace mfa pull in
         {
           answers = r.Eval_stax.answers;
           answer_xml = List.map snd r.Eval_stax.captured;
@@ -197,28 +261,59 @@ let query t ?group ?(mode = Dom) ?use_index ?optimize ?trace text =
           mfa;
           cans_size = r.Eval_stax.cans_size;
         }
-      in
-      (match t.source with
-      | From_string s -> Ok (run_pull (Pull.of_string s))
-      | From_file path ->
-        let ic = open_in_bin path in
-        let result =
-          try Ok (run_pull (Pull.of_channel ic)) with
-          | Pull.Error (line, col, msg) ->
-            Error (Printf.sprintf "%s:%d:%d: %s" path line col msg)
-        in
-        close_in_noerr ic;
-        result
-      | From_tree ->
-        let r =
-          Eval_stax.run_events ~capture:true ?trace mfa
-            (Parser.events_of_tree t.tree)
-        in
-        Ok
-          {
-            answers = r.Eval_stax.answers;
-            answer_xml = List.map snd r.Eval_stax.captured;
-            stats = r.Eval_stax.stats;
-            mfa;
-            cans_size = r.Eval_stax.cans_size;
-          }))
+  in
+  match t.source with
+  | From_string s ->
+    outcome_of (Eval_stax.run ~capture:true ?budget ?trace mfa (Pull.of_string s))
+  | From_file path ->
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        outcome_of
+          (Eval_stax.run ~capture:true ?budget ?trace mfa (Pull.of_channel ic)))
+  | From_tree ->
+    outcome_of
+      (Eval_stax.run_events ~capture:true ?budget ?trace mfa
+         (Parser.events_of_tree t.tree))
+
+let query_robust t ?group ?(mode = Dom) ?use_index ?optimize ?budget ?trace
+    text =
+  match compile_query_robust t ?group ?optimize ?budget text with
+  | Error e -> Error e
+  | Ok mfa when statically_empty t mfa ->
+    (* The schema proves the query selects nothing: skip the document. *)
+    Log.info (fun m -> m "query statically empty against the schema");
+    let stats = Stats.create () in
+    stats.Stats.passes_over_data <- 0;
+    Ok { answers = []; answer_xml = []; stats; mfa; cans_size = 0 }
+  | Ok mfa ->
+    (match mode with
+    | Dom ->
+      Result.join
+        (Error.guard (fun () ->
+             run_dom t ~mfa ?use_index ?budget ?trace
+               ~degraded_from_stax:false ()))
+    | Stax ->
+      (match
+         Result.join (Error.guard (fun () -> run_stax t ~mfa ?budget ?trace ()))
+       with
+      | Ok outcome -> Ok outcome
+      | Error ((Error.Budget_exceeded _ | Error.Query_error _
+               | Error.Policy_error _) as e) ->
+        Error e
+      | Error stax_failure ->
+        (* Degradation ladder: a StAX driver failure (I/O fault, parse
+           error on the stored source, contract violation) is retried once
+           in DOM mode on the already-loaded tree. *)
+        Log.warn (fun m ->
+            m "StAX evaluation failed (%s): retrying in DOM mode"
+              (Error.to_string stax_failure));
+        Result.join
+          (Error.guard (fun () ->
+               run_dom t ~mfa ?use_index ?budget ?trace
+                 ~degraded_from_stax:true ()))))
+
+let query t ?group ?mode ?use_index ?optimize ?budget ?trace text =
+  Result.map_error Error.to_string
+    (query_robust t ?group ?mode ?use_index ?optimize ?budget ?trace text)

@@ -6,7 +6,17 @@
     control policies, paper §2), and an optional TAX index.  Queries are
     Regular XPath, posed either directly on the document or on a group's
     virtual view; view queries are rewritten to MFAs on the document and
-    evaluated by HyPE — the view is never materialized. *)
+    evaluated by HyPE — the view is never materialized.
+
+    {b Totality.}  This façade is guarded: no input — malformed XML, a
+    hostile query, an exhausted resource budget or an injected fault —
+    makes any function here raise.  Typed failures are
+    [Smoqe_robust.Error.t] (see {!query_robust}); the [string]-error
+    functions render the same taxonomy.  Two degradations are applied
+    rather than failing, and recorded in [outcome.stats]: an unavailable
+    index downgrades to an unindexed DOM pass ([degraded_no_index]), and a
+    StAX driver failure is retried once in DOM mode
+    ([degraded_stax_retry]). *)
 
 type t
 
@@ -30,6 +40,7 @@ val of_string : ?dtd:Smoqe_xml.Dtd.t -> string -> (t, string) result
     and policies may be registered.  Errors are returned, never raised. *)
 
 val of_file : ?dtd:Smoqe_xml.Dtd.t -> string -> (t, string) result
+(** Like {!of_string}; error messages carry ["file:line:column:"]. *)
 
 val of_tree : ?dtd:Smoqe_xml.Dtd.t -> Smoqe_xml.Tree.t -> t
 
@@ -60,7 +71,9 @@ val index : t -> Smoqe_tax.Tax.t option
 val save_index : t -> string -> (unit, string) result
 val load_index : t -> string -> (unit, string) result
 (** Load a previously saved index; fails if it does not match the
-    document's shape. *)
+    document's shape.  Subject to the ["index.load"] failpoint.  A failed
+    load leaves the engine serving queries without an index (recorded per
+    query as [degraded_no_index] when one was requested). *)
 
 (** {1 Querying} *)
 
@@ -70,6 +83,7 @@ val query :
   ?mode:mode ->
   ?use_index:bool ->
   ?optimize:bool ->
+  ?budget:Smoqe_robust.Budget.t ->
   ?trace:Smoqe_hype.Trace.t ->
   string ->
   (outcome, string) result
@@ -77,8 +91,24 @@ val query :
     directly on the document; with [group], it is first rewritten through
     the group's view.  [use_index] (default [true] when an index exists)
     enables TAX pruning in [Dom] mode; [optimize] (default [true]) runs
-    the MFA optimizer before evaluation.  Parse errors, unknown groups and
-    driver errors are returned as [Error]. *)
+    the MFA optimizer before evaluation.  [budget] bounds compilation and
+    evaluation (see {!Smoqe_robust.Budget}).  All failures are returned as
+    [Error] — this is {!query_robust} rendered with
+    [Smoqe_robust.Error.to_string]. *)
+
+val query_robust :
+  t ->
+  ?group:string ->
+  ?mode:mode ->
+  ?use_index:bool ->
+  ?optimize:bool ->
+  ?budget:Smoqe_robust.Budget.t ->
+  ?trace:Smoqe_hype.Trace.t ->
+  string ->
+  (outcome, Smoqe_robust.Error.t) result
+(** The typed-error form of {!query}.  Guaranteed total: every library
+    exception is caught at this boundary and classified.  A tripped budget
+    returns [Budget_exceeded] carrying the partial evaluation counters. *)
 
 val rewrite_only :
   t ->

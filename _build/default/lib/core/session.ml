@@ -1,3 +1,5 @@
+module Error = Smoqe_robust.Error
+
 type role =
   | Admin
   | Member of string
@@ -22,10 +24,21 @@ let schema t =
   | Admin -> Engine.dtd t.engine
   | Member group -> Engine.view_dtd t.engine ~group
 
-let run t ?mode ?use_index ?trace text =
-  match t.role with
-  | Admin -> Engine.query t.engine ?mode ?use_index ?trace text
-  | Member group -> Engine.query t.engine ~group ?mode ?use_index ?trace text
+let run_robust t ?mode ?use_index ?budget ?trace text =
+  (* The engine boundary is already guarded; the extra guard here keeps the
+     session total even against failures in its own plumbing. *)
+  Result.join
+    (Error.guard (fun () ->
+         match t.role with
+         | Admin ->
+           Engine.query_robust t.engine ?mode ?use_index ?budget ?trace text
+         | Member group ->
+           Engine.query_robust t.engine ~group ?mode ?use_index ?budget ?trace
+             text))
+
+let run t ?mode ?use_index ?budget ?trace text =
+  Result.map_error Error.to_string
+    (run_robust t ?mode ?use_index ?budget ?trace text)
 
 let can_access_document t =
   match t.role with Admin -> true | Member _ -> false

@@ -26,9 +26,22 @@ val run :
   t ->
   ?mode:Engine.mode ->
   ?use_index:bool ->
+  ?budget:Smoqe_robust.Budget.t ->
   ?trace:Smoqe_hype.Trace.t ->
   string ->
   (Engine.outcome, string) result
-(** Answer a query under the session's rights. *)
+(** Answer a query under the session's rights.  Total: any failure —
+    malformed input, budget exhaustion, injected fault — is an [Error],
+    never an exception (see {!Engine.query}). *)
+
+val run_robust :
+  t ->
+  ?mode:Engine.mode ->
+  ?use_index:bool ->
+  ?budget:Smoqe_robust.Budget.t ->
+  ?trace:Smoqe_hype.Trace.t ->
+  string ->
+  (Engine.outcome, Smoqe_robust.Error.t) result
+(** The typed-error form of {!run}. *)
 
 val can_access_document : t -> bool

@@ -1,1 +1,1 @@
-lib/hype/eval_dom.ml: Array Cans Engine Smoqe_automata Smoqe_tax Smoqe_xml Stats Trace
+lib/hype/eval_dom.ml: Array Cans Engine Smoqe_automata Smoqe_robust Smoqe_tax Smoqe_xml Stats Trace

@@ -1,1 +1,1 @@
-lib/hype/eval_dom.mli: Smoqe_automata Smoqe_rxpath Smoqe_tax Smoqe_xml Stats Trace
+lib/hype/eval_dom.mli: Smoqe_automata Smoqe_robust Smoqe_rxpath Smoqe_tax Smoqe_xml Stats Trace

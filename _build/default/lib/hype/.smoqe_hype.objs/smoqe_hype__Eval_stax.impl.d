@@ -1,1 +1,1 @@
-lib/hype/eval_stax.ml: Buffer Cans Engine Hashtbl List Option Smoqe_automata Smoqe_xml Stats Trace
+lib/hype/eval_stax.ml: Buffer Cans Engine Hashtbl List Option Smoqe_automata Smoqe_robust Smoqe_xml Stats Trace

@@ -65,6 +65,11 @@ type t = {
   mutable epoch : int;
   mutable entered_candidate : bool; (* last enter recorded a candidate *)
   mutable finished : bool;
+  (* Fired from [enter] every 32nd node with the running node count, so a
+     driver can settle resource budgets without per-node work of its own.
+     The land-and-branch is paid by every run; the callback only by
+     budgeted ones. *)
+  mutable on_checkpoint : (int -> unit) option;
 }
 
 let fresh_frame n_states () =
@@ -170,10 +175,12 @@ let create ?trace mfa =
     epoch = 0;
     entered_candidate = false;
     finished = false;
+    on_checkpoint = None;
   }
 
 let stats t = t.stats
 let cans t = t.cans
+let set_checkpoint t f = t.on_checkpoint <- Some f
 
 let trace_mark t node m =
   match t.trace with None -> () | Some tr -> Trace.mark tr node m
@@ -312,7 +319,10 @@ let enter t ~id ~kind =
   if t.finished then raise (Driver_error "enter after finish");
   let nfa = t.mfa.Mfa.nfa in
   t.entered_candidate <- false;
-  t.stats.Stats.nodes_entered <- t.stats.Stats.nodes_entered + 1;
+  let n_entered = t.stats.Stats.nodes_entered + 1 in
+  t.stats.Stats.nodes_entered <- n_entered;
+  if n_entered land 31 = 0 then (
+    match t.on_checkpoint with None -> () | Some f -> f n_entered);
   if t.depth = 0 then begin
     let frame = push_frame t id kind in
     t.out_items <- [];

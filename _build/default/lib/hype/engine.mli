@@ -63,6 +63,14 @@ val finish : t -> int list
 val stats : t -> Stats.t
 val cans : t -> Cans.t
 
+val set_checkpoint : t -> (int -> unit) -> unit
+(** Install a callback fired from {!enter} every 32nd node with the
+    running node count.  Drivers use it to settle resource budgets
+    without adding per-node work of their own: the engine is counting
+    nodes anyway, so the unbudgeted path pays only a mask-and-branch.
+    The callback may raise (e.g. {!Smoqe_robust.Budget.Exceeded}); the
+    driver is expected to catch it. *)
+
 exception Driver_error of string
 (** Raised on contract violations ([leave] without [enter], [finish] with
     open nodes, non-root first enter). *)

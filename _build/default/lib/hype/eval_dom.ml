@@ -2,11 +2,14 @@ module Tree = Smoqe_xml.Tree
 module Tax = Smoqe_tax.Tax
 module Reachability = Smoqe_automata.Reachability
 module Mfa = Smoqe_automata.Mfa
+module Budget = Smoqe_robust.Budget
+module Failpoint = Smoqe_robust.Failpoint
 
 type result = {
   answers : int list;
   stats : Stats.t;
   cans_size : int;
+  budget_hit : (string * string) option;
 }
 
 (* Per-state pruning data, specialized against one document's tag table:
@@ -36,9 +39,34 @@ let prune_table mfa tree =
         else Check (Array.of_list !ids, text))
     needs
 
-let run ?tax ?(prune_threshold = 48) ?trace mfa tree =
+let run ?tax ?(prune_threshold = 48) ?budget ?trace mfa tree =
   let engine = Engine.create ?trace mfa in
   let stats = Engine.stats engine in
+  let cans = Engine.cans engine in
+  let settled = ref 0 in
+  (* The budget rides the engine's own node counter (see
+     {!Engine.set_checkpoint}): it settles every 32 nodes, audits the
+     Cans size every 256, and a final settlement after the traversal
+     covers small documents.  The budgeted hot path therefore adds no
+     per-node work at all, which is what holds the overhead guard
+     (bench E10). *)
+  (match budget with
+  | None -> ()
+  | Some b ->
+    Engine.set_checkpoint engine (fun n ->
+        Budget.tick_nodes b (n - !settled);
+        settled := n;
+        if n land 255 = 0 then Budget.check_cans b (Cans.size cans)));
+  let checkpoint () = Failpoint.trigger "hype.step" in
+  let final_check () =
+    match budget with
+    | None -> ()
+    | Some b ->
+      Budget.tick_nodes b (stats.Stats.nodes_entered - !settled);
+      settled := stats.Stats.nodes_entered;
+      Budget.check_cans b (Cans.size cans);
+      Budget.check_deadline b
+  in
   let skip_subtree n m count_field =
     (* n itself was entered; only its proper descendants are skipped *)
     let skipped = Tree.subtree_size tree n - 1 in
@@ -83,6 +111,7 @@ let run ?tax ?(prune_threshold = 48) ?trace mfa tree =
         end
   in
   let rec visit n =
+    checkpoint ();
     match Engine.enter engine ~id:n ~kind:(kind_of n) with
     | Engine.Dead -> skip_subtree n Trace.Skipped_dead `Dead
     | Engine.Alive ->
@@ -91,9 +120,18 @@ let run ?tax ?(prune_threshold = 48) ?trace mfa tree =
        else skip_subtree n Trace.Pruned_tax `Tax);
       Engine.leave engine
   in
-  visit Tree.root;
-  let answers = Engine.finish engine in
-  { answers; stats; cans_size = Cans.size (Engine.cans engine) }
+  let budget_hit = ref None in
+  (try
+     visit Tree.root;
+     final_check ()
+   with Budget.Exceeded { what; limit } -> budget_hit := Some (what, limit));
+  (* On a budget stop the traversal is incomplete: answers cannot be
+     resolved, but the statistics accumulated so far are still reported. *)
+  let answers = match !budget_hit with
+    | None -> Engine.finish engine
+    | Some _ -> []
+  in
+  { answers; stats; cans_size = Cans.size cans; budget_hit = !budget_hit }
 
 let eval ?tax tree path =
   let mfa = Smoqe_automata.Compile.compile path in

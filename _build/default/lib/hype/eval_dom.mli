@@ -9,18 +9,24 @@ type result = {
   answers : int list;  (** answer nodes, in document order *)
   stats : Stats.t;
   cans_size : int;  (** candidates held in Cans at the end of the pass *)
+  budget_hit : (string * string) option;
+      (** [Some (what, limit)] when the traversal stopped on a budget:
+          [answers] is empty, [stats] holds the partial counters *)
 }
 
 val run :
   ?tax:Smoqe_tax.Tax.t ->
   ?prune_threshold:int ->
+  ?budget:Smoqe_robust.Budget.t ->
   ?trace:Trace.t ->
   Smoqe_automata.Mfa.t ->
   Smoqe_xml.Tree.t ->
   result
 (** [prune_threshold] (default 48): subtrees smaller than this many nodes
     are scanned rather than tested against the index — the test costs more
-    than the scan below that size. *)
+    than the scan below that size.  With [budget], every node entered is
+    one tick; a tripped budget ends the pass with [budget_hit] set rather
+    than raising.  The ["hype.step"] failpoint fires here. *)
 
 val eval :
   ?tax:Smoqe_tax.Tax.t ->

@@ -1,5 +1,7 @@
 module Pull = Smoqe_xml.Pull
 module Serializer = Smoqe_xml.Serializer
+module Budget = Smoqe_robust.Budget
+module Failpoint = Smoqe_robust.Failpoint
 
 type result = {
   answers : int list;
@@ -7,6 +9,7 @@ type result = {
   stats : Stats.t;
   cans_size : int;
   n_nodes : int;
+  budget_hit : (string * string) option;
 }
 
 (* Per open element: was the engine entered for it, and are its children
@@ -25,9 +28,37 @@ type capture = {
   mutable open_elements : int;
 }
 
-let run_generic ?(capture = false) ?trace mfa next =
+let run_generic ?(capture = false) ?budget ?trace mfa next =
   let engine = Engine.create ?trace mfa in
   let stats = Engine.stats engine in
+  let cans = Engine.cans engine in
+  let ticks = ref 0 in
+  let checkpoint =
+    (* Same amortization as Eval_dom: one local increment per event, the
+       budget settles every 32 events, the Cans size is audited every 256,
+       and a final settlement covers short streams. *)
+    match budget with
+    | None -> fun () -> Failpoint.trigger "hype.step"
+    | Some b ->
+      fun () ->
+        Failpoint.trigger "hype.step";
+        let k = !ticks + 1 in
+        ticks := k;
+        if k land 31 = 0 then begin
+          Budget.tick_nodes b 32;
+          if k land 255 = 0 then Budget.check_cans b (Cans.size cans)
+        end
+  in
+  let final_check () =
+    match budget with
+    | None -> ()
+    | Some b ->
+      (match !ticks land 31 with
+      | 0 -> ()
+      | rest -> Budget.tick_nodes b rest);
+      Budget.check_cans b (Cans.size cans);
+      Budget.check_deadline b
+  in
   let next_id = ref 0 in
   let fresh_id () =
     let id = !next_id in
@@ -104,6 +135,7 @@ let run_generic ?(capture = false) ?trace mfa next =
     match next () with
     | None -> ()
     | Some ev ->
+      checkpoint ();
       (match ev with
       | Pull.Start_element (name, attrs) ->
         let id = fresh_id () in
@@ -146,8 +178,14 @@ let run_generic ?(capture = false) ?trace mfa next =
         end);
       loop ()
   in
-  loop ();
-  let answers = Engine.finish engine in
+  let budget_hit = ref None in
+  (try
+     loop ();
+     final_check ()
+   with Budget.Exceeded { what; limit } -> budget_hit := Some (what, limit));
+  let answers =
+    match !budget_hit with None -> Engine.finish engine | Some _ -> []
+  in
   let captured =
     if not capture then []
     else
@@ -160,16 +198,17 @@ let run_generic ?(capture = false) ?trace mfa next =
     answers;
     captured;
     stats;
-    cans_size = Cans.size (Engine.cans engine);
+    cans_size = Cans.size cans;
     n_nodes = !next_id;
+    budget_hit = !budget_hit;
   }
 
-let run ?capture ?trace mfa pull =
-  run_generic ?capture ?trace mfa (fun () -> Pull.next pull)
+let run ?capture ?budget ?trace mfa pull =
+  run_generic ?capture ?budget ?trace mfa (fun () -> Pull.next pull)
 
-let run_events ?capture ?trace mfa events =
+let run_events ?capture ?budget ?trace mfa events =
   let remaining = ref events in
-  run_generic ?capture ?trace mfa (fun () ->
+  run_generic ?capture ?budget ?trace mfa (fun () ->
       match !remaining with
       | [] -> None
       | ev :: rest ->

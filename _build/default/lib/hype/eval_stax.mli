@@ -20,17 +20,24 @@ type result = {
   stats : Stats.t;
   cans_size : int;
   n_nodes : int;  (** total nodes scanned (elements + text) *)
+  budget_hit : (string * string) option;
+      (** [Some (what, limit)] when the scan stopped on a budget:
+          [answers] is empty, [stats] holds the partial counters *)
 }
 
 val run :
   ?capture:bool ->
+  ?budget:Smoqe_robust.Budget.t ->
   ?trace:Trace.t ->
   Smoqe_automata.Mfa.t ->
   Smoqe_xml.Pull.t ->
   result
+(** Every event scanned is one budget tick; the ["hype.step"] failpoint
+    fires per event (and ["pull.read"] inside the parser itself). *)
 
 val run_events :
   ?capture:bool ->
+  ?budget:Smoqe_robust.Budget.t ->
   ?trace:Trace.t ->
   Smoqe_automata.Mfa.t ->
   Smoqe_xml.Pull.event list ->

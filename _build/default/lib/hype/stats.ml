@@ -10,6 +10,8 @@ type t = {
   mutable atom_instances : int;
   mutable max_items : int;
   mutable passes_over_data : int;
+  mutable degraded_no_index : int;
+  mutable degraded_stax_retry : int;
 }
 
 let create () =
@@ -25,9 +27,30 @@ let create () =
     atom_instances = 0;
     max_items = 0;
     passes_over_data = 1;
+    degraded_no_index = 0;
+    degraded_stax_retry = 0;
   }
 
 let total_skipped t = t.nodes_skipped_dead + t.nodes_pruned_tax
+
+let degraded t = t.degraded_no_index > 0 || t.degraded_stax_retry > 0
+
+let to_assoc t =
+  [
+    ("nodes_entered", t.nodes_entered);
+    ("nodes_alive", t.nodes_alive);
+    ("nodes_skipped_dead", t.nodes_skipped_dead);
+    ("nodes_pruned_tax", t.nodes_pruned_tax);
+    ("candidates", t.candidates);
+    ("answers", t.answers);
+    ("conds_created", t.conds_created);
+    ("quals_resolved", t.quals_resolved);
+    ("atom_instances", t.atom_instances);
+    ("max_items", t.max_items);
+    ("passes_over_data", t.passes_over_data);
+    ("degraded_no_index", t.degraded_no_index);
+    ("degraded_stax_retry", t.degraded_stax_retry);
+  ]
 
 let pp ppf t =
   Fmt.pf ppf
@@ -36,4 +59,9 @@ let pp ppf t =
      %d@ peak items/node: %d, passes over data: %d@]"
     t.nodes_entered t.nodes_alive t.nodes_skipped_dead t.nodes_pruned_tax
     t.candidates t.answers t.conds_created t.quals_resolved t.atom_instances
-    t.max_items t.passes_over_data
+    t.max_items t.passes_over_data;
+  if degraded t then
+    Fmt.pf ppf "@ degraded:%s%s"
+      (if t.degraded_no_index > 0 then " index unavailable -> unindexed DOM"
+       else "")
+      (if t.degraded_stax_retry > 0 then " StAX failed -> DOM retry" else "")

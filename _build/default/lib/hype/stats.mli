@@ -16,11 +16,24 @@ type t = {
   mutable atom_instances : int;  (** qualifier-atom runs instantiated *)
   mutable max_items : int;  (** peak simultaneous run items on one node *)
   mutable passes_over_data : int;  (** 1 for HyPE; baselines report more *)
+  mutable degraded_no_index : int;
+      (** 1 when an index was requested/expected but evaluation fell back
+          to an unindexed DOM pass *)
+  mutable degraded_stax_retry : int;
+      (** 1 when the StAX driver failed and the query was retried (and
+          answered) in DOM mode *)
 }
 
 val create : unit -> t
 
 val total_skipped : t -> int
 (** Dead-skipped plus TAX-pruned. *)
+
+val degraded : t -> bool
+(** Did any graceful degradation (index → no-index, StAX → DOM) occur? *)
+
+val to_assoc : t -> (string * int) list
+(** All counters as labelled integers — the shape
+    [Smoqe_robust.Error.Budget_exceeded] carries as partial statistics. *)
 
 val pp : Format.formatter -> t -> unit

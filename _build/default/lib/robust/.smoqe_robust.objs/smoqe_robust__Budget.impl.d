@@ -1,0 +1,1 @@
+lib/robust/budget.ml: List Option Printf String Unix

@@ -1,0 +1,1 @@
+lib/robust/budget.mli:

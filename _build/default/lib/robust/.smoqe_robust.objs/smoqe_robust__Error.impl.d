@@ -1,0 +1,1 @@
+lib/robust/error.ml: Budget Failpoint Fmt Printexc Printf

@@ -1,0 +1,1 @@
+lib/robust/failpoint.ml: Hashtbl List Printf String Sys

@@ -1,0 +1,1 @@
+lib/robust/failpoint.mli:

@@ -1,0 +1,56 @@
+(** The unified error taxonomy of the SMOQE façade.
+
+    Seven unrelated exception types used to leak through the
+    [result]-returning [Engine]/[Session] API ([Pull.Error],
+    [Rxpath.Parser] failures, [Derive.Unsupported],
+    [Expr_rewriter.Too_large], [Hype.Engine.Driver_error], [Sys_error],
+    …).  This module gives them one home: every error a query can produce
+    is a value of {!t}, and {!guard} is the boundary combinator that turns
+    any escaped exception into one.
+
+    Layering: this module knows nothing about the rest of SMOQE.  Upper
+    layers teach it their exceptions with {!register_classifier}; the
+    built-in fallback covers the standard library, {!Budget.Exceeded} and
+    {!Failpoint.Injected}. *)
+
+type location = {
+  file : string option;
+  line : int;  (** 1-based; 0 when unknown *)
+  col : int;
+}
+
+type t =
+  | Parse_error of { loc : location option; msg : string }
+      (** malformed XML / DTD / policy text *)
+  | Query_error of string  (** the query itself is unusable *)
+  | Policy_error of string  (** policy, view or group problems *)
+  | Budget_exceeded of {
+      what : string;  (** which budget dimension, e.g. ["max_nodes"] *)
+      limit : string;  (** the configured bound, rendered *)
+      partial_stats : (string * int) list;
+          (** evaluation counters at the moment the budget tripped *)
+    }
+  | Io_error of string  (** file system, store or injected I/O faults *)
+  | Internal of string  (** driver contract violations, overflows, bugs *)
+
+val location : ?file:string -> line:int -> col:int -> unit -> location
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val exit_code : t -> int
+(** Process exit code for CLI front-ends: 3 for [Budget_exceeded],
+    1 for everything else (0 is success and never returned here). *)
+
+val register_classifier : (exn -> t option) -> unit
+(** Add a classifier consulted (most recent first) by {!classify} before
+    the built-in fallback.  Idempotent registration is the caller's
+    business; SMOQE's core registers its library exceptions once at
+    initialization. *)
+
+val classify : exn -> t
+(** Map any exception to the taxonomy.  Never raises. *)
+
+val guard : (unit -> 'a) -> ('a, t) result
+(** [guard f] runs [f] and converts {e any} exception into [Error] via
+    {!classify} — the combinator that makes the façade total. *)

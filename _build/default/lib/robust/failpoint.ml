@@ -1,0 +1,134 @@
+exception Injected of string
+
+type action =
+  | Off
+  | Once
+  | Always
+  | Every of int
+
+type site = {
+  mutable action : action;
+  mutable triggers : int; (* evaluations while armed *)
+  mutable hits : int; (* times the site fired *)
+}
+
+(* The fast path is a single load of [armed]: sites pay nothing while no
+   failpoint is configured anywhere in the process. *)
+let armed = ref false
+let sites : (string, site) Hashtbl.t = Hashtbl.create 8
+
+let recompute_armed () =
+  armed :=
+    Hashtbl.fold (fun _ s acc -> acc || s.action <> Off) sites false
+
+let configure name action =
+  (match Hashtbl.find_opt sites name with
+  | Some s ->
+    s.action <- action;
+    s.triggers <- 0;
+    s.hits <- 0
+  | None -> Hashtbl.replace sites name { action; triggers = 0; hits = 0 });
+  recompute_armed ()
+
+let clear () =
+  Hashtbl.reset sites;
+  armed := false
+
+let active () = !armed
+
+let fire s =
+  s.triggers <- s.triggers + 1;
+  match s.action with
+  | Off -> false
+  | Always ->
+    s.hits <- s.hits + 1;
+    true
+  | Once ->
+    if s.hits = 0 then begin
+      s.hits <- s.hits + 1;
+      true
+    end
+    else false
+  | Every n ->
+    if n >= 1 && s.triggers mod n = 0 then begin
+      s.hits <- s.hits + 1;
+      true
+    end
+    else false
+
+let trigger name =
+  if !armed then begin
+    match Hashtbl.find_opt sites name with
+    | None -> ()
+    | Some s -> if fire s then raise (Injected name)
+  end
+
+let triggers name =
+  match Hashtbl.find_opt sites name with None -> 0 | Some s -> s.triggers
+
+let hits name =
+  match Hashtbl.find_opt sites name with None -> 0 | Some s -> s.hits
+
+let action_of_string v =
+  match String.lowercase_ascii v with
+  | "off" -> Ok Off
+  | "once" -> Ok Once
+  | "always" -> Ok Always
+  | n ->
+    (match int_of_string_opt n with
+    | Some n when n >= 1 -> Ok (Every n)
+    | Some _ | None ->
+      Error (Printf.sprintf "bad failpoint action %S (want off|once|always|N)" v))
+
+let parse_config spec =
+  let entries =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun e -> e <> "")
+  in
+  List.fold_left
+    (fun acc entry ->
+      match acc with
+      | Error _ -> acc
+      | Ok () ->
+        (match String.index_opt entry '=' with
+        | None -> Error (Printf.sprintf "bad failpoint entry %S (want name=action)" entry)
+        | Some i ->
+          let name = String.trim (String.sub entry 0 i) in
+          let value =
+            String.trim (String.sub entry (i + 1) (String.length entry - i - 1))
+          in
+          if name = "" then Error (Printf.sprintf "empty failpoint name in %S" entry)
+          else
+            (match action_of_string value with
+            | Ok action ->
+              configure name action;
+              Ok ()
+            | Error _ as e -> e)))
+    (Ok ()) entries
+
+let init_from_env () =
+  match Sys.getenv_opt "SMOQE_FAILPOINTS" with
+  | None | Some "" -> ()
+  | Some spec -> ignore (parse_config spec)
+
+let with_failpoints spec f =
+  let saved = Hashtbl.fold (fun name s acc -> (name, s.action) :: acc) sites [] in
+  clear ();
+  (match parse_config spec with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("with_failpoints: " ^ msg));
+  let restore () =
+    clear ();
+    List.iter (fun (name, action) -> configure name action) saved
+  in
+  match f () with
+  | v ->
+    restore ();
+    v
+  | exception e ->
+    restore ();
+    raise e
+
+(* Arm from the environment as soon as the library is linked in. *)
+let () = init_from_env ()

@@ -1,0 +1,54 @@
+(** Fault-injection points (CockroachDB / fail-rs style).
+
+    A failpoint is a named site in the code — [trigger "pull.read"] — that
+    normally costs one branch on a global flag and does nothing.  When the
+    site is {e armed} (programmatically, or through the [SMOQE_FAILPOINTS]
+    environment variable at program start), triggering it raises
+    {!Injected}, which the guarded façade maps into the error taxonomy.
+    The chaos test-suite runs the full query pipeline with failpoints
+    firing at parser reads, store I/O and HyPE step boundaries and asserts
+    that every outcome is still a [result].
+
+    Site naming convention: ["subsystem.operation"], e.g. ["pull.read"],
+    ["store.read"], ["store.write"], ["index.load"], ["hype.step"]. *)
+
+exception Injected of string
+(** [Injected site] — the armed failpoint [site] fired. *)
+
+type action =
+  | Off  (** disarmed *)
+  | Once  (** fire on the first trigger only *)
+  | Always  (** fire on every trigger *)
+  | Every of int  (** fire on every [n]-th trigger (n >= 1) *)
+
+val trigger : string -> unit
+(** The instrumentation hook.  A single [bool ref] load when no failpoint
+    anywhere is armed; raises {!Injected} when this site decides to fire. *)
+
+val configure : string -> action -> unit
+(** Arm (or with [Off], disarm) one site.  Counters restart. *)
+
+val clear : unit -> unit
+(** Disarm every site and drop all counters. *)
+
+val active : unit -> bool
+(** Is any site armed? *)
+
+val parse_config : string -> (unit, string) result
+(** Parse and apply a spec like ["pull.read=7,store.write=once,hype.step=off"].
+    Values: a positive integer [n] (= [Every n]), [once], [always], [off]. *)
+
+val init_from_env : unit -> unit
+(** Apply [SMOQE_FAILPOINTS] if set (called automatically at module
+    initialization; harmless to call again).  A malformed spec is ignored —
+    fault injection must never break a production start-up. *)
+
+val triggers : string -> int
+(** How many times the site was evaluated while armed. *)
+
+val hits : string -> int
+(** How many times the site actually fired. *)
+
+val with_failpoints : string -> (unit -> 'a) -> 'a
+(** [with_failpoints spec f]: apply [spec] (see {!parse_config}), run [f],
+    then restore the previous configuration — exception-safe.  For tests. *)

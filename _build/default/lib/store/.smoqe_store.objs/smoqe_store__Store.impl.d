@@ -1,1 +1,1 @@
-lib/store/store.ml: Buffer Filename Fmt List Printf Result Smoqe Smoqe_security Smoqe_xml String Sys
+lib/store/store.ml: Buffer Filename Fmt List Printf Result Smoqe Smoqe_robust Smoqe_security Smoqe_xml String Sys

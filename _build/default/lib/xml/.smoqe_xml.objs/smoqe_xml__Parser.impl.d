@@ -1,1 +1,1 @@
-lib/xml/parser.ml: List Pull Tree
+lib/xml/parser.ml: List Printf Pull Smoqe_robust Tree

@@ -1,1 +1,1 @@
-lib/xml/parser.mli: Pull Tree
+lib/xml/parser.mli: Pull Smoqe_robust Tree

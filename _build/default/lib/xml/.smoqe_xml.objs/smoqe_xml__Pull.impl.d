@@ -1,1 +1,1 @@
-lib/xml/pull.ml: Buffer Bytes Char List Printf String
+lib/xml/pull.ml: Buffer Bytes Char List Printf Smoqe_robust String

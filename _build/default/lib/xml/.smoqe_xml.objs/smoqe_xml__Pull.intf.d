@@ -1,1 +1,1 @@
-lib/xml/pull.mli:
+lib/xml/pull.mli: Smoqe_robust

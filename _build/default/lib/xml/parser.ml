@@ -41,19 +41,44 @@ let build_from next =
   | None -> invalid_arg "Parser: empty document"
   | Some src -> Tree.of_source src
 
-let tree_of_string ?keep_ws s =
-  let p = Pull.of_string ?keep_ws s in
+let tree_of_string ?keep_ws ?budget s =
+  let p = Pull.of_string ?keep_ws ?budget s in
   build_from (fun () -> Pull.next p)
 
-let tree_of_channel ?keep_ws ic =
-  let p = Pull.of_channel ?keep_ws ic in
+let tree_of_channel ?keep_ws ?budget ic =
+  let p = Pull.of_channel ?keep_ws ?budget ic in
   build_from (fun () -> Pull.next p)
 
-let tree_of_file ?keep_ws path =
+let tree_of_file ?keep_ws ?budget path =
   let ic = open_in_bin path in
-  match tree_of_channel ?keep_ws ic with
+  match tree_of_channel ?keep_ws ?budget ic with
   | t -> close_in ic; t
   | exception e -> close_in_noerr ic; raise e
+
+(* Result-returning variants: the raise/result split of this module used to
+   force every caller to re-enumerate the parser's exceptions. *)
+let res_of ?file f =
+  match f () with
+  | t -> Ok t
+  | exception Pull.Error (line, col, msg) ->
+    Error
+      (match file with
+      | Some path -> Printf.sprintf "%s:%d:%d: %s" path line col msg
+      | None -> Printf.sprintf "%d:%d: %s" line col msg)
+  | exception Invalid_argument msg -> Error msg
+  | exception Sys_error msg -> Error msg
+  | exception Stack_overflow ->
+    Error "document too deeply nested (stack overflow)"
+  | exception Smoqe_robust.Budget.Exceeded { what; limit } ->
+    Error (Printf.sprintf "budget exceeded: %s (limit %s)" what limit)
+  | exception Smoqe_robust.Failpoint.Injected site ->
+    Error ("injected fault at " ^ site)
+
+let tree_of_string_res ?keep_ws ?budget s =
+  res_of (fun () -> tree_of_string ?keep_ws ?budget s)
+
+let tree_of_file_res ?keep_ws ?budget path =
+  res_of ~file:path (fun () -> tree_of_file ?keep_ws ?budget path)
 
 let tree_of_events events =
   let remaining = ref events in

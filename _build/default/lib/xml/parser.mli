@@ -1,11 +1,33 @@
 (** Convenience DOM parsing: {!Pull} events folded into a {!Tree}. *)
 
-val tree_of_string : ?keep_ws:bool -> string -> Tree.t
-(** Parse a complete document.  Raises {!Pull.Error} on malformed input. *)
+val tree_of_string :
+  ?keep_ws:bool -> ?budget:Smoqe_robust.Budget.t -> string -> Tree.t
+(** Parse a complete document.  Raises {!Pull.Error} on malformed input
+    and [Smoqe_robust.Budget.Exceeded] when [budget] trips. *)
 
-val tree_of_channel : ?keep_ws:bool -> in_channel -> Tree.t
+val tree_of_channel :
+  ?keep_ws:bool -> ?budget:Smoqe_robust.Budget.t -> in_channel -> Tree.t
 
-val tree_of_file : ?keep_ws:bool -> string -> Tree.t
+val tree_of_file :
+  ?keep_ws:bool -> ?budget:Smoqe_robust.Budget.t -> string -> Tree.t
+
+val tree_of_string_res :
+  ?keep_ws:bool ->
+  ?budget:Smoqe_robust.Budget.t ->
+  string ->
+  (Tree.t, string) result
+(** Like {!tree_of_string}, but parse errors (with line/column), malformed
+    structure and stack overflow on pathological nesting come back as
+    [Error] instead of raising.  Budget trips still raise
+    [Smoqe_robust.Budget.Exceeded] so the caller's guard can attach
+    partial statistics. *)
+
+val tree_of_file_res :
+  ?keep_ws:bool ->
+  ?budget:Smoqe_robust.Budget.t ->
+  string ->
+  (Tree.t, string) result
+(** Like {!tree_of_file}; error messages are prefixed ["file:line:col:"]. *)
 
 val tree_of_events : Pull.event list -> Tree.t
 (** Build from an already-produced event list.  Raises [Invalid_argument]

@@ -1,3 +1,6 @@
+module Budget = Smoqe_robust.Budget
+module Failpoint = Smoqe_robust.Failpoint
+
 type event =
   | Start_element of string * (string * string) list
   | End_element of string
@@ -20,7 +23,9 @@ type reader = {
 type t = {
   rd : reader;
   keep_ws : bool;
+  budget : Budget.t option;
   mutable stack : string list; (* open elements, innermost first *)
+  mutable depth : int; (* length of [stack], kept incrementally *)
   mutable seen_root : bool;
   mutable finished : bool;
   mutable pending : event option; (* one event of push-back *)
@@ -256,19 +261,22 @@ let read_cdata rd =
   loop ();
   Buffer.contents buf
 
-let mk rd keep_ws =
-  { rd; keep_ws; stack = []; seen_root = false; finished = false;
-    pending = None }
+let mk rd keep_ws budget =
+  { rd; keep_ws; budget; stack = []; depth = 0; seen_root = false;
+    finished = false; pending = None }
 
-let of_string ?(keep_ws = false) s = mk (reader_of_string s) keep_ws
-let of_channel ?(keep_ws = false) ic = mk (reader_of_channel ic) keep_ws
+let of_string ?(keep_ws = false) ?budget s =
+  mk (reader_of_string s) keep_ws budget
+
+let of_channel ?(keep_ws = false) ?budget ic =
+  mk (reader_of_channel ic) keep_ws budget
 
 let ws_only s =
   let ok = ref true in
   String.iter (fun c -> if not (is_ws c) then ok := false) s;
   !ok
 
-let rec next t =
+let rec next_event t =
   match t.pending with
   | Some ev ->
     t.pending <- None;
@@ -291,23 +299,23 @@ let rec next t =
         | Some '?' ->
           advance rd;
           skip_pi rd;
-          next t
+          next_event t
         | Some '!' ->
           advance rd;
           (match peek rd with
           | Some '-' ->
             expect_str rd "--";
             skip_comment rd;
-            next t
+            next_event t
           | Some '[' ->
             advance rd;
             if t.stack = [] then err rd "CDATA outside the root element";
             let s = read_cdata rd in
-            if s = "" then next t else Some (Text s)
+            if s = "" then next_event t else Some (Text s)
           | Some 'D' ->
             expect_str rd "DOCTYPE";
             skip_doctype rd;
-            next t
+            next_event t
           | Some c -> err rd (Printf.sprintf "unexpected <!%C" c)
           | None -> err rd "unexpected end of input after <!")
         | Some '/' ->
@@ -321,6 +329,7 @@ let rec next t =
             if top <> tag then
               err rd (Printf.sprintf "closing tag </%s> does not match <%s>" tag top);
             t.stack <- rest;
+            t.depth <- t.depth - 1;
             Some (End_element tag))
         | Some _ ->
           let tag = read_name rd in
@@ -331,6 +340,10 @@ let rec next t =
           (match read rd with
           | '>' ->
             t.stack <- tag :: t.stack;
+            t.depth <- t.depth + 1;
+            (match t.budget with
+            | None -> ()
+            | Some b -> Budget.check_depth b t.depth);
             Some (Start_element (tag, attrs))
           | '/' ->
             expect rd '>';
@@ -352,10 +365,17 @@ let rec next t =
         text ();
         let s = Buffer.contents buf in
         if t.stack = [] then
-          if ws_only s then next t else err rd "text outside the root element"
-        else if (not t.keep_ws) && ws_only s then next t
+          if ws_only s then next_event t else err rd "text outside the root element"
+        else if (not t.keep_ws) && ws_only s then next_event t
         else Some (Text s)
     end
+
+(* The public entry: one failpoint branch (no-op unless armed) and one
+   budget tick per event delivered. *)
+let next t =
+  Failpoint.trigger "pull.read";
+  (match t.budget with None -> () | Some b -> Budget.tick_node b);
+  next_event t
 
 let fold t ~init ~f =
   let rec loop acc =

@@ -20,18 +20,22 @@ exception Error of int * int * string
 (** [Error (line, column, message)] — 1-based location of a syntax or
     well-formedness error. *)
 
-val of_string : ?keep_ws:bool -> string -> t
+val of_string : ?keep_ws:bool -> ?budget:Smoqe_robust.Budget.t -> string -> t
 (** Parse from a string.  When [keep_ws] is [false] (the default),
     whitespace-only text between elements is dropped, matching the
-    data-centric documents of the paper. *)
+    data-centric documents of the paper.  With [budget], every delivered
+    event is counted against [max_nodes] (and periodically the deadline),
+    and open-element nesting against [max_depth]. *)
 
-val of_channel : ?keep_ws:bool -> in_channel -> t
+val of_channel : ?keep_ws:bool -> ?budget:Smoqe_robust.Budget.t -> in_channel -> t
 (** Parse incrementally from a channel: the document is never held in
     memory in full. *)
 
 val next : t -> event option
 (** The next event, or [None] once the root element has been closed and
-    only trailing whitespace/comments remain.  May raise {!Error}. *)
+    only trailing whitespace/comments remain.  May raise {!Error},
+    [Smoqe_robust.Budget.Exceeded] when a budget trips, or
+    [Smoqe_robust.Failpoint.Injected] under the ["pull.read"] failpoint. *)
 
 val fold : t -> init:'a -> f:('a -> event -> 'a) -> 'a
 (** Drain the stream. *)

@@ -14,6 +14,8 @@
   $ test -s hospital.tax
   $ smoqe query -d hospital.xml "patient[" 2>&1
   $ smoqe query -d hospital.xml -g ghosts "patient" 2>&1
+  $ smoqe query -d hospital.xml --max-nodes 5 -o ids "//pname" 2>&1
+  $ smoqe query -d hospital.xml --timeout-ms 60000 --max-nodes 100000 -o ids "//pname" | wc -l | tr -d ' '
   $ smoqe store init mystore -d hospital.xml -s hospital.dtd
   $ smoqe store add-policy mystore researchers -p s0.policy
   $ smoqe store info mystore

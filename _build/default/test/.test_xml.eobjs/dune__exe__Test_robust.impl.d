@@ -1,0 +1,1 @@
+test/test_robust.ml: Alcotest Buffer Char Filename List Printexc Random Smoqe Smoqe_automata Smoqe_hype Smoqe_robust Smoqe_rxpath Smoqe_store Smoqe_workload Smoqe_xml String Sys

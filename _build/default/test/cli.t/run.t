@@ -76,11 +76,19 @@ The index round-trips through its compressed file form:
 Errors are reported, not crashed on:
 
   $ smoqe query -d hospital.xml "patient[" 2>&1
-  smoqe: query: at offset 8: expected a step
+  smoqe: query error: at offset 8: expected a step
   [1]
   $ smoqe query -d hospital.xml -g ghosts "patient" 2>&1
-  smoqe: unknown group ghosts
+  smoqe: policy error: unknown group ghosts
   [1]
+
+Resource budgets: a query over its budget fails with a distinct exit code:
+
+  $ smoqe query -d hospital.xml --max-nodes 5 -o ids "//pname" 2>&1
+  smoqe: budget exceeded: max_nodes (limit 5)
+  [3]
+  $ smoqe query -d hospital.xml --timeout-ms 60000 --max-nodes 100000 -o ids "//pname" | wc -l | tr -d ' '
+  3
 
 Persistent stores:
 

@@ -1,0 +1,95 @@
+(* Chaos harness: the full query pipeline under environment-armed
+   failpoints.  Run via [dune build @chaos], which sets SMOQE_FAILPOINTS
+   so faults fire at parser reads, store writes and HyPE step boundaries.
+
+   The single invariant: no exception ever escapes the façade.  Every
+   operation below must come back [Ok] (possibly after internal
+   degradation) or [Error] — an escaped exception fails the run.  *)
+
+module Serializer = Smoqe_xml.Serializer
+module Engine = Smoqe.Engine
+module Session = Smoqe.Session
+module Store = Smoqe_store.Store
+module Failpoint = Smoqe_robust.Failpoint
+module Hospital = Smoqe_workload.Hospital
+
+let runs = ref 0
+let faulted = ref 0
+let escaped = ref 0
+
+let attempt label f =
+  incr runs;
+  match f () with
+  | Ok _ -> ()
+  | Error _ -> incr faulted
+  | exception ex ->
+    incr escaped;
+    Printf.eprintf "ESCAPED %s: %s\n%!" label (Printexc.to_string ex)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      (try Sys.rmdir path with Sys_error _ -> ())
+    end
+    else (try Sys.remove path with Sys_error _ -> ())
+
+let () =
+  if not (Failpoint.active ()) then
+    prerr_endline
+      "note: no failpoints armed (set SMOQE_FAILPOINTS or use `dune build \
+       @chaos`) — running anyway";
+  let queries = [ "//pname"; "//medication"; Smoqe_workload.Queries.q0 ] in
+  for i = 1 to 40 do
+    let doc = Hospital.generate ~seed:i ~n_patients:4 ~recursion_depth:2 () in
+    let xml = Serializer.to_string doc in
+    (* engine construction may hit pull.read faults: an Error is fine *)
+    (match Engine.of_string ~dtd:Hospital.dtd xml with
+    | exception ex ->
+      incr escaped;
+      Printf.eprintf "ESCAPED of_string: %s\n%!" (Printexc.to_string ex)
+    | Error _ -> incr faulted
+    | Ok e ->
+      attempt "register_policy" (fun () ->
+          Engine.register_policy e ~group:"researchers" Hospital.policy);
+      (match Session.login e Session.Admin with
+      | Error _ -> incr faulted
+      | Ok admin ->
+        List.iter
+          (fun q ->
+            attempt ("dom " ^ q) (fun () ->
+                Session.run admin ~mode:Engine.Dom q);
+            attempt ("stax " ^ q) (fun () ->
+                Session.run admin ~mode:Engine.Stax q))
+          queries);
+      (* store lifecycle: create, reopen, query — under store.write faults *)
+      let dir = Filename.temp_file "smoqe_chaos" "" in
+      Sys.remove dir;
+      (match Store.create ~dir ~dtd:Hospital.dtd doc with
+      | exception ex ->
+        incr escaped;
+        Printf.eprintf "ESCAPED store.create: %s\n%!" (Printexc.to_string ex)
+      | Error _ -> incr faulted
+      | Ok store ->
+        attempt "store.add_policy" (fun () ->
+            Store.add_policy store ~group:"researchers" Hospital.policy);
+        attempt "store.query" (fun () ->
+            match Store.login store Session.Admin with
+            | Error _ as e -> e
+            | Ok s -> Session.run s "//medication");
+        attempt "store.reopen" (fun () -> Store.open_dir dir));
+      rm_rf dir)
+  done;
+  Printf.printf
+    "chaos: %d operations, %d surfaced faults, %d escaped exceptions\n"
+    !runs !faulted !escaped;
+  List.iter
+    (fun site ->
+      Printf.printf "  %-12s %5d triggers, %d hits\n" site
+        (Failpoint.triggers site) (Failpoint.hits site))
+    [ "pull.read"; "store.read"; "store.write"; "hype.step"; "index.load" ];
+  if Failpoint.active () && Failpoint.hits "pull.read" = 0 then begin
+    prerr_endline "chaos: armed but pull.read never fired";
+    exit 1
+  end;
+  if !escaped > 0 then exit 1

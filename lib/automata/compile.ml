@@ -45,10 +45,14 @@ and build_atom b p value =
   Mfa.add_accept_atom b exit id;
   id
 
-let compile p =
+let compile ?budget p =
   let b = Mfa.create_builder () in
   let entry = Mfa.fresh_state b in
   let exit = Mfa.fresh_state b in
   build_path b p ~entry ~exit;
   Mfa.add_select b exit;
-  Mfa.freeze b ~start:entry
+  let mfa = Mfa.freeze b ~start:entry in
+  (match budget with
+  | None -> ()
+  | Some bg -> Smoqe_robust.Budget.check_states bg (Mfa.n_states mfa));
+  mfa

@@ -6,7 +6,10 @@
     the query (the property the paper contrasts with the exponential
     expression-level rewriting, §3 Rewriter). *)
 
-val compile : Smoqe_rxpath.Ast.path -> Mfa.t
+val compile : ?budget:Smoqe_robust.Budget.t -> Smoqe_rxpath.Ast.path -> Mfa.t
+(** With [budget], the finished automaton's state count is checked against
+    [max_states] (raising [Smoqe_robust.Budget.Exceeded]): compilation is
+    linear, so a post-hoc check bounds the work within a constant factor. *)
 
 val build_path :
   Mfa.builder ->

@@ -1,0 +1,78 @@
+type t = {
+  deadline : float; (* absolute, seconds since the epoch; infinity = none *)
+  timeout_ms : int option;
+  nodes_limit : int; (* max_int = unlimited: the hot compare never fires *)
+  max_nodes : int option;
+  max_cans : int option;
+  max_states : int option;
+  max_depth : int option;
+  mutable nodes : int;
+}
+
+exception Exceeded of { what : string; limit : string }
+
+let exceeded ~what ~limit = raise (Exceeded { what; limit })
+
+let create ?timeout_ms ?max_nodes ?max_cans ?max_states ?max_depth () =
+  let deadline =
+    match timeout_ms with
+    | None -> infinity
+    | Some ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.)
+  in
+  { deadline; timeout_ms;
+    nodes_limit = Option.value max_nodes ~default:max_int;
+    max_nodes; max_cans; max_states; max_depth; nodes = 0 }
+
+let check_deadline t =
+  if Unix.gettimeofday () > t.deadline then
+    exceeded ~what:"timeout_ms"
+      ~limit:(string_of_int (Option.value t.timeout_ms ~default:0) ^ "ms")
+
+(* The hot-path check: one increment and two int compares per node; the
+   clock is read only every 256 ticks. *)
+let tick_node t =
+  let n = t.nodes + 1 in
+  t.nodes <- n;
+  if n > t.nodes_limit then
+    exceeded ~what:"max_nodes" ~limit:(string_of_int t.nodes_limit);
+  if n land 255 = 0 then check_deadline t
+
+(* Batched form for the evaluators: the caller counts locally and settles
+   every [k] units, so the per-node cost is a single local increment. *)
+let tick_nodes t k =
+  let n = t.nodes + k in
+  t.nodes <- n;
+  if n > t.nodes_limit then
+    exceeded ~what:"max_nodes" ~limit:(string_of_int t.nodes_limit);
+  if n lsr 8 > (n - k) lsr 8 then check_deadline t
+
+let check_depth t depth =
+  match t.max_depth with
+  | Some m when depth > m -> exceeded ~what:"max_depth" ~limit:(string_of_int m)
+  | Some _ | None -> ()
+
+let check_cans t n =
+  match t.max_cans with
+  | Some m when n > m -> exceeded ~what:"max_cans" ~limit:(string_of_int m)
+  | Some _ | None -> ()
+
+let check_states t n =
+  match t.max_states with
+  | Some m when n > m -> exceeded ~what:"max_states" ~limit:(string_of_int m)
+  | Some _ | None -> ()
+
+let nodes_scanned t = t.nodes
+
+let describe t =
+  let dims =
+    List.filter_map
+      (fun (name, v) -> Option.map (fun v -> Printf.sprintf "%s=%d" name v) v)
+      [
+        ("timeout_ms", t.timeout_ms);
+        ("max_nodes", t.max_nodes);
+        ("max_cans", t.max_cans);
+        ("max_states", t.max_states);
+        ("max_depth", t.max_depth);
+      ]
+  in
+  match dims with [] -> "unlimited" | _ -> String.concat ", " dims

@@ -6,6 +6,7 @@ module Serializer = Smoqe_xml.Serializer
 module Policy = Smoqe_security.Policy
 module Engine = Smoqe.Engine
 module Session = Smoqe.Session
+module Failpoint = Smoqe_robust.Failpoint
 
 type t = {
   dir : string;
@@ -24,8 +25,13 @@ let policies_dir = "policies"
 let ( / ) = Filename.concat
 
 let read_file path =
-  match open_in_bin path with
+  match
+    Failpoint.trigger "store.read";
+    open_in_bin path
+  with
   | exception Sys_error msg -> Error msg
+  | exception Failpoint.Injected site ->
+    Error (path ^ ": injected fault at " ^ site)
   | ic ->
     let result =
       try Ok (really_input_string ic (in_channel_length ic))
@@ -35,12 +41,21 @@ let read_file path =
     result
 
 let write_file path contents =
-  match open_out_bin path with
+  match
+    Failpoint.trigger "store.write";
+    open_out_bin path
+  with
   | exception Sys_error msg -> Error msg
+  | exception Failpoint.Injected site ->
+    Error (path ^ ": injected fault at " ^ site)
   | oc ->
-    output_string oc contents;
-    close_out oc;
-    Ok ()
+    (match output_string oc contents with
+    | () ->
+      close_out oc;
+      Ok ()
+    | exception Sys_error msg ->
+      close_out_noerr oc;
+      Error msg)
 
 let ( let* ) = Result.bind
 
@@ -81,14 +96,16 @@ let build_engine dir dtd tree policies =
         Engine.register_policy engine ~group policy)
       (Ok ()) policies
   in
-  let* () =
-    match Engine.load_index engine (dir / index_name) with
-    | Ok () -> Ok ()
-    | Error _ ->
-      (* index missing or stale: rebuild and rewrite it *)
-      Engine.build_index engine;
-      Engine.save_index engine (dir / index_name)
-  in
+  (match Engine.load_index engine (dir / index_name) with
+  | Ok () -> ()
+  | Error _ ->
+    (* index missing, stale or unreadable: rebuild in memory and try to
+       rewrite it.  A failed rewrite only degrades persistence — the store
+       still opens and serves (indexed) queries; the next open rebuilds. *)
+    Engine.build_index engine;
+    (match Engine.save_index engine (dir / index_name) with
+    | Ok () -> ()
+    | Error _ -> ()));
   Ok engine
 
 let create ~dir ?dtd tree =
@@ -152,10 +169,9 @@ let open_dir dir =
   let* policy_entries = parse_manifest manifest in
   let* doc_text = read_file (dir / document_name) in
   let* tree =
-    match Xml_parser.tree_of_string doc_text with
-    | tree -> Ok tree
-    | exception Smoqe_xml.Pull.Error (line, col, msg) ->
-      Error (Printf.sprintf "%s:%d:%d: %s" document_name line col msg)
+    match Xml_parser.tree_of_string_res doc_text with
+    | Ok tree -> Ok tree
+    | Error msg -> Error (Printf.sprintf "%s: %s" document_name msg)
   in
   let* dtd =
     if Sys.file_exists (dir / dtd_name) then begin
