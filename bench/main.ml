@@ -41,6 +41,7 @@ module Derive = Smoqe_security.Derive
 module Materialize = Smoqe_security.Materialize
 module Rewriter = Smoqe_rewrite.Rewriter
 module Expr_rewriter = Smoqe_rewrite.Expr_rewriter
+module Engine = Smoqe.Engine
 module Hospital = Smoqe_workload.Hospital
 module Queries = Smoqe_workload.Queries
 module Random_dtd = Smoqe_workload.Random_dtd
@@ -501,6 +502,97 @@ let e10 () =
   Printf.printf "workload overhead %.2f%%: %s (guard: < 2%%)\n" overhead
     (if overhead < 2. then "PASS" else "FAIL")
 
+(* --- E11: the compiled-plan cache ---------------------------------------------- *)
+
+let e11 () =
+  banner "E11"
+    "plan cache: repeated view queries served without re-rewriting \
+     (gate: warm median >= 5x faster than --no-plan-cache)";
+  let median xs =
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  (* Per-run latencies here reach down to sub-microsecond on a warm
+     cache — below the clock's resolution — so each sample times a batch
+     of runs and divides. *)
+  let batch = 50 in
+  let time_batch f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to batch do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int batch
+  in
+  let ok = function Ok v -> v | Error msg -> failwith msg in
+  let best_ratio = ref 0. in
+  let bench_workload label engine ~group queries =
+    Printf.printf "%s\n" label;
+    Printf.printf "%-6s %-11s %-11s %9s %6s\n" "Q" "uncached" "warm cache"
+      "speedup" "hit";
+    List.iter
+      (fun (name, q) ->
+        let run () = ignore (Sys.opaque_identity (ok (Engine.query engine ~group q))) in
+        (* measure the uncached arm: capacity 0 bypasses the cache *)
+        Engine.set_plan_cache_capacity engine 0;
+        run ();
+        let cold = List.init 30 (fun _ -> time_batch run) in
+        (* warm arm: one run populates, the rest are hits *)
+        Engine.set_plan_cache_capacity engine 128;
+        run ();
+        let hit =
+          (ok (Engine.query engine ~group q)).Engine.stats.Stats.plan_cache_hit
+        in
+        let warm = List.init 30 (fun _ -> time_batch run) in
+        let cold_m = median cold and warm_m = median warm in
+        let ratio = cold_m /. warm_m in
+        if ratio > !best_ratio then best_ratio := ratio;
+        Printf.printf "%-6s %s %s %8.1fx %6d\n%!" name
+          (pp_time (cold_m *. 1e9)) (pp_time (warm_m *. 1e9)) ratio hit)
+      queries
+  in
+  (* Hospital: the paper's own workload, queried through the researchers
+     view over a document small enough that rewriting dominates — the
+     many-members/hot-query serving shape. *)
+  let hdoc = hospital_sized 2 in
+  let hengine = Engine.of_tree ~dtd:Hospital.dtd hdoc in
+  (match Engine.register_policy hengine ~group:"researchers" Hospital.policy with
+  | Ok () -> ()
+  | Error msg -> failwith msg);
+  Printf.printf "document: %d nodes (hospital, 2 patients)\n" (Tree.n_nodes hdoc);
+  bench_workload "hospital view queries:" hengine ~group:"researchers"
+    Queries.view_suite;
+  (* Recursive views: random recursive DTD + random policy (the E7
+     workload), where sigma chains make the rewrite markedly heavier. *)
+  (match
+     let dtd = Random_dtd.generate ~seed:91 ~n_types:12 ~recursion:true () in
+     let policy = Random_dtd.random_policy ~seed:17 dtd in
+     let view = Derive.derive policy in
+     let doc = Docgen.generate ~seed:5 ~max_depth:8 ~fanout:2 dtd in
+     (dtd, policy, view, doc)
+   with
+  | exception _ -> Printf.printf "recursive-view workload unavailable\n"
+  | dtd, policy, view, doc ->
+    let engine = Engine.of_tree ~dtd doc in
+    (match Engine.register_policy engine ~group:"members" policy with
+    | Ok () -> ()
+    | Error msg -> failwith msg);
+    let tags = Dtd.element_names (Derive.view_dtd view) in
+    let queries =
+      List.mapi
+        (fun i seed ->
+          ( Printf.sprintf "R%d" (i + 1),
+            Smoqe_rxpath.Pretty.path_to_string
+              (Random_dtd.random_query ~seed ~size:6 ~tags ()) ))
+        [ 3; 23; 71 ]
+    in
+    Printf.printf "document: %d nodes (random recursive DTD, 12 types)\n"
+      (Tree.n_nodes doc);
+    bench_workload "recursive view queries:" engine ~group:"members" queries);
+  Printf.printf "best warm/uncached speedup %.1fx: %s (gate: >= 5x)\n"
+    !best_ratio
+    (if !best_ratio >= 5. then "PASS" else "FAIL")
+
 (* --- Figures ----------------------------------------------------------------- *)
 
 let figures () =
@@ -531,7 +623,8 @@ let figures () =
 (* --- driver -------------------------------------------------------------- *)
 
 let all = [ "e1", e1; "e2", e2; "e3", e3; "e4", e4; "e5", e5; "e6", e6;
-            "e7", e7; "e8", e8; "e9", e9; "e10", e10; "figures", figures ]
+            "e7", e7; "e8", e8; "e9", e9; "e10", e10; "e11", e11;
+            "figures", figures ]
 
 let () =
   let requested =

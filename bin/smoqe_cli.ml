@@ -196,7 +196,7 @@ let rewrite_cmd =
 
 let query_cmd =
   let run doc_path dtd_path policy_path group mode use_index trace output
-      stats budget query =
+      stats budget plan_cache no_plan_cache repeat query =
     let dtd = Option.map load_dtd dtd_path in
     let engine = or_die (Engine.of_file ?dtd doc_path) in
     (match policy_path, dtd with
@@ -216,12 +216,22 @@ let query_cmd =
     in
     let mode = if mode = "stax" then Engine.Stax else Engine.Dom in
     let tracer = if trace then Some (Trace.create ()) else None in
-    let budget = Option.map (fun mk -> mk ()) budget in
-    let outcome =
+    Engine.set_plan_cache_capacity engine
+      (if no_plan_cache then 0 else plan_cache);
+    (* [--repeat] re-runs the query in-process — the serving pattern the
+       plan cache exists for; each run gets a fresh budget so the deadline
+       restarts. *)
+    let run_once () =
+      let budget = Option.map (fun mk -> mk ()) budget in
       or_die_robust
         (Engine.query_robust engine ?group ~mode ~use_index ?budget
            ?trace:tracer query)
     in
+    let outcome = ref (run_once ()) in
+    for _ = 2 to max 1 repeat do
+      outcome := run_once ()
+    done;
+    let outcome = !outcome in
     (match output with
     | "ids" ->
       List.iter (fun n -> Printf.printf "%d\n" n) outcome.Engine.answers
@@ -239,7 +249,11 @@ let query_cmd =
     | None -> ());
     if stats then begin
       print_endline "-- statistics --";
-      print_endline (Ismoqe.stats_table outcome.Engine.stats)
+      print_endline (Ismoqe.stats_table outcome.Engine.stats);
+      print_endline "-- plan cache --";
+      List.iter
+        (fun (k, v) -> Printf.printf "%s: %d\n" k v)
+        (Engine.plan_cache_counters engine)
     end
   in
   Cmd.v
@@ -259,8 +273,21 @@ let query_cmd =
              & opt (enum [ ("text", "text"); ("tree", "tree"); ("ids", "ids") ])
                  "text"
              & info [ "o"; "output" ] ~doc:"Output mode.")
-      $ Arg.(value & flag & info [ "stats" ] ~doc:"Print evaluation counters.")
+      $ Arg.(value & flag & info [ "stats" ]
+             ~doc:"Print evaluation counters and plan-cache counters.")
       $ budget_term
+      $ Arg.(value & opt int 128
+             & info [ "plan-cache" ] ~docv:"N"
+                 ~doc:"Compiled-plan cache capacity (0 disables).")
+      $ Arg.(value & flag
+             & info [ "no-plan-cache" ]
+                 ~doc:"Disable the compiled-plan cache (same as \
+                       --plan-cache 0).")
+      $ Arg.(value & opt int 1
+             & info [ "repeat" ] ~docv:"N"
+                 ~doc:"Run the query N times in-process (answers printed \
+                       once); repeats after the first are served from the \
+                       plan cache.")
       $ query_arg)
 
 (* --- index -------------------------------------------------------------- *)

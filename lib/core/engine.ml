@@ -19,6 +19,8 @@ module Codec = Smoqe_tax.Codec
 module Error = Smoqe_robust.Error
 module Budget = Smoqe_robust.Budget
 module Failpoint = Smoqe_robust.Failpoint
+module Plan_cache = Smoqe_plan.Plan_cache
+module Canon = Smoqe_plan.Canon
 
 (* Teach the taxonomy this stack's exception types: the guard at the
    façade maps anything the libraries throw into one Error.t.  Runs once,
@@ -50,13 +52,27 @@ type source =
   | From_file of string
   | From_tree
 
+(* A cached plan: the compiled (possibly rewritten) automaton plus the
+   compile-time facts a later hit needs — the state count for budget
+   re-checks without an Mfa traversal, the schema-emptiness verdict so
+   hits skip the satisfiability analysis, and the compile cost the hit
+   avoided paying again. *)
+type plan = {
+  plan_mfa : Mfa.t;
+  plan_states : int;
+  plan_empty : bool;  (* the DTD proves the query selects nothing *)
+  plan_compile_ms : float;
+}
+
 type t = {
-  tree : Tree.t;
-  source : source;
+  mutable tree : Tree.t;
+  mutable source : source;
   dtd : Dtd.t option;
   views : (string, Derive.view) Hashtbl.t;
   mutable group_order : string list;
   mutable tax : Tax.t option;
+  plan_cache : plan Plan_cache.t;
+  mutable saved_compile_ms : float;
 }
 
 type outcome = {
@@ -72,7 +88,16 @@ let log_src = Logs.Src.create "smoqe.engine" ~doc:"SMOQE engine"
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
 let make ?dtd tree source =
-  { tree; source; dtd; views = Hashtbl.create 4; group_order = []; tax = None }
+  {
+    tree;
+    source;
+    dtd;
+    views = Hashtbl.create 4;
+    group_order = [];
+    tax = None;
+    plan_cache = Plan_cache.create ();
+    saved_compile_ms = 0.;
+  }
 
 let validate_against dtd tree =
   match Validator.validate dtd tree with
@@ -117,9 +142,30 @@ let register_policy t ~group policy =
         if not (Hashtbl.mem t.views group) then
           t.group_order <- t.group_order @ [ group ];
         Hashtbl.replace t.views group view;
+        (* Plans rewritten through the group's previous view are now
+           answering with the wrong sigma: age them out. *)
+        Plan_cache.invalidate_group t.plan_cache group;
         Log.info (fun m -> m "registered view for group %s" group);
         Ok ()
     end
+
+(* Swap the served document under the standing DTD, views and sessions —
+   the serving story: policies persist, data rolls over.  The new tree
+   must satisfy the same DTD (views are derived from it). *)
+let replace_document t tree =
+  let checked =
+    match t.dtd with None -> Ok () | Some d -> validate_against d tree
+  in
+  match checked with
+  | Error msg -> Error msg
+  | Ok () ->
+    t.tree <- tree;
+    t.source <- From_tree;
+    (* the index describes the old tree *)
+    t.tax <- None;
+    Plan_cache.invalidate_all t.plan_cache;
+    Log.info (fun m -> m "document replaced (%d nodes)" (Tree.n_nodes tree));
+    Ok ()
 
 let groups t = t.group_order
 let view t ~group = Hashtbl.find_opt t.views group
@@ -159,38 +205,120 @@ let load_index t path =
 
 (* --- query compilation ---------------------------------------------------- *)
 
-let compile_query_robust t ?group ?(optimize = true) ?budget text =
+let compile_ast_robust t ?group ?(optimize = true) ?budget path =
+  Result.join
+    (Error.guard (fun () ->
+         Failpoint.trigger "plan.compile";
+         let raw =
+           match group with
+           | None -> Ok (Compile.compile ?budget path)
+           | Some g ->
+             (match view t ~group:g with
+             | None ->
+               Error (Error.Policy_error (Printf.sprintf "unknown group %s" g))
+             | Some v -> Ok (Rewriter.rewrite v path))
+         in
+         Result.map
+           (fun mfa ->
+             let mfa =
+               if optimize then Smoqe_automata.Optimize.optimize mfa else mfa
+             in
+             (* A rewritten view query can be much larger than the text
+                the user typed: re-check the state budget on the final
+                automaton. *)
+             (match budget with
+             | None -> ()
+             | Some b -> Budget.check_states b (Mfa.n_states mfa));
+             mfa)
+           raw))
+
+let compile_query_robust t ?group ?optimize ?budget text =
   match Rx_parser.path_of_string text with
   | Error msg -> Error (Error.Query_error msg)
-  | Ok path ->
-    Result.join
-      (Error.guard (fun () ->
-           let raw =
-             match group with
-             | None -> Ok (Compile.compile ?budget path)
-             | Some g ->
-               (match view t ~group:g with
-               | None ->
-                 Error (Error.Policy_error (Printf.sprintf "unknown group %s" g))
-               | Some v -> Ok (Rewriter.rewrite v path))
-           in
-           Result.map
-             (fun mfa ->
-               let mfa =
-                 if optimize then Smoqe_automata.Optimize.optimize mfa else mfa
-               in
-               (* A rewritten view query can be much larger than the text
-                  the user typed: re-check the state budget on the final
-                  automaton. *)
-               (match budget with
-               | None -> ()
-               | Some b -> Budget.check_states b (Mfa.n_states mfa));
-               mfa)
-             raw))
+  | Ok path -> compile_ast_robust t ?group ?optimize ?budget path
 
 let compile_query t ?group ?optimize text =
   Result.map_error Error.to_string
     (compile_query_robust t ?group ?optimize text)
+
+(* --- the plan cache ------------------------------------------------------- *)
+
+let statically_empty t mfa =
+  match t.dtd with
+  | None -> false
+  | Some d ->
+    Smoqe_automata.Analysis.satisfiable mfa d = Smoqe_automata.Analysis.Empty
+
+let mode_string = function Dom -> "dom" | Stax -> "stax"
+
+let set_plan_cache_capacity t n = Plan_cache.set_capacity t.plan_cache n
+let plan_cache_capacity t = Plan_cache.capacity t.plan_cache
+
+let plan_cache_counters t =
+  Plan_cache.to_assoc t.plan_cache
+  @ [ ("saved_compile_ms", int_of_float t.saved_compile_ms) ]
+
+(* Serve the compiled plan for a query, consulting the cache.  Returns the
+   MFA and whether it was a hit.  The raw text probes the cache first —
+   canonical traffic (the common case for machine-issued repeats) hits
+   without even being tokenized; otherwise we parse, canonicalize and
+   probe once more before conceding the miss and compiling.  A plan is
+   inserted only after a fully successful compile: a budget trip or an
+   injected ["plan.compile"] fault leaves the cache untouched.  Explicit
+   [~optimize:false] bypasses the cache (cached plans are optimized). *)
+let plan_for_query t ?group ~mode ~use_index ?optimize ?budget text =
+  let cache = t.plan_cache in
+  let key query =
+    { Plan_cache.group; query; mode = mode_string mode;
+      use_index = use_index = Some true }
+  in
+  let hit plan =
+    (* The budget still applies to a plan someone else paid to compile. *)
+    match
+      Error.guard (fun () ->
+          match budget with
+          | None -> ()
+          | Some b -> Budget.check_states b plan.plan_states)
+    with
+    | Error e -> Error e
+    | Ok () ->
+      t.saved_compile_ms <- t.saved_compile_ms +. plan.plan_compile_ms;
+      Ok (plan, true)
+  in
+  let plan_of mfa compile_ms =
+    {
+      plan_mfa = mfa;
+      plan_states = Mfa.n_states mfa;
+      plan_empty = statically_empty t mfa;
+      plan_compile_ms = compile_ms;
+    }
+  in
+  if optimize = Some false || Plan_cache.capacity cache = 0 then
+    Result.map
+      (fun mfa -> (plan_of mfa 0., false))
+      (compile_query_robust t ?group ?optimize ?budget text)
+  else
+    match Plan_cache.find cache (key text) with
+    | Some plan -> hit plan
+    | None ->
+      (match Rx_parser.path_of_string text with
+      | Error msg -> Error (Error.Query_error msg)
+      | Ok path ->
+        let canonical = Canon.to_key path in
+        (match
+           if canonical = text then None
+           else Plan_cache.find cache (key canonical)
+         with
+        | Some plan -> hit plan
+        | None ->
+          Plan_cache.record_miss cache;
+          let t0 = Sys.time () in
+          (match compile_ast_robust t ?group ?optimize ?budget path with
+          | Error e -> Error e
+          | Ok mfa ->
+            let plan = plan_of mfa ((Sys.time () -. t0) *. 1000.) in
+            Plan_cache.add cache (key canonical) plan;
+            Ok (plan, false))))
 
 let rewrite_only t ~group ?optimize text =
   compile_query t ~group ?optimize text
@@ -202,12 +330,6 @@ let answer_xml t answers =
         Serializer.escape_text (Tree.text_content t.tree n)
       else Serializer.subtree_to_string ~indent:false t.tree n)
     answers
-
-let statically_empty t mfa =
-  match t.dtd with
-  | None -> false
-  | Some d ->
-    Smoqe_automata.Analysis.satisfiable mfa d = Smoqe_automata.Analysis.Empty
 
 (* --- evaluation ------------------------------------------------------------ *)
 
@@ -277,17 +399,16 @@ let run_stax t ~mfa ?budget ?trace () =
       (Eval_stax.run_events ~capture:true ?budget ?trace mfa
          (Parser.events_of_tree t.tree))
 
-let query_robust t ?group ?(mode = Dom) ?use_index ?optimize ?budget ?trace
-    text =
-  match compile_query_robust t ?group ?optimize ?budget text with
-  | Error e -> Error e
-  | Ok mfa when statically_empty t mfa ->
+let run_compiled t ~plan ~mode ?use_index ?budget ?trace () =
+  let mfa = plan.plan_mfa in
+  if plan.plan_empty then begin
     (* The schema proves the query selects nothing: skip the document. *)
     Log.info (fun m -> m "query statically empty against the schema");
     let stats = Stats.create () in
     stats.Stats.passes_over_data <- 0;
     Ok { answers = []; answer_xml = []; stats; mfa; cans_size = 0 }
-  | Ok mfa ->
+  end
+  else
     (match mode with
     | Dom ->
       Result.join
@@ -313,6 +434,16 @@ let query_robust t ?group ?(mode = Dom) ?use_index ?optimize ?budget ?trace
           (Error.guard (fun () ->
                run_dom t ~mfa ?use_index ?budget ?trace
                  ~degraded_from_stax:true ()))))
+
+let query_robust t ?group ?(mode = Dom) ?use_index ?optimize ?budget ?trace
+    text =
+  match plan_for_query t ?group ~mode ~use_index ?optimize ?budget text with
+  | Error e -> Error e
+  | Ok (plan, cached) ->
+    let outcome = run_compiled t ~plan ~mode ?use_index ?budget ?trace () in
+    if cached then
+      Result.iter (fun o -> o.stats.Stats.plan_cache_hit <- 1) outcome;
+    outcome
 
 let query t ?group ?mode ?use_index ?optimize ?budget ?trace text =
   Result.map_error Error.to_string

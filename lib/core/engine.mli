@@ -47,6 +47,13 @@ val of_tree : ?dtd:Smoqe_xml.Dtd.t -> Smoqe_xml.Tree.t -> t
 val document : t -> Smoqe_xml.Tree.t
 val dtd : t -> Smoqe_xml.Dtd.t option
 
+val replace_document : t -> Smoqe_xml.Tree.t -> (unit, string) result
+(** Swap the served document while keeping the DTD, the registered views
+    and any logged-in sessions.  The new tree is validated against the
+    engine's DTD; the TAX index is dropped (it described the old tree) and
+    the plan cache is invalidated wholesale (generation bump, see
+    {!section-plan_cache}). *)
+
 (** {1 Security views} *)
 
 val register_policy :
@@ -74,6 +81,32 @@ val load_index : t -> string -> (unit, string) result
     document's shape.  Subject to the ["index.load"] failpoint.  A failed
     load leaves the engine serving queries without an index (recorded per
     query as [degraded_no_index] when one was requested). *)
+
+(** {1:plan_cache The compiled-plan cache}
+
+    Parsing, rewriting and compiling a Regular XPath query costs far more
+    than evaluating its linear-size MFA on a modest document — and under
+    serving traffic the same queries arrive over and over, from every
+    session logged into the engine.  The engine therefore keeps an LRU
+    cache of compiled plans keyed by [(group, canonical query text, mode,
+    use_index)] (see {!Smoqe_plan.Canon} and {!Smoqe_plan.Plan_cache}).  A
+    hit skips parse, rewrite and compile entirely and records
+    [plan_cache_hit = 1] in the outcome's stats; resource budgets are
+    still enforced ([max_states] is re-checked against the cached plan).
+    Re-registering a group's view invalidates that group's plans;
+    {!replace_document} invalidates everything.  A failed compile — error,
+    tripped budget or injected ["plan.compile"] fault — never populates
+    the cache. *)
+
+val set_plan_cache_capacity : t -> int -> unit
+(** Bound the number of cached plans (default 128).  Shrinking evicts in
+    LRU order; [0] disables caching entirely. *)
+
+val plan_cache_capacity : t -> int
+
+val plan_cache_counters : t -> (string * int) list
+(** [hits], [misses], [evictions], [stale_drops], [entries], [capacity]
+    and [saved_compile_ms] (total compile time hits avoided). *)
 
 (** {1 Querying} *)
 

@@ -32,7 +32,14 @@ val run :
   (Engine.outcome, string) result
 (** Answer a query under the session's rights.  Total: any failure —
     malformed input, budget exhaustion, injected fault — is an [Error],
-    never an exception (see {!Engine.query}). *)
+    never an exception (see {!Engine.query}).
+
+    Sessions share their engine's compiled-plan cache: when many group
+    members pose the same (canonically equal) query, only the first pays
+    for rewriting and compilation; later runs are served the cached MFA
+    with [stats.plan_cache_hit = 1].  Rights are unaffected — the cache
+    key includes the group, so a member can only ever hit plans rewritten
+    through their own view. *)
 
 val run_robust :
   t ->

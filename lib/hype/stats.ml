@@ -12,6 +12,7 @@ type t = {
   mutable passes_over_data : int;
   mutable degraded_no_index : int;
   mutable degraded_stax_retry : int;
+  mutable plan_cache_hit : int;
 }
 
 let create () =
@@ -29,6 +30,7 @@ let create () =
     passes_over_data = 1;
     degraded_no_index = 0;
     degraded_stax_retry = 0;
+    plan_cache_hit = 0;
   }
 
 let total_skipped t = t.nodes_skipped_dead + t.nodes_pruned_tax
@@ -50,6 +52,7 @@ let to_assoc t =
     ("passes_over_data", t.passes_over_data);
     ("degraded_no_index", t.degraded_no_index);
     ("degraded_stax_retry", t.degraded_stax_retry);
+    ("plan_cache_hit", t.plan_cache_hit);
   ]
 
 let pp ppf t =
@@ -60,6 +63,7 @@ let pp ppf t =
     t.nodes_entered t.nodes_alive t.nodes_skipped_dead t.nodes_pruned_tax
     t.candidates t.answers t.conds_created t.quals_resolved t.atom_instances
     t.max_items t.passes_over_data;
+  if t.plan_cache_hit > 0 then Fmt.pf ppf "@ plan: served from cache";
   if degraded t then
     Fmt.pf ppf "@ degraded:%s%s"
       (if t.degraded_no_index > 0 then " index unavailable -> unindexed DOM"

@@ -22,6 +22,9 @@ type t = {
   mutable degraded_stax_retry : int;
       (** 1 when the StAX driver failed and the query was retried (and
           answered) in DOM mode *)
+  mutable plan_cache_hit : int;
+      (** 1 when the compiled plan was served from the engine's plan cache
+          (parse, rewrite and compile all skipped) *)
 }
 
 val create : unit -> t

@@ -1,0 +1,136 @@
+type key = {
+  group : string option;
+  query : string;
+  mode : string;
+  use_index : bool;
+}
+
+type 'plan entry = {
+  plan : 'plan;
+  g_global : int;  (* global generation at insertion *)
+  g_group : int;  (* the group's generation at insertion; 0 for [None] *)
+  mutable stamp : int;  (* recency; larger = more recently used *)
+}
+
+type 'plan t = {
+  mutable capacity : int;
+  table : (key, 'plan entry) Hashtbl.t;
+  mutable tick : int;
+  mutable gen_global : int;
+  gen_groups : (string, int) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable stale_drops : int;
+}
+
+let create ?(capacity = 128) () =
+  {
+    capacity = max 0 capacity;
+    table = Hashtbl.create 64;
+    tick = 0;
+    gen_global = 0;
+    gen_groups = Hashtbl.create 4;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    stale_drops = 0;
+  }
+
+let capacity t = t.capacity
+let length t = Hashtbl.length t.table
+
+let group_gen t = function
+  | None -> 0
+  | Some g -> Option.value (Hashtbl.find_opt t.gen_groups g) ~default:0
+
+let current t key entry =
+  entry.g_global = t.gen_global && entry.g_group = group_gen t key.group
+
+let touch t entry =
+  t.tick <- t.tick + 1;
+  entry.stamp <- t.tick
+
+(* Eviction scans for the minimum stamp: exact LRU at O(n) per eviction,
+   which only runs on an insert into a full cache — vanishingly cheap next
+   to the compile that produced the plan being inserted. *)
+let evict_one t =
+  let victim =
+    Hashtbl.fold
+      (fun key entry acc ->
+        match acc with
+        | Some (_, best) when best.stamp <= entry.stamp -> acc
+        | _ -> Some (key, entry))
+      t.table None
+  in
+  match victim with
+  | None -> ()
+  | Some (key, _) ->
+    Hashtbl.remove t.table key;
+    t.evictions <- t.evictions + 1
+
+let find t key =
+  if t.capacity = 0 then None
+  else
+    match Hashtbl.find_opt t.table key with
+    | None -> None
+    | Some entry when current t key entry ->
+      t.hits <- t.hits + 1;
+      touch t entry;
+      Some entry.plan
+    | Some _ ->
+      Hashtbl.remove t.table key;
+      t.stale_drops <- t.stale_drops + 1;
+      None
+
+let record_miss t = if t.capacity > 0 then t.misses <- t.misses + 1
+
+let add t key plan =
+  if t.capacity > 0 then begin
+    if not (Hashtbl.mem t.table key) then
+      while Hashtbl.length t.table >= t.capacity do
+        evict_one t
+      done;
+    let entry =
+      { plan; g_global = t.gen_global; g_group = group_gen t key.group;
+        stamp = 0 }
+    in
+    touch t entry;
+    Hashtbl.replace t.table key entry
+  end
+
+let set_capacity t n =
+  let n = max 0 n in
+  t.capacity <- n;
+  if n = 0 then Hashtbl.reset t.table
+  else
+    while Hashtbl.length t.table > n do
+      evict_one t
+    done
+
+let invalidate_group t group =
+  Hashtbl.replace t.gen_groups group (1 + group_gen t (Some group))
+
+let invalidate_all t = t.gen_global <- t.gen_global + 1
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0;
+  t.stale_drops <- 0
+
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+let stale_drops t = t.stale_drops
+
+let to_assoc t =
+  [
+    ("hits", t.hits);
+    ("misses", t.misses);
+    ("evictions", t.evictions);
+    ("stale_drops", t.stale_drops);
+    ("entries", Hashtbl.length t.table);
+    ("capacity", t.capacity);
+  ]

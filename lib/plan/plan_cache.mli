@@ -1,0 +1,82 @@
+(** The compiled-plan cache: rewritten MFAs served to repeated queries.
+
+    SMOQE's rewriter emits a linear-size MFA precisely so a query can be
+    compiled once and evaluated many times; this cache is where "once"
+    becomes true for a serving engine.  Plans are keyed by the user group
+    (views rewrite per group), the {e canonical} query text
+    ({!Canon.to_key}), the evaluation mode and the index flag, and evicted
+    in least-recently-used order under a capacity knob.
+
+    {b Invalidation is generational}, not eager: re-registering a group's
+    view bumps that group's generation, replacing the document bumps the
+    global one, and entries minted under an older generation are dropped
+    lazily on lookup.  Invalidation therefore costs O(1) no matter how
+    many plans a hot group has accumulated — the stale entries age out of
+    the LRU like any other cold plan.
+
+    A capacity of [0] disables the cache entirely: probes miss without
+    recording traffic and insertion is a no-op.
+
+    The cache is engine-local mutable state shared by every session logged
+    into that engine (the concurrent-serving story of many group members
+    over one document); the OCaml runtime serializes access, so no
+    locking is needed here. *)
+
+type key = {
+  group : string option;  (** [None]: the query runs directly on the document *)
+  query : string;  (** canonical text, {!Canon.to_key} *)
+  mode : string;  (** ["dom"] | ["stax"] *)
+  use_index : bool;
+}
+
+type 'plan t
+
+val create : ?capacity:int -> unit -> 'plan t
+(** [capacity] defaults to 128 plans. *)
+
+val capacity : _ t -> int
+
+val set_capacity : _ t -> int -> unit
+(** Shrinking evicts least-recently-used entries down to the new bound;
+    [0] clears the cache and disables it.  Negative capacities are
+    clamped to [0]. *)
+
+val length : _ t -> int
+(** Live entries, stale ones included until a probe or eviction drops
+    them. *)
+
+val find : 'plan t -> key -> 'plan option
+(** Probe the cache.  A current entry is refreshed to most-recently-used
+    and counted as a hit.  A stale entry (older generation) is removed
+    and counted under [stale_drops] — {e not} as a miss, because the
+    caller may re-probe under another key before conceding the miss;
+    concede with {!record_miss}. *)
+
+val record_miss : _ t -> unit
+(** Count one compile forced by a cache miss.  No-op when disabled. *)
+
+val add : 'plan t -> key -> 'plan -> unit
+(** Insert (or replace) under the current generations, evicting the
+    least-recently-used entry when full.  No-op when disabled. *)
+
+val invalidate_group : _ t -> string -> unit
+(** The group's view changed: every plan rewritten through it is stale. *)
+
+val invalidate_all : _ t -> unit
+(** The document (or everything) changed: all plans are stale.  Direct
+    (group-less) plans are only invalidated here — they do not depend on
+    any view. *)
+
+val clear : _ t -> unit
+(** Drop all entries and reset counters; generations survive. *)
+
+(** {1 Counters} *)
+
+val hits : _ t -> int
+val misses : _ t -> int
+val evictions : _ t -> int
+val stale_drops : _ t -> int
+
+val to_assoc : _ t -> (string * int) list
+(** [hits]/[misses]/[evictions]/[stale_drops]/[entries]/[capacity], in the
+    [Smoqe_hype.Stats.to_assoc] style for stats surfaces. *)

@@ -31,3 +31,17 @@ let view_suite =
     ("V4", "//medication");
     ("V5", "patient[treatment/medication = 'autism']");
   ]
+
+(* Queries over the bib view schema (Bib.policy hides authors and
+   reviewers, conditionally hides 'internal' sections): same axes as
+   Q1–Q8 — plain paths, descendant, recursion through section, value
+   tests, negation. *)
+let bib_suite =
+  [
+    ("B1", "book/title");
+    ("B2", "//title");
+    ("B3", "book/(section)*/para");
+    ("B4", "book[section/title = 'intro']/title");
+    ("B5", "//section[not(section)]/title");
+    ("B6", "book/comment | //para");
+  ]

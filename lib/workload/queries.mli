@@ -17,3 +17,7 @@ val q0 : string
 
 val view_suite : (string * string) list
 (** Queries over the Fig. 3(d) view schema, for rewriting benchmarks. *)
+
+val bib_suite : (string * string) list
+(** Queries over the bib view schema ({!Bib.policy}), for the differential
+    oracle battery. *)

@@ -90,6 +90,44 @@ Resource budgets: a query over its budget fails with a distinct exit code:
   $ smoqe query -d hospital.xml --timeout-ms 60000 --max-nodes 100000 -o ids "//pname" | wc -l | tr -d ' '
   3
 
+The plan cache: repeated queries are served compiled, and the counters say
+so (saved_compile_ms is wall-clock, so it is filtered out here):
+
+  $ smoqe query -d hospital.xml --repeat 3 --stats -o ids "//pname" 2>&1 \
+  >   | sed -n '/-- plan cache --/,$p' | grep -v saved_compile_ms
+  -- plan cache --
+  hits: 2
+  misses: 1
+  evictions: 0
+  stale_drops: 0
+  entries: 1
+  capacity: 128
+  $ smoqe query -d hospital.xml --repeat 3 --stats -o ids "//pname" 2>&1 \
+  >   | grep 'plan:'
+  plan: served from cache
+
+--no-plan-cache disables it: no traffic is recorded, nothing is stored,
+and the answers are unchanged:
+
+  $ smoqe query -d hospital.xml --no-plan-cache --repeat 3 --stats -o ids "//pname" 2>&1 \
+  >   | sed -n '/-- plan cache --/,$p' | grep -v saved_compile_ms
+  -- plan cache --
+  hits: 0
+  misses: 0
+  evictions: 0
+  stale_drops: 0
+  entries: 0
+  capacity: 0
+  $ smoqe query -d hospital.xml --plan-cache 1 -o ids "//pname" > cached.ids
+  $ smoqe query -d hospital.xml --no-plan-cache -o ids "//pname" > uncached.ids
+  $ diff cached.ids uncached.ids
+
+A budget-tripped query still exits 3 with the cache on:
+
+  $ smoqe query -d hospital.xml --repeat 2 --max-nodes 5 -o ids "//pname" 2>&1
+  smoqe: budget exceeded: max_nodes (limit 5)
+  [3]
+
 Persistent stores:
 
   $ smoqe store init mystore -d hospital.xml -s hospital.dtd

@@ -1,0 +1,279 @@
+(* The compiled-plan cache: canonical keys, LRU semantics, generation
+   invalidation, and the rule that makes caching safe to trust — nothing
+   that failed to compile is ever served from the cache. *)
+
+module Canon = Smoqe_plan.Canon
+module Plan_cache = Smoqe_plan.Plan_cache
+module Engine = Smoqe.Engine
+module Session = Smoqe.Session
+module Stats = Smoqe_hype.Stats
+module Error = Smoqe_robust.Error
+module Failpoint = Smoqe_robust.Failpoint
+module Serializer = Smoqe_xml.Serializer
+module Hospital = Smoqe_workload.Hospital
+module Rx_parser = Smoqe_rxpath.Parser
+module Ast = Smoqe_rxpath.Ast
+
+let ok = function
+  | Ok v -> v
+  | Error msg -> Alcotest.fail msg
+
+let parse s = ok (Rx_parser.path_of_string s)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = (i + nl <= hl) && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* --- canonicalization ------------------------------------------------------ *)
+
+let test_canon_whitespace_parens () =
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check string)
+        (a ^ " ~ " ^ b)
+        (Canon.to_key (parse a))
+        (Canon.to_key (parse b)))
+    [
+      ("a/b", "  a /  (b) ");
+      ("a/b/c", "(a/b)/c");
+      ("a | b | c", "(a | b) | c");
+      ("a[b and c and d]", "a[(b and c) and d]");
+      ("//medication", "// medication");
+      ("a[b = 'x']", "a[ b = 'x' ]");
+      ("(a/b)*/c", "((a/b))*/c");
+    ]
+
+let test_canon_order_preserved () =
+  (* Qualifier and union order are observable (evaluation cost, answer
+     order): canonicalization must keep them distinct. *)
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check bool)
+        (a ^ " /~ " ^ b)
+        false
+        (Canon.to_key (parse a) = Canon.to_key (parse b)))
+    [
+      ("a[b and c]", "a[c and b]");
+      ("a[b or c]", "a[c or b]");
+      ("a | b", "b | a");
+      ("a/b", "b/a");
+    ]
+
+let test_canon_round_trip () =
+  (* Parsing a key and canonicalizing again is the identity — the property
+     that lets raw canonical text probe the cache without being parsed. *)
+  List.iter
+    (fun (_, text) ->
+      let key = Canon.to_key (parse text) in
+      Alcotest.(check string) text key (Canon.to_key (parse key)))
+    (Smoqe_workload.Queries.suite @ Smoqe_workload.Queries.view_suite
+   @ Smoqe_workload.Queries.bib_suite)
+
+let test_canon_normalize_hand_built () =
+  (* Hand-assembled ASTs (benches, generators) reach the same key as their
+     parsed spelling. *)
+  let hand = Ast.Seq (Ast.Seq (Ast.Tag "a", Ast.Tag "b"), Ast.Tag "c") in
+  Alcotest.(check string) "right-nested"
+    (Canon.to_key (parse "a/b/c"))
+    (Canon.to_key hand)
+
+(* --- cache mechanics ------------------------------------------------------- *)
+
+let key ?group ?(mode = "dom") ?(use_index = false) query =
+  { Plan_cache.group; query; mode; use_index }
+
+let test_lru_eviction_order () =
+  let c = Plan_cache.create ~capacity:2 () in
+  Plan_cache.add c (key "a") 1;
+  Plan_cache.add c (key "b") 2;
+  (* touch "a": "b" becomes the LRU victim *)
+  Alcotest.(check (option int)) "a hit" (Some 1) (Plan_cache.find c (key "a"));
+  Plan_cache.add c (key "c") 3;
+  Alcotest.(check (option int)) "b evicted" None (Plan_cache.find c (key "b"));
+  Alcotest.(check (option int)) "a survives" (Some 1) (Plan_cache.find c (key "a"));
+  Alcotest.(check (option int)) "c present" (Some 3) (Plan_cache.find c (key "c"));
+  Alcotest.(check int) "one eviction" 1 (Plan_cache.evictions c);
+  Alcotest.(check int) "two entries" 2 (Plan_cache.length c)
+
+let test_capacity_zero_disables () =
+  let c = Plan_cache.create ~capacity:0 () in
+  Plan_cache.add c (key "a") 1;
+  Alcotest.(check (option int)) "no entry" None (Plan_cache.find c (key "a"));
+  Alcotest.(check int) "nothing stored" 0 (Plan_cache.length c);
+  Plan_cache.record_miss c;
+  Alcotest.(check int) "no traffic recorded" 0 (Plan_cache.misses c)
+
+let test_shrink_evicts () =
+  let c = Plan_cache.create ~capacity:4 () in
+  List.iter (fun q -> Plan_cache.add c (key q) 0) [ "a"; "b"; "c"; "d" ];
+  ignore (Plan_cache.find c (key "a"));
+  Plan_cache.set_capacity c 1;
+  Alcotest.(check int) "down to one" 1 (Plan_cache.length c);
+  Alcotest.(check (option int)) "the MRU one" (Some 0)
+    (Plan_cache.find c (key "a"))
+
+let test_group_generations () =
+  let c = Plan_cache.create () in
+  Plan_cache.add c (key ~group:"g1" "q") 1;
+  Plan_cache.add c (key ~group:"g2" "q") 2;
+  Plan_cache.add c (key "q") 3;
+  Plan_cache.invalidate_group c "g1";
+  Alcotest.(check (option int)) "g1 stale" None
+    (Plan_cache.find c (key ~group:"g1" "q"));
+  Alcotest.(check (option int)) "g2 current" (Some 2)
+    (Plan_cache.find c (key ~group:"g2" "q"));
+  Alcotest.(check (option int)) "direct current" (Some 3)
+    (Plan_cache.find c (key "q"));
+  Alcotest.(check int) "stale drop counted" 1 (Plan_cache.stale_drops c);
+  Plan_cache.invalidate_all c;
+  Alcotest.(check (option int)) "all stale" None
+    (Plan_cache.find c (key ~group:"g2" "q"));
+  Alcotest.(check (option int)) "direct stale too" None
+    (Plan_cache.find c (key "q"))
+
+(* --- through the engine ---------------------------------------------------- *)
+
+let hospital_engine () =
+  let doc = Hospital.generate ~seed:31 ~n_patients:4 ~recursion_depth:2 () in
+  let e = Engine.of_tree ~dtd:Hospital.dtd doc in
+  ok (Engine.register_policy e ~group:"researchers" Hospital.policy);
+  e
+
+let hit_of outcome = outcome.Engine.stats.Stats.plan_cache_hit
+
+let test_engine_warm_hit () =
+  let e = hospital_engine () in
+  let first = ok (Engine.query e ~group:"researchers" "//medication") in
+  Alcotest.(check int) "cold" 0 (hit_of first);
+  let second = ok (Engine.query e ~group:"researchers" "//medication") in
+  Alcotest.(check int) "warm" 1 (hit_of second);
+  Alcotest.(check (list int)) "same answers" first.Engine.answers
+    second.Engine.answers;
+  Alcotest.(check (list string)) "byte-identical xml" first.Engine.answer_xml
+    second.Engine.answer_xml;
+  (* reformatted spelling of the same query also hits *)
+  let third = ok (Engine.query e ~group:"researchers" "  // ( medication ) ") in
+  Alcotest.(check int) "canonical hit" 1 (hit_of third)
+
+let test_engine_capacity_zero () =
+  let e = hospital_engine () in
+  Engine.set_plan_cache_capacity e 0;
+  let q () = ok (Engine.query e "//pname") in
+  ignore (q ());
+  Alcotest.(check int) "never warm" 0 (hit_of (q ()));
+  Alcotest.(check int) "nothing cached" 0
+    (List.assoc "entries" (Engine.plan_cache_counters e))
+
+let test_engine_group_isolation () =
+  let e = hospital_engine () in
+  ok (Engine.register_policy e ~group:"staff" Hospital.policy);
+  let warm group = ignore (ok (Engine.query e ~group "//medication")) in
+  warm "researchers";
+  warm "researchers";
+  warm "staff";
+  warm "staff";
+  (* re-registering researchers invalidates researchers' plans only *)
+  ok (Engine.register_policy e ~group:"researchers" Hospital.policy);
+  Alcotest.(check int) "researchers cold again" 0
+    (hit_of (ok (Engine.query e ~group:"researchers" "//medication")));
+  Alcotest.(check int) "staff still warm" 1
+    (hit_of (ok (Engine.query e ~group:"staff" "//medication")))
+
+let test_engine_replace_document () =
+  let e = hospital_engine () in
+  ignore (ok (Engine.query e "//pname"));
+  Alcotest.(check int) "warm before swap" 1 (hit_of (ok (Engine.query e "//pname")));
+  let bigger = Hospital.generate ~seed:32 ~n_patients:6 ~recursion_depth:2 () in
+  ok (Engine.replace_document e bigger);
+  let after = ok (Engine.query e "//pname") in
+  Alcotest.(check int) "cold after swap" 0 (hit_of after);
+  let reference =
+    (Smoqe_baseline.Naive.run bigger (parse "//pname")).Smoqe_baseline.Naive
+    .answers
+  in
+  Alcotest.(check (list int)) "answers from the new tree" reference
+    (List.sort_uniq compare after.Engine.answers);
+  (* a tree that violates the standing DTD is refused, engine unharmed *)
+  (match
+     Engine.replace_document e
+       (Smoqe_xml.Tree.of_source (Smoqe_xml.Tree.E ("zoo", [], [])))
+   with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "invalid replacement accepted");
+  Alcotest.(check (list int)) "still serving" reference
+    (List.sort_uniq compare (ok (Engine.query e "//pname")).Engine.answers)
+
+let test_failpoint_never_populates () =
+  let e = hospital_engine () in
+  Failpoint.with_failpoints "plan.compile=once" (fun () ->
+      match Engine.query_robust e ~group:"researchers" "//medication" with
+      | Error (Error.Io_error msg) ->
+        Alcotest.(check bool) "names the site" true (contains msg "plan.compile")
+      | Error err -> Alcotest.failf "wrong class: %s" (Error.to_string err)
+      | Ok _ -> Alcotest.fail "fault did not surface");
+  Alcotest.(check int) "cache unpopulated" 0
+    (List.assoc "entries" (Engine.plan_cache_counters e));
+  (* the failpoint is gone: the next run compiles cold, then serves warm *)
+  let again = ok (Engine.query e ~group:"researchers" "//medication") in
+  Alcotest.(check int) "recompiled, not served stale" 0 (hit_of again);
+  Alcotest.(check int) "then warm" 1
+    (hit_of (ok (Engine.query e ~group:"researchers" "//medication")))
+
+let test_budget_checked_on_hit () =
+  let e = hospital_engine () in
+  ignore (ok (Engine.query e "//pname"));
+  (* the cached plan is over this budget: the hit must still refuse *)
+  match
+    Engine.query_robust e
+      ~budget:(Smoqe_robust.Budget.create ~max_states:2 ())
+      "//pname"
+  with
+  | Error (Error.Budget_exceeded { what; _ }) ->
+    Alcotest.(check string) "dimension" "max_states" what
+  | Error err -> Alcotest.failf "wrong error: %s" (Error.to_string err)
+  | Ok _ -> Alcotest.fail "state budget ignored on cache hit"
+
+let test_sessions_share_cache () =
+  let e = hospital_engine () in
+  let s1 = ok (Session.login e (Session.Member "researchers")) in
+  let s2 = ok (Session.login e (Session.Member "researchers")) in
+  ignore (ok (Session.run s1 "//medication"));
+  Alcotest.(check int) "second session served warm" 1
+    (hit_of (ok (Session.run s2 "//medication")))
+
+let () =
+  Alcotest.run "smoqe_plan"
+    [
+      ( "canon",
+        [
+          Alcotest.test_case "whitespace and parens" `Quick
+            test_canon_whitespace_parens;
+          Alcotest.test_case "order preserved" `Quick test_canon_order_preserved;
+          Alcotest.test_case "round trip" `Quick test_canon_round_trip;
+          Alcotest.test_case "hand-built ASTs" `Quick
+            test_canon_normalize_hand_built;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "LRU eviction order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "capacity 0 disables" `Quick
+            test_capacity_zero_disables;
+          Alcotest.test_case "shrink evicts" `Quick test_shrink_evicts;
+          Alcotest.test_case "group generations" `Quick test_group_generations;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "warm hit" `Quick test_engine_warm_hit;
+          Alcotest.test_case "capacity 0" `Quick test_engine_capacity_zero;
+          Alcotest.test_case "group isolation" `Quick
+            test_engine_group_isolation;
+          Alcotest.test_case "document replacement" `Quick
+            test_engine_replace_document;
+          Alcotest.test_case "failed compile never cached" `Quick
+            test_failpoint_never_populates;
+          Alcotest.test_case "budget checked on hit" `Quick
+            test_budget_checked_on_hit;
+          Alcotest.test_case "sessions share" `Quick test_sessions_share_cache;
+        ] );
+    ]
