@@ -46,6 +46,8 @@ module Hospital = Smoqe_workload.Hospital
 module Queries = Smoqe_workload.Queries
 module Random_dtd = Smoqe_workload.Random_dtd
 module Docgen = Smoqe_workload.Docgen
+module Pool = Smoqe_exec.Pool
+module J = Bench_out
 
 (* --- timing ------------------------------------------------------------- *)
 
@@ -83,6 +85,7 @@ let hospital_sized n_patients =
 
 let e1 () =
   banner "E1" "HyPE (DOM) vs naive / Xalan-like / two-pass evaluators";
+  let rows = ref [] and scaling = ref [] in
   let doc = hospital_sized 400 in
   Printf.printf "document: %d nodes (hospital, 400 patients)\n" (Tree.n_nodes doc);
   Printf.printf "%-4s %-10s %-10s %-10s %-10s %8s\n" "Q" "HyPE" "naive"
@@ -99,6 +102,13 @@ let e1 () =
       let two = ns_per_run ~name:(name ^ "-two") (fun () ->
           ignore (Sys.opaque_identity (Two_pass.run mfa doc))) in
       let best_baseline = List.fold_left min naive [ xalan; two ] in
+      rows :=
+        J.Obj
+          [ ("query", J.Str name); ("hype_ns", J.Float hype);
+            ("naive_ns", J.Float naive); ("xalan_ns", J.Float xalan);
+            ("two_pass_ns", J.Float two);
+            ("speedup_vs_best_baseline", J.Float (best_baseline /. hype)) ]
+        :: !rows;
       Printf.printf "%-4s %s %s %s %s %7.1fx\n%!" name (pp_time hype)
         (pp_time naive) (pp_time xalan) (pp_time two) (best_baseline /. hype))
     Queries.parsed;
@@ -118,9 +128,20 @@ let e1 () =
           ignore (Sys.opaque_identity (Xalan_like.run doc q))) in
       let two = ns_per_run ~name:"s-two" (fun () ->
           ignore (Sys.opaque_identity (Two_pass.run mfa doc))) in
+      scaling :=
+        J.Obj
+          [ ("nodes", J.Int (Tree.n_nodes doc)); ("hype_ns", J.Float hype);
+            ("naive_ns", J.Float naive); ("xalan_ns", J.Float xalan);
+            ("two_pass_ns", J.Float two) ]
+        :: !scaling;
       Printf.printf "%-9d %s %s %s %s\n%!" (Tree.n_nodes doc) (pp_time hype)
         (pp_time naive) (pp_time xalan) (pp_time two))
-    [ 100; 400; 1600 ]
+    [ 100; 400; 1600 ];
+  J.write ~id:"e1"
+    (J.Obj
+       [ ("experiment", J.Str "evaluator efficiency");
+         ("queries", J.List (List.rev !rows));
+         ("scaling_q0", J.List (List.rev !scaling)) ])
 
 (* --- E2: StAX streaming --------------------------------------------------- *)
 
@@ -128,6 +149,7 @@ let e2 () =
   banner "E2" "StAX mode: one sequential scan, larger-than-DOM documents";
   Printf.printf "%-9s %-9s %-11s %-11s %-11s %6s\n" "nodes" "KiB" "DOM eval"
     "DOM parse+e" "StAX scan" "passes";
+  let rows = ref [] in
   List.iter
     (fun n_patients ->
       let doc = hospital_sized n_patients in
@@ -147,10 +169,22 @@ let e2 () =
         (Eval_stax.run mfa (Smoqe_xml.Pull.of_string xml)).Eval_stax.stats
           .Stats.passes_over_data
       in
+      rows :=
+        J.Obj
+          [ ("nodes", J.Int (Tree.n_nodes doc));
+            ("kib", J.Int (String.length xml / 1024));
+            ("dom_eval_ns", J.Float dom_eval);
+            ("dom_parse_eval_ns", J.Float dom_full);
+            ("stax_ns", J.Float stax); ("passes", J.Int passes) ]
+        :: !rows;
       Printf.printf "%-9d %-9d %s %s %s %6d\n%!" (Tree.n_nodes doc)
         (String.length xml / 1024)
         (pp_time dom_eval) (pp_time dom_full) (pp_time stax) passes)
-    [ 100; 400; 1600; 6400 ]
+    [ 100; 400; 1600; 6400 ];
+  J.write ~id:"e2"
+    (J.Obj
+       [ ("experiment", J.Str "stax streaming");
+         ("rows", J.List (List.rev !rows)) ])
 
 (* --- E3: TAX effectiveness ------------------------------------------------ *)
 
@@ -174,6 +208,7 @@ let e3 () =
   Printf.printf "federated corp: departments host different record kinds\n";
   Printf.printf "%-20s %-40s %-11s %-11s %7s %9s\n" "workload" "query"
     "TAX off" "TAX on" "speedup" "pruned";
+  let rows = ref [] in
   List.iter
     (fun (label, q_text) ->
       let q = parse q_text in
@@ -185,9 +220,23 @@ let e3 () =
       let pruned =
         (Eval_dom.run ~tax mfa doc).Eval_dom.stats.Stats.nodes_pruned_tax
       in
+      rows :=
+        J.Obj
+          [ ("workload", J.Str label); ("query", J.Str q_text);
+            ("tax_off_ns", J.Float off); ("tax_on_ns", J.Float on);
+            ("speedup", J.Float (off /. on)); ("nodes_pruned", J.Int pruned) ]
+        :: !rows;
       Printf.printf "%-20s %-40s %s %s %6.1fx %9d\n%!" label q_text
         (pp_time off) (pp_time on) (off /. on) pruned)
-    Smoqe_workload.Federation.queries
+    Smoqe_workload.Federation.queries;
+  J.write ~id:"e3"
+    (J.Obj
+       [ ("experiment", J.Str "tax index");
+         ("nodes", J.Int (Tree.n_nodes doc));
+         ("build_ns", J.Float build);
+         ("memory_kib", J.Int (Tax.memory_words tax * (Sys.int_size / 8) / 1024));
+         ("encoded_kib", J.Int (Bytes.length encoded / 1024));
+         ("queries", J.List (List.rev !rows)) ])
 
 (* --- E4: single pass vs multi-pass ---------------------------------------- *)
 
@@ -197,6 +246,7 @@ let e4 () =
   Printf.printf "document: %d nodes\n" (Tree.n_nodes doc);
   Printf.printf "%-4s %-11s %-11s %7s | %7s %12s %12s\n" "Q" "HyPE" "two-pass"
     "ratio" "passes" "alive(HyPE)" "work(2pass)";
+  let rows = ref [] in
   List.iter
     (fun (name, q) ->
       let mfa = Compile.compile q in
@@ -206,12 +256,24 @@ let e4 () =
           ignore (Sys.opaque_identity (Two_pass.run mfa doc))) in
       let hype_stats = (Eval_dom.run mfa doc).Eval_dom.stats in
       let two_res = Two_pass.run mfa doc in
+      rows :=
+        J.Obj
+          [ ("query", J.Str name); ("hype_ns", J.Float hype);
+            ("two_pass_ns", J.Float two); ("ratio", J.Float (two /. hype));
+            ("passes", J.Int two_res.Two_pass.passes_over_data);
+            ("nodes_alive", J.Int hype_stats.Stats.nodes_alive);
+            ("predicate_work", J.Int two_res.Two_pass.predicate_work) ]
+        :: !rows;
       Printf.printf "%-4s %s %s %6.1fx | %7d %12d %12d\n%!" name
         (pp_time hype) (pp_time two) (two /. hype)
         two_res.Two_pass.passes_over_data hype_stats.Stats.nodes_alive
         two_res.Two_pass.predicate_work)
     (List.filter (fun (n, _) -> List.mem n [ "Q4"; "Q5"; "Q6"; "Q7"; "Q8" ])
-       Queries.parsed)
+       Queries.parsed);
+  J.write ~id:"e4"
+    (J.Obj
+       [ ("experiment", J.Str "single pass vs multi-pass");
+         ("queries", J.List (List.rev !rows)) ])
 
 (* --- E5: rewriting sizes --------------------------------------------------- *)
 
@@ -244,6 +306,7 @@ let e5 () =
         (Ast.filter (Ast.Tag "patient") (Ast.Exists (Ast.Tag "treatment")))
         (Ast.seq (Ast.Tag "parent") (chain (k - 1)))
   in
+  let hrows = ref [] in
   List.iter
     (fun k ->
       let q = chain k in
@@ -260,6 +323,11 @@ let e5 () =
         | exception Expr_rewriter.Too_large n ->
           (Printf.sprintf ">%.2g(cap)" n, "        -")
       in
+      hrows :=
+        J.Obj
+          [ ("query_size", J.Int (Ast.size q)); ("mfa_size", J.Int mfa_size);
+            ("rewrite_ns", J.Float t_mfa); ("expr_size", J.Str expr_size) ]
+        :: !hrows;
       Printf.printf "%-6d %-8d %s %-12s %s\n%!" (Ast.size q) mfa_size
         (pp_time t_mfa) expr_size t_expr)
     [ 1; 2; 4; 8; 16 ];
@@ -268,6 +336,7 @@ let e5 () =
   let bview = branching_view () in
   let step = Ast.seq (Ast.Tag "a") (Ast.Union (Ast.Tag "b", Ast.Tag "c")) in
   let rec bchain k = if k = 1 then step else Ast.seq step (bchain (k - 1)) in
+  let brows = ref [] in
   List.iter
     (fun k ->
       let q = bchain k in
@@ -277,8 +346,18 @@ let e5 () =
         | _, size -> Printf.sprintf "%.0f" size
         | exception Expr_rewriter.Too_large n -> Printf.sprintf ">%.2g(cap)" n
       in
+      brows :=
+        J.Obj
+          [ ("k", J.Int k); ("query_size", J.Int (Ast.size q));
+            ("mfa_size", J.Int mfa_size); ("expr_size", J.Str expr_size) ]
+        :: !brows;
       Printf.printf "%-3d %-6d %-8d %-12s\n%!" k (Ast.size q) mfa_size expr_size)
-    [ 2; 4; 6; 8; 10; 12; 14; 16 ]
+    [ 2; 4; 6; 8; 10; 12; 14; 16 ];
+  J.write ~id:"e5"
+    (J.Obj
+       [ ("experiment", J.Str "rewriting sizes");
+         ("hospital_chains", J.List (List.rev !hrows));
+         ("branching_chains", J.List (List.rev !brows)) ])
 
 (* --- E6: Cans size ---------------------------------------------------------- *)
 
@@ -286,6 +365,7 @@ let e6 () =
   banner "E6" "Cans (candidate answers) stays far smaller than the document";
   Printf.printf "%-9s %-6s %9s %9s %9s\n" "nodes" "query" "cans" "answers"
     "cans/doc";
+  let rows = ref [] in
   List.iter
     (fun n_patients ->
       let doc = hospital_sized n_patients in
@@ -293,14 +373,27 @@ let e6 () =
         (fun (name, q) ->
           let mfa = Compile.compile q in
           let r = Eval_dom.run mfa doc in
+          let pct =
+            100. *. float_of_int r.Eval_dom.cans_size
+            /. float_of_int (Tree.n_nodes doc)
+          in
+          rows :=
+            J.Obj
+              [ ("nodes", J.Int (Tree.n_nodes doc)); ("query", J.Str name);
+                ("cans", J.Int r.Eval_dom.cans_size);
+                ("answers", J.Int (List.length r.Eval_dom.answers));
+                ("cans_pct_of_doc", J.Float pct) ]
+            :: !rows;
           Printf.printf "%-9d %-6s %9d %9d %8.2f%%\n%!" (Tree.n_nodes doc)
             name r.Eval_dom.cans_size
             (List.length r.Eval_dom.answers)
-            (100. *. float_of_int r.Eval_dom.cans_size
-            /. float_of_int (Tree.n_nodes doc)))
+            pct)
         (List.filter (fun (n, _) -> List.mem n [ "Q1"; "Q4"; "Q8" ])
            Queries.parsed))
-    [ 100; 1600 ]
+    [ 100; 1600 ];
+  J.write ~id:"e6"
+    (J.Obj
+       [ ("experiment", J.Str "cans size"); ("rows", J.List (List.rev !rows)) ])
 
 (* --- E7: view derivation over random recursive DTDs ------------------------- *)
 
@@ -308,12 +401,16 @@ let e7 () =
   banner "E7" "view derivation and rewriting over random recursive DTDs";
   Printf.printf "%-7s %-7s %-10s %-10s %-12s %-8s\n" "types" "edges"
     "derive" "max|sigma|" "rewrite(Q)" "correct";
+  let rows = ref [] in
   List.iter
     (fun n_types ->
       let dtd = Random_dtd.generate ~seed:(n_types * 13) ~n_types ~recursion:true () in
       let policy = Random_dtd.random_policy ~seed:(n_types * 7) dtd in
       match Derive.derive policy with
       | exception Derive.Unsupported msg ->
+        rows :=
+          J.Obj [ ("n_types", J.Int n_types); ("unsupported", J.Str msg) ]
+          :: !rows;
         Printf.printf "%-7d unsupported: %s\n" n_types msg
       | view ->
         let t_derive = ns_per_run ~name:"e7-derive" (fun () ->
@@ -340,10 +437,23 @@ let e7 () =
           (Eval_dom.run (Rewriter.rewrite view q) doc).Eval_dom.answers
           |> List.sort_uniq compare
         in
+        rows :=
+          J.Obj
+            [ ("n_types", J.Int n_types);
+              ("edges", J.Int (List.length (Dtd.edges dtd)));
+              ("derive_ns", J.Float t_derive);
+              ("max_sigma_size", J.Int max_sigma);
+              ("rewrite_ns", J.Float t_rw);
+              ("correct", J.Bool (expected = got)) ]
+          :: !rows;
         Printf.printf "%-7d %-7d %s %-10d %s %-8b\n%!" n_types
           (List.length (Dtd.edges dtd))
           (pp_time t_derive) max_sigma (pp_time t_rw) (expected = got))
-    [ 4; 6; 8; 12; 16 ]
+    [ 4; 6; 8; 12; 16 ];
+  J.write ~id:"e7"
+    (J.Obj
+       [ ("experiment", J.Str "recursive view derivation");
+         ("rows", J.List (List.rev !rows)) ])
 
 (* --- E8: optimizer ablation --------------------------------------------------- *)
 
@@ -353,12 +463,25 @@ let e8 () =
   let view = Derive.derive Hospital.policy in
   Printf.printf "%-28s %-13s %-13s %-11s %-11s %7s\n" "query" "states"
     "transitions" "eval raw" "eval opt" "speedup";
-  let measure label mfa =
+  let rows = ref [] in
+  let measure ?(rewritten = false) label mfa =
     let opt, report = Smoqe_automata.Optimize.optimize_with_report mfa in
     let raw_t = ns_per_run ~name:"e8-raw" (fun () ->
         ignore (Sys.opaque_identity (Eval_dom.run mfa doc))) in
     let opt_t = ns_per_run ~name:"e8-opt" (fun () ->
         ignore (Sys.opaque_identity (Eval_dom.run opt doc))) in
+    rows :=
+      J.Obj
+        [ ("query", J.Str label); ("rewritten", J.Bool rewritten);
+          ("states_before", J.Int report.Smoqe_automata.Optimize.states_before);
+          ("states_after", J.Int report.Smoqe_automata.Optimize.states_after);
+          ( "transitions_before",
+            J.Int report.Smoqe_automata.Optimize.transitions_before );
+          ( "transitions_after",
+            J.Int report.Smoqe_automata.Optimize.transitions_after );
+          ("raw_ns", J.Float raw_t); ("opt_ns", J.Float opt_t);
+          ("speedup", J.Float (raw_t /. opt_t)) ]
+      :: !rows;
     Printf.printf "%-28s %5d -> %-5d %5d -> %-5d %s %s %6.2fx\n%!" label
       report.Smoqe_automata.Optimize.states_before
       report.Smoqe_automata.Optimize.states_after
@@ -371,8 +494,13 @@ let e8 () =
     Queries.parsed;
   Printf.printf "rewritten view queries:\n";
   List.iter
-    (fun (name, q_text) -> measure name (Rewriter.rewrite view (parse q_text)))
-    Queries.view_suite
+    (fun (name, q_text) ->
+      measure ~rewritten:true name (Rewriter.rewrite view (parse q_text)))
+    Queries.view_suite;
+  J.write ~id:"e8"
+    (J.Obj
+       [ ("experiment", J.Str "optimizer ablation");
+         ("queries", J.List (List.rev !rows)) ])
 
 (* --- E9: TAX vs classic region-label indexing --------------------------------- *)
 
@@ -397,6 +525,7 @@ let e9 () =
     (pp_time t_tax) (Tax.memory_words tax);
   Printf.printf "%-40s %-11s %-11s %-14s\n" "query" "HyPE" "HyPE+TAX"
     "struct. join";
+  let rows = ref [] in
   List.iter
     (fun q_text ->
       let q = parse q_text in
@@ -405,16 +534,22 @@ let e9 () =
           ignore (Sys.opaque_identity (Eval_dom.run mfa doc))) in
       let hype_tax = ns_per_run ~name:"e9-hype-tax" (fun () ->
           ignore (Sys.opaque_identity (Eval_dom.run ~tax mfa doc))) in
-      let sj =
+      let sj, sj_json =
         match Smoqe_baseline.Structural_join.run region doc q with
         | Ok _ ->
           let t = ns_per_run ~name:"e9-sj" (fun () ->
               ignore
                 (Sys.opaque_identity
                    (Smoqe_baseline.Structural_join.run region doc q))) in
-          pp_time t
-        | Error _ -> "   (outside fragment)"
+          (pp_time t, J.Float t)
+        | Error _ -> ("   (outside fragment)", J.Null)
       in
+      rows :=
+        J.Obj
+          [ ("query", J.Str q_text); ("hype_ns", J.Float hype);
+            ("hype_tax_ns", J.Float hype_tax);
+            ("structural_join_ns", sj_json) ]
+        :: !rows;
       Printf.printf "%-40s %s %s %s\n%!" q_text (pp_time hype)
         (pp_time hype_tax) sj)
     [
@@ -427,7 +562,14 @@ let e9 () =
       "//finding[severity = 'high']/note";
       "dept/sales/order[total]/item";
       "(dept)*/audit";
-    ]
+    ];
+  J.write ~id:"e9"
+    (J.Obj
+       [ ("experiment", J.Str "tax vs region indexing");
+         ("nodes", J.Int (Tree.n_nodes doc));
+         ("region_build_ns", J.Float t_region);
+         ("tax_build_ns", J.Float t_tax);
+         ("queries", J.List (List.rev !rows)) ])
 
 (* --- E10: budget-check overhead ------------------------------------------------ *)
 
@@ -452,6 +594,7 @@ let e10 () =
     Unix.gettimeofday () -. t0
   in
   let all_ratios = ref [] in
+  let rows = ref [] in
   List.iter
     (fun q_text ->
       let mfa = Compile.compile (parse q_text) in
@@ -489,6 +632,13 @@ let e10 () =
          absorbs GC spikes.  The floor (min) is shown for scale. *)
       let plain = floor_of !ps and budgeted = floor_of !bs in
       all_ratios := !ratios @ !all_ratios;
+      rows :=
+        J.Obj
+          [ ("query", J.Str q_text);
+            ("plain_floor_ns", J.Float (plain *. 1e9));
+            ("budgeted_floor_ns", J.Float (budgeted *. 1e9));
+            ("overhead_pct", J.Float (100. *. median !ratios)) ]
+        :: !rows;
       Printf.printf "%-40s %s %s %8.2f%%\n%!" q_text
         (pp_time (plain *. 1e9)) (pp_time (budgeted *. 1e9))
         (100. *. median !ratios))
@@ -500,7 +650,13 @@ let e10 () =
   (* Gate on the whole workload, not the noisiest cell. *)
   let overhead = 100. *. median !all_ratios in
   Printf.printf "workload overhead %.2f%%: %s (guard: < 2%%)\n" overhead
-    (if overhead < 2. then "PASS" else "FAIL")
+    (if overhead < 2. then "PASS" else "FAIL");
+  J.write ~id:"e10"
+    (J.Obj
+       [ ("experiment", J.Str "budget-check overhead");
+         ("queries", J.List (List.rev !rows));
+         ("workload_overhead_pct", J.Float overhead);
+         ("pass", J.Bool (overhead < 2.)) ])
 
 (* --- E11: the compiled-plan cache ---------------------------------------------- *)
 
@@ -526,6 +682,7 @@ let e11 () =
   in
   let ok = function Ok v -> v | Error msg -> failwith msg in
   let best_ratio = ref 0. in
+  let rows = ref [] in
   let bench_workload label engine ~group queries =
     Printf.printf "%s\n" label;
     Printf.printf "%-6s %-11s %-11s %9s %6s\n" "Q" "uncached" "warm cache"
@@ -547,6 +704,13 @@ let e11 () =
         let cold_m = median cold and warm_m = median warm in
         let ratio = cold_m /. warm_m in
         if ratio > !best_ratio then best_ratio := ratio;
+        rows :=
+          J.Obj
+            [ ("workload", J.Str label); ("query", J.Str name);
+              ("uncached_ns", J.Float (cold_m *. 1e9));
+              ("warm_ns", J.Float (warm_m *. 1e9));
+              ("speedup", J.Float ratio); ("plan_cache_hit", J.Int hit) ]
+          :: !rows;
         Printf.printf "%-6s %s %s %8.1fx %6d\n%!" name
           (pp_time (cold_m *. 1e9)) (pp_time (warm_m *. 1e9)) ratio hit)
       queries
@@ -591,7 +755,157 @@ let e11 () =
     bench_workload "recursive view queries:" engine ~group:"members" queries);
   Printf.printf "best warm/uncached speedup %.1fx: %s (gate: >= 5x)\n"
     !best_ratio
-    (if !best_ratio >= 5. then "PASS" else "FAIL")
+    (if !best_ratio >= 5. then "PASS" else "FAIL");
+  J.write ~id:"e11"
+    (J.Obj
+       [ ("experiment", J.Str "plan cache");
+         ("queries", J.List (List.rev !rows));
+         ("best_speedup", J.Float !best_ratio);
+         ("pass", J.Bool (!best_ratio >= 5.)) ])
+
+(* --- E12: parallel scaling ----------------------------------------------------- *)
+
+let e12 () =
+  banner "E12"
+    "multicore serving: queries/sec vs domain count \
+     (gate: >= 2.5x at 4 domains, plan cache warm)";
+  let cores = Pool.recommended_domains () in
+  Printf.printf "machine: %d core(s) available to the runtime\n" cores;
+  let repeat = 240 in
+  let jobs_axis = [ 1; 2; 4; 8 ] in
+  let ok = function Ok v -> v | Error msg -> failwith msg in
+  (* speedup at 4 domains on the gated workload — what the verdict reads *)
+  let gated_speedup = ref nan in
+  let run_workload ~gate label engine ~group queries =
+    (* Warm the plan cache: scaling must measure parallel evaluation, not
+       the one-off rewrite+compile (which the cache serializes anyway). *)
+    List.iter (fun (_, q) -> ignore (ok (Engine.query engine ~group q)))
+      queries;
+    (* Sequential reference answers: every parallel run must match these
+       byte for byte, or the throughput numbers measure garbage. *)
+    let reference =
+      List.map
+        (fun (_, q) -> (ok (Engine.query engine ~group q)).Engine.answer_xml)
+        queries
+    in
+    let tasks =
+      List.init repeat (fun i -> List.nth queries (i mod List.length queries))
+    in
+    let task_refs =
+      List.init repeat (fun i ->
+          List.nth reference (i mod List.length queries))
+    in
+    Printf.printf "%s (%d queries/batch, %d distinct, cache warm)\n" label
+      repeat (List.length queries);
+    Printf.printf "%-6s %9s %-11s %-11s %8s %9s\n" "jobs" "qps" "median"
+      "p95" "speedup" "answers";
+    let base_qps = ref nan in
+    let rows =
+      List.map
+        (fun jobs ->
+          Pool.with_pool ~domains:jobs (fun pool ->
+              let lat = Array.make repeat nan in
+              let t0 = Unix.gettimeofday () in
+              let futures =
+                List.mapi
+                  (fun i (_, q) ->
+                    Pool.submit pool (fun () ->
+                        let s = Unix.gettimeofday () in
+                        let r = Engine.query_robust engine ~group q in
+                        lat.(i) <- (Unix.gettimeofday () -. s) *. 1e6;
+                        r))
+                  tasks
+              in
+              let outcomes = List.map Pool.await futures in
+              let wall = Unix.gettimeofday () -. t0 in
+              let identical =
+                List.for_all2
+                  (fun r expected ->
+                    match r with
+                    | Ok o -> o.Engine.answer_xml = expected
+                    | Error _ -> false)
+                  outcomes task_refs
+              in
+              let qps = float_of_int repeat /. wall in
+              if jobs = 1 then base_qps := qps;
+              let speedup = qps /. !base_qps in
+              if gate && jobs = 4 then gated_speedup := speedup;
+              let lats = Array.to_list lat in
+              let med = J.median lats and p95 = J.p95 lats in
+              Printf.printf "%-6d %9.0f %s %s %7.2fx %9s\n%!" jobs qps
+                (pp_time (med *. 1e3)) (pp_time (p95 *. 1e3)) speedup
+                (if identical then "identical" else "MISMATCH");
+              J.Obj
+                [ ("jobs", J.Int jobs); ("qps", J.Float qps);
+                  ("median_us", J.Float med); ("p95_us", J.Float p95);
+                  ("speedup", J.Float speedup);
+                  ("answers_identical", J.Bool identical) ]))
+        jobs_axis
+    in
+    J.Obj
+      [ ("workload", J.Str label); ("batch", J.Int repeat);
+        ("rows", J.List rows) ]
+  in
+  (* Hospital: the paper's workload through the researchers view.  At 200
+     patients a warm query costs ~1-2ms of pure evaluation. *)
+  let hdoc = hospital_sized 200 in
+  let hengine = Engine.of_tree ~dtd:Hospital.dtd hdoc in
+  (match Engine.register_policy hengine ~group:"researchers" Hospital.policy with
+  | Ok () -> ()
+  | Error msg -> failwith msg);
+  Printf.printf "document: %d nodes (hospital, 200 patients)\n"
+    (Tree.n_nodes hdoc);
+  let hospital_json =
+    run_workload ~gate:false "hospital view queries:" hengine
+      ~group:"researchers" Queries.view_suite
+  in
+  (* Recursive views: a random recursive DTD + random policy (the E7/E11
+     family) over a document big enough that warm rewritten queries cost
+     0.7-4.5ms of pure Kleene-heavy evaluation — the repeated recursive
+     workload the acceptance gate reads.  (The E11 recipe's document is
+     only 6 nodes; its ~1us queries would measure pool overhead, not
+     scaling.) *)
+  let dtd = Random_dtd.generate ~seed:29 ~n_types:12 ~recursion:true () in
+  let policy = Random_dtd.random_policy ~seed:17 dtd in
+  let view = Derive.derive policy in
+  let doc = Docgen.generate ~seed:5 ~max_depth:10 ~fanout:4 dtd in
+  let rengine = Engine.of_tree ~dtd doc in
+  (match Engine.register_policy rengine ~group:"members" policy with
+  | Ok () -> ()
+  | Error msg -> failwith msg);
+  let tags = Dtd.element_names (Derive.view_dtd view) in
+  let rqueries =
+    List.mapi
+      (fun i seed ->
+        ( Printf.sprintf "R%d" (i + 1),
+          Smoqe_rxpath.Pretty.path_to_string
+            (Random_dtd.random_query ~seed ~size:6 ~tags ()) ))
+      [ 23; 11; 13 ]
+  in
+  Printf.printf "document: %d nodes (random recursive DTD, 12 types)\n"
+    (Tree.n_nodes doc);
+  let recursive_json =
+    run_workload ~gate:true "recursive view queries:" rengine ~group:"members"
+      rqueries
+  in
+  (* The gate needs real parallel hardware: with fewer than 4 cores the 4
+     extra domains time-slice one another and measure the scheduler, not
+     the engine.  Report SKIP rather than a vacuous FAIL/PASS. *)
+  let verdict =
+    if cores < 4 then "SKIP (needs >= 4 cores)"
+    else if !gated_speedup >= 2.5 then "PASS"
+    else "FAIL"
+  in
+  Printf.printf
+    "recursive workload at 4 domains: %.2fx vs 1 domain: %s (gate: >= 2.5x)\n"
+    !gated_speedup verdict;
+  J.write ~id:"e12"
+    (J.Obj
+       [ ("experiment", J.Str "parallel scaling");
+         ("cores", J.Int cores);
+         ("workloads", J.List [ hospital_json; recursive_json ]);
+         ("gated_speedup_at_4", J.Float !gated_speedup);
+         ("gate", J.Str verdict) ])
 
 (* --- Figures ----------------------------------------------------------------- *)
 
@@ -624,7 +938,7 @@ let figures () =
 
 let all = [ "e1", e1; "e2", e2; "e3", e3; "e4", e4; "e5", e5; "e6", e6;
             "e7", e7; "e8", e8; "e9", e9; "e10", e10; "e11", e11;
-            "figures", figures ]
+            "e12", e12; "figures", figures ]
 
 let () =
   let requested =

@@ -14,6 +14,8 @@ module Derive = Smoqe_security.Derive
 module Trace = Smoqe_hype.Trace
 module Budget = Smoqe_robust.Budget
 module Robust_error = Smoqe_robust.Error
+module Pool = Smoqe_exec.Pool
+module Stats = Smoqe_hype.Stats
 
 let read_file path =
   let ic = open_in_bin path in
@@ -196,7 +198,7 @@ let rewrite_cmd =
 
 let query_cmd =
   let run doc_path dtd_path policy_path group mode use_index trace output
-      stats budget plan_cache no_plan_cache repeat query =
+      stats budget plan_cache no_plan_cache repeat jobs query =
     let dtd = Option.map load_dtd dtd_path in
     let engine = or_die (Engine.of_file ?dtd doc_path) in
     (match policy_path, dtd with
@@ -220,18 +222,40 @@ let query_cmd =
       (if no_plan_cache then 0 else plan_cache);
     (* [--repeat] re-runs the query in-process — the serving pattern the
        plan cache exists for; each run gets a fresh budget so the deadline
-       restarts. *)
+       restarts.  With [--jobs N] (N >= 2) the repeats are dispatched onto
+       a pool of N domains and run in true parallel; answers are printed
+       once and [--stats] shows the aggregate plus per-domain loads. *)
+    let repeat = max 1 repeat in
+    let jobs = match jobs with Some n -> max 1 n | None -> Pool.default_jobs () in
     let run_once () =
       let budget = Option.map (fun mk -> mk ()) budget in
       or_die_robust
         (Engine.query_robust engine ?group ~mode ~use_index ?budget
            ?trace:tracer query)
     in
-    let outcome = ref (run_once ()) in
-    for _ = 2 to max 1 repeat do
-      outcome := run_once ()
-    done;
-    let outcome = !outcome in
+    let outcome, agg_stats, loads =
+      if jobs <= 1 then begin
+        (* the sequential path: exactly the pre-pool engine, no executor *)
+        let outcome = ref (run_once ()) in
+        for _ = 2 to repeat do
+          outcome := run_once ()
+        done;
+        (!outcome, None, None)
+      end
+      else
+        Pool.with_pool ~domains:jobs (fun pool ->
+            let results, agg =
+              Engine.run_batch engine ~pool ?group ~mode ~use_index
+                ?make_budget:budget
+                (List.init repeat (fun _ -> query))
+            in
+            let last =
+              List.fold_left
+                (fun _acc r -> Some (or_die_robust r))
+                None results
+            in
+            (Option.get last, Some agg, Some (Pool.worker_loads pool)))
+    in
     (match output with
     | "ids" ->
       List.iter (fun n -> Printf.printf "%d\n" n) outcome.Engine.answers
@@ -250,6 +274,19 @@ let query_cmd =
     if stats then begin
       print_endline "-- statistics --";
       print_endline (Ismoqe.stats_table outcome.Engine.stats);
+      (match agg_stats with
+      | None -> ()
+      | Some agg ->
+        Printf.printf "-- batch aggregate (%d runs, %d domains) --\n" repeat
+          jobs;
+        List.iter
+          (fun (k, v) -> Printf.printf "%s: %d\n" k v)
+          (Stats.to_assoc agg));
+      (match loads with
+      | None -> ()
+      | Some loads ->
+        Printf.printf "-- domain loads --\n";
+        Array.iteri (fun i n -> Printf.printf "domain %d: %d runs\n" i n) loads);
       print_endline "-- plan cache --";
       List.iter
         (fun (k, v) -> Printf.printf "%s: %d\n" k v)
@@ -288,6 +325,11 @@ let query_cmd =
                  ~doc:"Run the query N times in-process (answers printed \
                        once); repeats after the first are served from the \
                        plan cache.")
+      $ Arg.(value & opt (some int) None
+             & info [ "j"; "jobs" ] ~docv:"N"
+                 ~doc:"Evaluate --repeat runs on a pool of N domains in \
+                       parallel (default: \\$(b,SMOQE_JOBS), else 1 = \
+                       sequential, no pool).")
       $ query_arg)
 
 (* --- index -------------------------------------------------------------- *)

@@ -21,6 +21,7 @@ module Budget = Smoqe_robust.Budget
 module Failpoint = Smoqe_robust.Failpoint
 module Plan_cache = Smoqe_plan.Plan_cache
 module Canon = Smoqe_plan.Canon
+module Pool = Smoqe_exec.Pool
 
 (* Teach the taxonomy this stack's exception types: the guard at the
    façade maps anything the libraries throw into one Error.t.  Runs once,
@@ -64,7 +65,22 @@ type plan = {
   plan_compile_ms : float;
 }
 
+(* Concurrency model (DESIGN.md §9).  One engine serves queries from many
+   sessions, and with the pool executor those run on distinct domains in
+   true parallel.  The split:
+
+   - [dtd] is immutable; [Tree.t] and [Tax.t] values are deeply immutable
+     once built — readers never lock *while evaluating* on them.
+   - Everything [mutable] below, plus the [views]/[group_order] pair, is
+     guarded by [lock].  A query takes the lock only long enough to read
+     a consistent {tree, source, tax, view} snapshot; compile and
+     evaluation run outside it, on the snapshot.
+   - [plan_cache] has its own internal mutex.  Lock order is
+     engine [lock] → cache lock (invalidation under [lock] probes the
+     cache); the cache never calls back into the engine, so the order
+     cannot invert. *)
 type t = {
+  lock : Mutex.t;
   mutable tree : Tree.t;
   mutable source : source;
   dtd : Dtd.t option;
@@ -73,6 +89,16 @@ type t = {
   mutable tax : Tax.t option;
   plan_cache : plan Plan_cache.t;
   mutable saved_compile_ms : float;
+}
+
+(* What one query evaluates against: an immutable view of the engine's
+   serving state, taken atomically at query start.  [replace_document] or
+   [build_index] landing mid-query cannot tear it — the query answers
+   entirely against the tree/index pair it started with. *)
+type snapshot = {
+  snap_tree : Tree.t;
+  snap_source : source;
+  snap_tax : Tax.t option;
 }
 
 type outcome = {
@@ -89,6 +115,7 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 
 let make ?dtd tree source =
   {
+    lock = Mutex.create ();
     tree;
     source;
     dtd;
@@ -98,6 +125,12 @@ let make ?dtd tree source =
     plan_cache = Plan_cache.create ();
     saved_compile_ms = 0.;
   }
+
+let locked t f = Mutex.protect t.lock f
+
+let snapshot t =
+  locked t (fun () ->
+      { snap_tree = t.tree; snap_source = t.source; snap_tax = t.tax })
 
 let validate_against dtd tree =
   match Validator.validate dtd tree with
@@ -126,7 +159,7 @@ let of_file ?dtd path =
   | Error msg -> Error msg
   | Ok tree -> with_dtd ?dtd tree (From_file path)
 
-let document t = t.tree
+let document t = locked t (fun () -> t.tree)
 let dtd t = t.dtd
 
 let register_policy t ~group policy =
@@ -136,15 +169,19 @@ let register_policy t ~group policy =
     if not (Dtd.equal d (Policy.dtd policy)) then
       Error "policy is defined over a different DTD"
     else begin
+      (* Derivation is pure and can be slow: run it outside the lock. *)
       match Derive.derive policy with
       | exception Derive.Unsupported msg -> Error msg
       | view ->
-        if not (Hashtbl.mem t.views group) then
-          t.group_order <- t.group_order @ [ group ];
-        Hashtbl.replace t.views group view;
-        (* Plans rewritten through the group's previous view are now
-           answering with the wrong sigma: age them out. *)
-        Plan_cache.invalidate_group t.plan_cache group;
+        locked t (fun () ->
+            if not (Hashtbl.mem t.views group) then
+              t.group_order <- t.group_order @ [ group ];
+            Hashtbl.replace t.views group view;
+            (* Plans rewritten through the group's previous view are now
+               answering with the wrong sigma: age them out.  Done while
+               still holding the lock so no query can pair the new view
+               with a plan minted under the old one. *)
+            Plan_cache.invalidate_group t.plan_cache group);
         Log.info (fun m -> m "registered view for group %s" group);
         Ok ()
     end
@@ -159,23 +196,30 @@ let replace_document t tree =
   match checked with
   | Error msg -> Error msg
   | Ok () ->
-    t.tree <- tree;
-    t.source <- From_tree;
-    (* the index describes the old tree *)
-    t.tax <- None;
-    Plan_cache.invalidate_all t.plan_cache;
+    locked t (fun () ->
+        t.tree <- tree;
+        t.source <- From_tree;
+        (* the index describes the old tree *)
+        t.tax <- None;
+        Plan_cache.invalidate_all t.plan_cache);
     Log.info (fun m -> m "document replaced (%d nodes)" (Tree.n_nodes tree));
     Ok ()
 
-let groups t = t.group_order
-let view t ~group = Hashtbl.find_opt t.views group
+let groups t = locked t (fun () -> t.group_order)
+let view t ~group = locked t (fun () -> Hashtbl.find_opt t.views group)
 let view_dtd t ~group = Option.map Derive.view_dtd (view t ~group)
 
-let build_index t = t.tax <- Some (Tax.build t.tree)
-let index t = t.tax
+let build_index t =
+  (* Build outside the lock (it is O(document)); publish only if the
+     document has not been swapped underneath the build. *)
+  let tree = locked t (fun () -> t.tree) in
+  let idx = Tax.build tree in
+  locked t (fun () -> if t.tree == tree then t.tax <- Some idx)
+
+let index t = locked t (fun () -> t.tax)
 
 let save_index t path =
-  match t.tax with
+  match index t with
   | None -> Error "no index built"
   | Some idx ->
     (match Codec.save path idx with
@@ -196,12 +240,13 @@ let load_index t path =
   match loaded with
   | Error msg -> Error msg
   | Ok idx ->
-    if Tax.n_nodes idx <> Tree.n_nodes t.tree then
-      Error "index does not match the document"
-    else begin
-      t.tax <- Some idx;
-      Ok ()
-    end
+    locked t (fun () ->
+        if Tax.n_nodes idx <> Tree.n_nodes t.tree then
+          Error "index does not match the document"
+        else begin
+          t.tax <- Some idx;
+          Ok ()
+        end)
 
 (* --- query compilation ---------------------------------------------------- *)
 
@@ -256,7 +301,8 @@ let plan_cache_capacity t = Plan_cache.capacity t.plan_cache
 
 let plan_cache_counters t =
   Plan_cache.to_assoc t.plan_cache
-  @ [ ("saved_compile_ms", int_of_float t.saved_compile_ms) ]
+  @ [ ("saved_compile_ms",
+       int_of_float (locked t (fun () -> t.saved_compile_ms))) ]
 
 (* Serve the compiled plan for a query, consulting the cache.  Returns the
    MFA and whether it was a hit.  The raw text probes the cache first —
@@ -282,7 +328,8 @@ let plan_for_query t ?group ~mode ~use_index ?optimize ?budget text =
     with
     | Error e -> Error e
     | Ok () ->
-      t.saved_compile_ms <- t.saved_compile_ms +. plan.plan_compile_ms;
+      locked t (fun () ->
+          t.saved_compile_ms <- t.saved_compile_ms +. plan.plan_compile_ms);
       Ok (plan, true)
   in
   let plan_of mfa compile_ms =
@@ -323,12 +370,13 @@ let plan_for_query t ?group ~mode ~use_index ?optimize ?budget text =
 let rewrite_only t ~group ?optimize text =
   compile_query t ~group ?optimize text
 
-let answer_xml t answers =
+let answer_xml snap answers =
+  let tree = snap.snap_tree in
   List.map
     (fun n ->
-      if Tree.is_text t.tree n then
-        Serializer.escape_text (Tree.text_content t.tree n)
-      else Serializer.subtree_to_string ~indent:false t.tree n)
+      if Tree.is_text tree n then
+        Serializer.escape_text (Tree.text_content tree n)
+      else Serializer.subtree_to_string ~indent:false tree n)
     answers
 
 (* --- evaluation ------------------------------------------------------------ *)
@@ -337,17 +385,17 @@ let budget_error (what, limit) stats =
   Error.Budget_exceeded
     { what; limit; partial_stats = Stats.to_assoc stats }
 
-(* DOM evaluation; [degraded_from_stax] marks a retry after a StAX driver
-   failure.  Requesting the index without one loaded is served unindexed
-   and recorded as a degradation rather than failed. *)
-let run_dom t ~mfa ?use_index ?budget ?trace ~degraded_from_stax () =
+(* DOM evaluation on a snapshot; [degraded_from_stax] marks a retry after
+   a StAX driver failure.  Requesting the index without one loaded is
+   served unindexed and recorded as a degradation rather than failed. *)
+let run_dom snap ~mfa ?use_index ?budget ?trace ~degraded_from_stax () =
   let index_requested = use_index = Some true in
   let tax =
-    match use_index, t.tax with
+    match use_index, snap.snap_tax with
     | Some false, _ | _, None -> None
     | (Some true | None), Some idx -> Some idx
   in
-  let r = Eval_dom.run ?tax ?budget ?trace mfa t.tree in
+  let r = Eval_dom.run ?tax ?budget ?trace mfa snap.snap_tree in
   match r.Eval_dom.budget_hit with
   | Some hit -> Error (budget_error hit r.Eval_dom.stats)
   | None ->
@@ -364,13 +412,13 @@ let run_dom t ~mfa ?use_index ?budget ?trace ~degraded_from_stax () =
     Ok
       {
         answers = r.Eval_dom.answers;
-        answer_xml = answer_xml t r.Eval_dom.answers;
+        answer_xml = answer_xml snap r.Eval_dom.answers;
         stats;
         mfa;
         cans_size = r.Eval_dom.cans_size;
       }
 
-let run_stax t ~mfa ?budget ?trace () =
+let run_stax snap ~mfa ?budget ?trace () =
   let outcome_of r =
     match r.Eval_stax.budget_hit with
     | Some hit -> Error (budget_error hit r.Eval_stax.stats)
@@ -384,7 +432,7 @@ let run_stax t ~mfa ?budget ?trace () =
           cans_size = r.Eval_stax.cans_size;
         }
   in
-  match t.source with
+  match snap.snap_source with
   | From_string s ->
     outcome_of (Eval_stax.run ~capture:true ?budget ?trace mfa (Pull.of_string s))
   | From_file path ->
@@ -397,9 +445,9 @@ let run_stax t ~mfa ?budget ?trace () =
   | From_tree ->
     outcome_of
       (Eval_stax.run_events ~capture:true ?budget ?trace mfa
-         (Parser.events_of_tree t.tree))
+         (Parser.events_of_tree snap.snap_tree))
 
-let run_compiled t ~plan ~mode ?use_index ?budget ?trace () =
+let run_compiled snap ~plan ~mode ?use_index ?budget ?trace () =
   let mfa = plan.plan_mfa in
   if plan.plan_empty then begin
     (* The schema proves the query selects nothing: skip the document. *)
@@ -413,11 +461,12 @@ let run_compiled t ~plan ~mode ?use_index ?budget ?trace () =
     | Dom ->
       Result.join
         (Error.guard (fun () ->
-             run_dom t ~mfa ?use_index ?budget ?trace
+             run_dom snap ~mfa ?use_index ?budget ?trace
                ~degraded_from_stax:false ()))
     | Stax ->
       (match
-         Result.join (Error.guard (fun () -> run_stax t ~mfa ?budget ?trace ()))
+         Result.join
+           (Error.guard (fun () -> run_stax snap ~mfa ?budget ?trace ()))
        with
       | Ok outcome -> Ok outcome
       | Error ((Error.Budget_exceeded _ | Error.Query_error _
@@ -432,7 +481,7 @@ let run_compiled t ~plan ~mode ?use_index ?budget ?trace () =
               (Error.to_string stax_failure));
         Result.join
           (Error.guard (fun () ->
-               run_dom t ~mfa ?use_index ?budget ?trace
+               run_dom snap ~mfa ?use_index ?budget ?trace
                  ~degraded_from_stax:true ()))))
 
 let query_robust t ?group ?(mode = Dom) ?use_index ?optimize ?budget ?trace
@@ -440,7 +489,11 @@ let query_robust t ?group ?(mode = Dom) ?use_index ?optimize ?budget ?trace
   match plan_for_query t ?group ~mode ~use_index ?optimize ?budget text with
   | Error e -> Error e
   | Ok (plan, cached) ->
-    let outcome = run_compiled t ~plan ~mode ?use_index ?budget ?trace () in
+    (* One atomic read of the serving state; the evaluation below never
+       looks at the live engine again, so a concurrent replace_document
+       or index (re)build cannot tear this query. *)
+    let snap = snapshot t in
+    let outcome = run_compiled snap ~plan ~mode ?use_index ?budget ?trace () in
     if cached then
       Result.iter (fun o -> o.stats.Stats.plan_cache_hit <- 1) outcome;
     outcome
@@ -448,3 +501,33 @@ let query_robust t ?group ?(mode = Dom) ?use_index ?optimize ?budget ?trace
 let query t ?group ?mode ?use_index ?optimize ?budget ?trace text =
   Result.map_error Error.to_string
     (query_robust t ?group ?mode ?use_index ?optimize ?budget ?trace text)
+
+(* --- the multicore serving layer ------------------------------------------- *)
+
+(* Dispatch one query onto the pool.  The task closes over nothing
+   mutable but the engine itself, whose query path is domain-safe by the
+   snapshot/lock discipline above; the budget is *made* on the worker so
+   its wall-clock deadline starts when evaluation does, and so no Budget
+   value is ever shared between two in-flight queries. *)
+let submit t ~pool ?group ?mode ?use_index ?optimize ?make_budget text =
+  Pool.submit pool (fun () ->
+      let budget = Option.map (fun mk -> mk ()) make_budget in
+      query_robust t ?group ?mode ?use_index ?optimize ?budget text)
+
+let run_batch t ~pool ?group ?mode ?use_index ?optimize ?make_budget texts =
+  let futures =
+    List.map
+      (fun text ->
+        submit t ~pool ?group ?mode ?use_index ?optimize ?make_budget text)
+      texts
+  in
+  (* Await in submission order; queries complete on the workers in any
+     order, which is fine — each result lands in its own future. *)
+  let results = List.map Pool.await futures in
+  let aggregate = Stats.zero () in
+  List.iter
+    (function
+      | Ok o -> Stats.merge_into ~into:aggregate o.stats
+      | Error (Error.Budget_exceeded _) | Error _ -> ())
+    results;
+  (results, aggregate)

@@ -16,7 +16,18 @@
     rather than failing, and recorded in [outcome.stats]: an unavailable
     index downgrades to an unindexed DOM pass ([degraded_no_index]), and a
     StAX driver failure is retried once in DOM mode
-    ([degraded_stax_retry]). *)
+    ([degraded_stax_retry]).
+
+    {b Concurrency.}  The query path is domain-safe: any number of
+    domains may call {!query}/{!query_robust} (or {!submit} queries onto
+    a {!Smoqe_exec.Pool}) against one engine concurrently, interleaved
+    with the administrative operations ({!register_policy},
+    {!replace_document}, {!build_index}, {!load_index}).  Each query
+    atomically snapshots the served {tree, source, index} triple at
+    start and evaluates wholly against that snapshot; the plan cache is
+    internally locked; trees and indexes are deeply immutable.  See
+    DESIGN.md §9 for the full model (what is shared, what is per-domain,
+    lock order). *)
 
 type t
 
@@ -150,3 +161,49 @@ val rewrite_only :
   string ->
   (Smoqe_automata.Mfa.t, string) result
 (** Just the rewriting step — what iSMOQE visualizes (paper Fig. 4). *)
+
+(** {1 Multicore serving}
+
+    Dispatch queries onto a {!Smoqe_exec.Pool} of domains instead of
+    evaluating inline.  Independent queries over virtual views parallelize
+    embarrassingly well: the document tree and TAX index are immutable,
+    HyPE builds all of its evaluation state per query, and the only
+    contended structure is the plan cache — one short mutex hold per
+    query on the warm path.  A batch of the repeated rewritten workload
+    therefore scales with the worker count (bench [e12] gates this).
+
+    Budgets are passed as {e makers} ([unit -> Budget.t]) rather than
+    values: a [Budget.t] is mutable single-query state and its wall-clock
+    deadline should start when a worker picks the query up, so each task
+    builds its own. *)
+
+val submit :
+  t ->
+  pool:Smoqe_exec.Pool.t ->
+  ?group:string ->
+  ?mode:mode ->
+  ?use_index:bool ->
+  ?optimize:bool ->
+  ?make_budget:(unit -> Smoqe_robust.Budget.t) ->
+  string ->
+  (outcome, Smoqe_robust.Error.t) result Smoqe_exec.Pool.future
+(** Enqueue one query; the future resolves to exactly what
+    {!query_robust} would have returned.  Tasks are total — awaiting
+    never raises.  ([trace] is deliberately absent: a trace sink is
+    single-query scratch state, meaningless to share across workers.) *)
+
+val run_batch :
+  t ->
+  pool:Smoqe_exec.Pool.t ->
+  ?group:string ->
+  ?mode:mode ->
+  ?use_index:bool ->
+  ?optimize:bool ->
+  ?make_budget:(unit -> Smoqe_robust.Budget.t) ->
+  string list ->
+  (outcome, Smoqe_robust.Error.t) result list * Smoqe_hype.Stats.t
+(** Submit every query, await them all; results are in submission order
+    regardless of completion order.  The second component aggregates the
+    successful outcomes' counters ({!Smoqe_hype.Stats.merge_into}): each
+    query evaluated with its own domain-local [Stats.t], merged only
+    after the futures resolved. *)

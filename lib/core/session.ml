@@ -40,5 +40,21 @@ let run t ?mode ?use_index ?budget ?trace text =
   Result.map_error Error.to_string
     (run_robust t ?mode ?use_index ?budget ?trace text)
 
+(* The pool-dispatched forms.  Rights travel with the closure: the group
+   is resolved from the session *before* submission, so a worker can only
+   ever evaluate through the view this session was granted. *)
+let submit t ~pool ?mode ?use_index ?make_budget text =
+  match t.role with
+  | Admin -> Engine.submit t.engine ~pool ?mode ?use_index ?make_budget text
+  | Member group ->
+    Engine.submit t.engine ~pool ~group ?mode ?use_index ?make_budget text
+
+let run_batch t ~pool ?mode ?use_index ?make_budget texts =
+  match t.role with
+  | Admin ->
+    Engine.run_batch t.engine ~pool ?mode ?use_index ?make_budget texts
+  | Member group ->
+    Engine.run_batch t.engine ~pool ~group ?mode ?use_index ?make_budget texts
+
 let can_access_document t =
   match t.role with Admin -> true | Member _ -> false

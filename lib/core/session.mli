@@ -51,4 +51,30 @@ val run_robust :
   (Engine.outcome, Smoqe_robust.Error.t) result
 (** The typed-error form of {!run}. *)
 
+val submit :
+  t ->
+  pool:Smoqe_exec.Pool.t ->
+  ?mode:Engine.mode ->
+  ?use_index:bool ->
+  ?make_budget:(unit -> Smoqe_robust.Budget.t) ->
+  string ->
+  (Engine.outcome, Smoqe_robust.Error.t) result Smoqe_exec.Pool.future
+(** {!run_robust}, dispatched onto a domain pool (see {!Engine.submit}).
+    Many sessions may submit onto the same pool concurrently — this is
+    the serving configuration: one engine, one pool, a session per user.
+    The session's group is captured at submission, so concurrent
+    re-registration of the view affects which {e plans} are served, never
+    {e whose} view a query runs through. *)
+
+val run_batch :
+  t ->
+  pool:Smoqe_exec.Pool.t ->
+  ?mode:Engine.mode ->
+  ?use_index:bool ->
+  ?make_budget:(unit -> Smoqe_robust.Budget.t) ->
+  string list ->
+  (Engine.outcome, Smoqe_robust.Error.t) result list * Smoqe_hype.Stats.t
+(** Submit all, await all, in submission order, with the aggregated
+    statistics of the successful runs (see {!Engine.run_batch}). *)
+
 val can_access_document : t -> bool

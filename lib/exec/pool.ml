@@ -1,0 +1,192 @@
+(* The domain-pool executor.  Plain mutex/condition plumbing from the
+   OCaml 5 stdlib — no dependencies — with two deliberate shapes:
+
+   - the queue is bounded and submit blocks when it is full, so a fast
+     producer exerts backpressure instead of queueing unbounded closures;
+   - [domains <= 1] builds an *inline* executor that runs tasks on the
+     caller with no locks at all, keeping the sequential path free of any
+     pool tax. *)
+
+type 'a state =
+  | Pending
+  | Done of 'a
+  | Raised of exn
+
+type 'a future = {
+  fm : Mutex.t;
+  fc : Condition.t;
+  mutable state : 'a state;
+}
+
+(* Per-worker counters are Atomics: workers bump their own slot, any
+   domain may read a snapshot without stopping the pool. *)
+type worker = {
+  completed : int Atomic.t;
+  failed : int Atomic.t;
+}
+
+type t = {
+  m : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  queue : (int -> unit) Queue.t; (* a job, given its worker's index *)
+  queue_capacity : int;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t array; (* [||] for the inline executor *)
+  workers : worker array;
+  inline : bool;
+}
+
+let size t = Array.length t.workers
+let is_inline t = t.inline
+
+let fresh_future () =
+  { fm = Mutex.create (); fc = Condition.create (); state = Pending }
+
+let fulfill fut st =
+  Mutex.lock fut.fm;
+  fut.state <- st;
+  Condition.broadcast fut.fc;
+  Mutex.unlock fut.fm
+
+let await fut =
+  Mutex.lock fut.fm;
+  let rec wait () =
+    match fut.state with
+    | Pending ->
+      Condition.wait fut.fc fut.fm;
+      wait ()
+    | Done v ->
+      Mutex.unlock fut.fm;
+      v
+    | Raised e ->
+      Mutex.unlock fut.fm;
+      raise e
+  in
+  wait ()
+
+let await_result fut =
+  match await fut with v -> Ok v | exception e -> Error e
+
+let peek fut =
+  Mutex.lock fut.fm;
+  let r = match fut.state with Done v -> Some v | Pending | Raised _ -> None in
+  Mutex.unlock fut.fm;
+  r
+
+(* Run one task on worker [ix], routing the outcome into its future.  The
+   catch-all is the worker's armor: a raising task is recorded and
+   re-raised at [await], never on the worker's own stack. *)
+let run_task workers fut f ix =
+  (match f () with
+  | v ->
+    Atomic.incr workers.(ix).completed;
+    fulfill fut (Done v)
+  | exception e ->
+    Atomic.incr workers.(ix).completed;
+    Atomic.incr workers.(ix).failed;
+    fulfill fut (Raised e))
+
+let rec worker_loop t ix =
+  Mutex.lock t.m;
+  while Queue.is_empty t.queue && not t.stopping do
+    Condition.wait t.not_empty t.m
+  done;
+  if Queue.is_empty t.queue then
+    (* stopping, and nothing left to drain *)
+    Mutex.unlock t.m
+  else begin
+    let job = Queue.pop t.queue in
+    Condition.signal t.not_full;
+    Mutex.unlock t.m;
+    job ix;
+    worker_loop t ix
+  end
+
+let create ?queue_capacity ~domains () =
+  let n = max 1 domains in
+  let inline = n <= 1 in
+  let qcap =
+    max 1 (Option.value queue_capacity ~default:(max 32 (4 * n)))
+  in
+  let t =
+    {
+      m = Mutex.create ();
+      not_empty = Condition.create ();
+      not_full = Condition.create ();
+      queue = Queue.create ();
+      queue_capacity = qcap;
+      stopping = false;
+      domains = [||];
+      workers =
+        Array.init n (fun _ ->
+            { completed = Atomic.make 0; failed = Atomic.make 0 });
+      inline;
+    }
+  in
+  if not inline then
+    t.domains <- Array.init n (fun ix -> Domain.spawn (fun () -> worker_loop t ix));
+  t
+
+let submit t f =
+  let fut = fresh_future () in
+  if t.inline then begin
+    (* The future is not yet visible to any other domain: resolve it
+       without touching its lock. *)
+    (match f () with
+    | v ->
+      Atomic.incr t.workers.(0).completed;
+      fut.state <- Done v
+    | exception e ->
+      Atomic.incr t.workers.(0).completed;
+      Atomic.incr t.workers.(0).failed;
+      fut.state <- Raised e)
+  end
+  else begin
+    Mutex.lock t.m;
+    while Queue.length t.queue >= t.queue_capacity && not t.stopping do
+      Condition.wait t.not_full t.m
+    done;
+    if t.stopping then begin
+      Mutex.unlock t.m;
+      invalid_arg "Pool.submit: pool is shut down"
+    end;
+    Queue.push (run_task t.workers fut f) t.queue;
+    Condition.signal t.not_empty;
+    Mutex.unlock t.m
+  end;
+  fut
+
+let shutdown t =
+  if not t.inline then begin
+    Mutex.lock t.m;
+    let was_stopping = t.stopping in
+    t.stopping <- true;
+    Condition.broadcast t.not_empty;
+    Condition.broadcast t.not_full;
+    Mutex.unlock t.m;
+    if not was_stopping then Array.iter Domain.join t.domains
+  end
+
+let with_pool ?queue_capacity ~domains f =
+  let t = create ?queue_capacity ~domains () in
+  match f t with
+  | v ->
+    shutdown t;
+    v
+  | exception e ->
+    shutdown t;
+    raise e
+
+let worker_loads t = Array.map (fun w -> Atomic.get w.completed) t.workers
+let worker_failures t = Array.map (fun w -> Atomic.get w.failed) t.workers
+
+let recommended_domains () = Domain.recommended_domain_count ()
+
+let default_jobs () =
+  match Sys.getenv_opt "SMOQE_JOBS" with
+  | None | Some "" -> 1
+  | Some v ->
+    (match int_of_string_opt (String.trim v) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> 1)

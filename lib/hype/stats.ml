@@ -33,6 +33,27 @@ let create () =
     plan_cache_hit = 0;
   }
 
+let zero () =
+  let s = create () in
+  s.passes_over_data <- 0;
+  s
+
+let merge_into ~into s =
+  into.nodes_entered <- into.nodes_entered + s.nodes_entered;
+  into.nodes_alive <- into.nodes_alive + s.nodes_alive;
+  into.nodes_skipped_dead <- into.nodes_skipped_dead + s.nodes_skipped_dead;
+  into.nodes_pruned_tax <- into.nodes_pruned_tax + s.nodes_pruned_tax;
+  into.candidates <- into.candidates + s.candidates;
+  into.answers <- into.answers + s.answers;
+  into.conds_created <- into.conds_created + s.conds_created;
+  into.quals_resolved <- into.quals_resolved + s.quals_resolved;
+  into.atom_instances <- into.atom_instances + s.atom_instances;
+  into.max_items <- max into.max_items s.max_items;
+  into.passes_over_data <- into.passes_over_data + s.passes_over_data;
+  into.degraded_no_index <- into.degraded_no_index + s.degraded_no_index;
+  into.degraded_stax_retry <- into.degraded_stax_retry + s.degraded_stax_retry;
+  into.plan_cache_hit <- into.plan_cache_hit + s.plan_cache_hit
+
 let total_skipped t = t.nodes_skipped_dead + t.nodes_pruned_tax
 
 let degraded t = t.degraded_no_index > 0 || t.degraded_stax_retry > 0

@@ -29,6 +29,19 @@ type t = {
 
 val create : unit -> t
 
+val zero : unit -> t
+(** An all-zero accumulator (unlike {!create}, [passes_over_data] starts
+    at 0): the identity for {!merge_into}. *)
+
+val merge_into : into:t -> t -> unit
+(** Fold one query's counters into an aggregate — how the pool executor
+    reports a batch: each parallel query evaluates with its own
+    domain-local [t], and the per-domain results are merged after the
+    futures resolve (no counter is ever shared while hot).  Sums every
+    counter except [max_items], which takes the max; the one-valued flags
+    ([degraded_*], [plan_cache_hit]) therefore become {e counts} of
+    affected queries in the aggregate. *)
+
 val total_skipped : t -> int
 (** Dead-skipped plus TAX-pruned. *)
 

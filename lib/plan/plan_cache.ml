@@ -12,7 +12,15 @@ type 'plan entry = {
   mutable stamp : int;  (* recency; larger = more recently used *)
 }
 
+(* Every mutable field below is protected by [lock] — the cache is shared
+   by all sessions of an engine, and with the domain-pool executor those
+   sessions run on different domains concurrently.  [enabled] mirrors
+   [capacity > 0] in an Atomic so the common gates (a disabled cache, the
+   pre-probe in the engine) stay lock-free; the capacity is re-read under
+   the lock before any table access (double-checked). *)
 type 'plan t = {
+  lock : Mutex.t;
+  enabled : bool Atomic.t;  (* capacity > 0, maintained by set_capacity *)
   mutable capacity : int;
   table : (key, 'plan entry) Hashtbl.t;
   mutable tick : int;
@@ -25,8 +33,11 @@ type 'plan t = {
 }
 
 let create ?(capacity = 128) () =
+  let capacity = max 0 capacity in
   {
-    capacity = max 0 capacity;
+    lock = Mutex.create ();
+    enabled = Atomic.make (capacity > 0);
+    capacity;
     table = Hashtbl.create 64;
     tick = 0;
     gen_global = 0;
@@ -37,8 +48,12 @@ let create ?(capacity = 128) () =
     stale_drops = 0;
   }
 
-let capacity t = t.capacity
-let length t = Hashtbl.length t.table
+let locked t f = Mutex.protect t.lock f
+
+let capacity t = locked t (fun () -> t.capacity)
+let length t = locked t (fun () -> Hashtbl.length t.table)
+
+(* --- internals; caller holds [lock] -------------------------------------- *)
 
 let group_gen t = function
   | None -> 0
@@ -69,68 +84,83 @@ let evict_one t =
     Hashtbl.remove t.table key;
     t.evictions <- t.evictions + 1
 
-let find t key =
-  if t.capacity = 0 then None
-  else
-    match Hashtbl.find_opt t.table key with
-    | None -> None
-    | Some entry when current t key entry ->
-      t.hits <- t.hits + 1;
-      touch t entry;
-      Some entry.plan
-    | Some _ ->
-      Hashtbl.remove t.table key;
-      t.stale_drops <- t.stale_drops + 1;
-      None
+(* --- the public face ------------------------------------------------------ *)
 
-let record_miss t = if t.capacity > 0 then t.misses <- t.misses + 1
+let find t key =
+  (* Lock-free fast path: a disabled cache answers without contending. *)
+  if not (Atomic.get t.enabled) then None
+  else
+    locked t (fun () ->
+        if t.capacity = 0 then None (* double-check: raced with disabling *)
+        else
+          match Hashtbl.find_opt t.table key with
+          | None -> None
+          | Some entry when current t key entry ->
+            t.hits <- t.hits + 1;
+            touch t entry;
+            Some entry.plan
+          | Some _ ->
+            Hashtbl.remove t.table key;
+            t.stale_drops <- t.stale_drops + 1;
+            None)
+
+let record_miss t =
+  if Atomic.get t.enabled then
+    locked t (fun () -> if t.capacity > 0 then t.misses <- t.misses + 1)
 
 let add t key plan =
-  if t.capacity > 0 then begin
-    if not (Hashtbl.mem t.table key) then
-      while Hashtbl.length t.table >= t.capacity do
-        evict_one t
-      done;
-    let entry =
-      { plan; g_global = t.gen_global; g_group = group_gen t key.group;
-        stamp = 0 }
-    in
-    touch t entry;
-    Hashtbl.replace t.table key entry
-  end
+  if Atomic.get t.enabled then
+    locked t (fun () ->
+        if t.capacity > 0 then begin
+          if not (Hashtbl.mem t.table key) then
+            while Hashtbl.length t.table >= t.capacity do
+              evict_one t
+            done;
+          let entry =
+            { plan; g_global = t.gen_global; g_group = group_gen t key.group;
+              stamp = 0 }
+          in
+          touch t entry;
+          Hashtbl.replace t.table key entry
+        end)
 
 let set_capacity t n =
   let n = max 0 n in
-  t.capacity <- n;
-  if n = 0 then Hashtbl.reset t.table
-  else
-    while Hashtbl.length t.table > n do
-      evict_one t
-    done
+  locked t (fun () ->
+      t.capacity <- n;
+      Atomic.set t.enabled (n > 0);
+      if n = 0 then Hashtbl.reset t.table
+      else
+        while Hashtbl.length t.table > n do
+          evict_one t
+        done)
 
 let invalidate_group t group =
-  Hashtbl.replace t.gen_groups group (1 + group_gen t (Some group))
+  locked t (fun () ->
+      Hashtbl.replace t.gen_groups group (1 + group_gen t (Some group)))
 
-let invalidate_all t = t.gen_global <- t.gen_global + 1
+let invalidate_all t = locked t (fun () -> t.gen_global <- t.gen_global + 1)
 
 let clear t =
-  Hashtbl.reset t.table;
-  t.hits <- 0;
-  t.misses <- 0;
-  t.evictions <- 0;
-  t.stale_drops <- 0
+  locked t (fun () ->
+      Hashtbl.reset t.table;
+      t.hits <- 0;
+      t.misses <- 0;
+      t.evictions <- 0;
+      t.stale_drops <- 0)
 
-let hits t = t.hits
-let misses t = t.misses
-let evictions t = t.evictions
-let stale_drops t = t.stale_drops
+let hits t = locked t (fun () -> t.hits)
+let misses t = locked t (fun () -> t.misses)
+let evictions t = locked t (fun () -> t.evictions)
+let stale_drops t = locked t (fun () -> t.stale_drops)
 
 let to_assoc t =
-  [
-    ("hits", t.hits);
-    ("misses", t.misses);
-    ("evictions", t.evictions);
-    ("stale_drops", t.stale_drops);
-    ("entries", Hashtbl.length t.table);
-    ("capacity", t.capacity);
-  ]
+  locked t (fun () ->
+      [
+        ("hits", t.hits);
+        ("misses", t.misses);
+        ("evictions", t.evictions);
+        ("stale_drops", t.stale_drops);
+        ("entries", Hashtbl.length t.table);
+        ("capacity", t.capacity);
+      ])

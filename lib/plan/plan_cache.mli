@@ -17,10 +17,24 @@
     A capacity of [0] disables the cache entirely: probes miss without
     recording traffic and insertion is a no-op.
 
-    The cache is engine-local mutable state shared by every session logged
-    into that engine (the concurrent-serving story of many group members
-    over one document); the OCaml runtime serializes access, so no
-    locking is needed here. *)
+    {b Thread safety.}  The cache is engine-local mutable state shared by
+    every session logged into that engine, and with the domain-pool
+    executor ({!Smoqe_exec.Pool}) those sessions run queries on different
+    domains {e in true parallel} — the OCaml 5 runtime does {e not}
+    serialize access across domains.  Every operation here is therefore
+    atomic under an internal mutex, with a double-checked fast path: a
+    disabled cache ([capacity = 0]) answers {!find} from a lock-free
+    [Atomic] gate, and an enabled probe re-checks the capacity after
+    taking the lock.  The critical sections are a hash probe or insert —
+    warm hits stay lock-cheap and the compile work a miss triggers always
+    happens {e outside} the lock.
+
+    What is {e not} atomic is the caller's probe-then-insert sequence:
+    two domains may miss on the same key concurrently, both compile, and
+    both insert.  That is benign by design — plans for one key are
+    interchangeable, [add] is last-writer-wins, and the only cost is one
+    duplicated compile on a cold race.  Counters ([hits], [misses], …)
+    are exact, each being bumped under the lock. *)
 
 type key = {
   group : string option;  (** [None]: the query runs directly on the document *)

@@ -15,7 +15,17 @@
     - {b parse depth} ([max_depth]) — open elements in the pull parser.
 
     Checks raise {!Exceeded}; the guarded façade converts that into
-    [Error.Budget_exceeded] carrying the partial evaluation statistics. *)
+    [Error.Budget_exceeded] carrying the partial evaluation statistics.
+
+    {b Domain locality.}  A [Budget.t] is mutable per-query state (a node
+    counter settled in batches) with {e no} internal synchronization.
+    The contract under the pool executor: one budget, one query, one
+    domain — create the budget inside the submitted task (or pass a
+    maker, as [Engine.submit] does) and never share one [t] between
+    concurrently running queries.  Audited call sites all comply: the
+    CLI's [--repeat] builds a fresh budget per run, and each pool task
+    creates its own at start so the wall-clock deadline also starts when
+    the query is picked up, not when it was enqueued. *)
 
 type t
 

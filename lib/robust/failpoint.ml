@@ -12,29 +12,40 @@ type site = {
   mutable hits : int; (* times the site fired *)
 }
 
-(* The fast path is a single load of [armed]: sites pay nothing while no
-   failpoint is configured anywhere in the process. *)
-let armed = ref false
+(* The fast path is a single [Atomic] load of [armed]: sites pay one
+   uncontended read while no failpoint is configured anywhere in the
+   process.  Everything behind the gate — the sites table and the
+   per-site counters — is guarded by [lock], because the pool executor
+   triggers sites from worker domains while tests and the stress harness
+   (re)configure them from another; an unguarded Hashtbl resize under
+   that load is a crash, not a flake. *)
+let armed = Atomic.make false
+let lock = Mutex.create ()
 let sites : (string, site) Hashtbl.t = Hashtbl.create 8
 
+let locked f = Mutex.protect lock f
+
+(* callers hold [lock] *)
 let recompute_armed () =
-  armed :=
-    Hashtbl.fold (fun _ s acc -> acc || s.action <> Off) sites false
+  Atomic.set armed
+    (Hashtbl.fold (fun _ s acc -> acc || s.action <> Off) sites false)
 
 let configure name action =
-  (match Hashtbl.find_opt sites name with
-  | Some s ->
-    s.action <- action;
-    s.triggers <- 0;
-    s.hits <- 0
-  | None -> Hashtbl.replace sites name { action; triggers = 0; hits = 0 });
-  recompute_armed ()
+  locked (fun () ->
+      (match Hashtbl.find_opt sites name with
+      | Some s ->
+        s.action <- action;
+        s.triggers <- 0;
+        s.hits <- 0
+      | None -> Hashtbl.replace sites name { action; triggers = 0; hits = 0 });
+      recompute_armed ())
 
 let clear () =
-  Hashtbl.reset sites;
-  armed := false
+  locked (fun () ->
+      Hashtbl.reset sites;
+      Atomic.set armed false)
 
-let active () = !armed
+let active () = Atomic.get armed
 
 let fire s =
   s.triggers <- s.triggers + 1;
@@ -57,17 +68,24 @@ let fire s =
     else false
 
 let trigger name =
-  if !armed then begin
-    match Hashtbl.find_opt sites name with
-    | None -> ()
-    | Some s -> if fire s then raise (Injected name)
+  if Atomic.get armed then begin
+    (* decide under the lock, raise outside it *)
+    let fired =
+      locked (fun () ->
+          match Hashtbl.find_opt sites name with
+          | None -> false
+          | Some s -> fire s)
+    in
+    if fired then raise (Injected name)
   end
 
 let triggers name =
-  match Hashtbl.find_opt sites name with None -> 0 | Some s -> s.triggers
+  locked (fun () ->
+      match Hashtbl.find_opt sites name with None -> 0 | Some s -> s.triggers)
 
 let hits name =
-  match Hashtbl.find_opt sites name with None -> 0 | Some s -> s.hits
+  locked (fun () ->
+      match Hashtbl.find_opt sites name with None -> 0 | Some s -> s.hits)
 
 let action_of_string v =
   match String.lowercase_ascii v with
@@ -113,7 +131,10 @@ let init_from_env () =
   | Some spec -> ignore (parse_config spec)
 
 let with_failpoints spec f =
-  let saved = Hashtbl.fold (fun name s acc -> (name, s.action) :: acc) sites [] in
+  let saved =
+    locked (fun () ->
+        Hashtbl.fold (fun name s acc -> (name, s.action) :: acc) sites [])
+  in
   clear ();
   (match parse_config spec with
   | Ok () -> ()

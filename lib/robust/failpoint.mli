@@ -10,7 +10,18 @@
     that every outcome is still a [result].
 
     Site naming convention: ["subsystem.operation"], e.g. ["pull.read"],
-    ["store.read"], ["store.write"], ["index.load"], ["hype.step"]. *)
+    ["store.read"], ["store.write"], ["index.load"], ["hype.step"].
+
+    {b Thread safety.}  Sites are process-global and may be triggered
+    from every domain of the pool executor while another domain
+    (re)configures them: the armed flag is an [Atomic] (the disarmed fast
+    path stays a single lock-free load) and the site table and counters
+    sit behind an internal mutex.  [Every n] counts total triggers across
+    all domains — which domain's trigger fires is scheduling-dependent,
+    by design: that nondeterminism is what the stress harness uses to
+    probe interleavings.  {!with_failpoints} is atomic per operation but
+    not as a whole; don't run two overlapping [with_failpoints] scopes
+    from different domains. *)
 
 exception Injected of string
 (** [Injected site] — the armed failpoint [site] fired. *)

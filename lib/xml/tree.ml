@@ -9,6 +9,16 @@ type source =
 let text_tag = 0
 let text_tag_name = "#text"
 
+(* INVARIANT: a [t] is deeply immutable once [of_source] returns — no
+   field, array slot or hashtable binding is ever written afterwards.
+   This is what lets one tree be shared by every session and evaluated on
+   every domain of the pool executor with no locking at all.  In
+   particular [value] is *precomputed* at construction: an earlier
+   version memoized it lazily into a [string option array], which is a
+   data race under parallel evaluation (two domains writing the slot, a
+   third reading it torn between the check and the write).  Any future
+   per-node cache must either be filled here, before the tree is
+   published, or be published through [Atomic]. *)
 type t = {
   tag : int array;
   parent : int array;
@@ -20,7 +30,7 @@ type t = {
   attrs : (string * string) list array;
   tag_names : string array; (* tag id -> name; slot 0 is #text *)
   tag_ids : (string, int) Hashtbl.t;
-  value_cache : string option array; (* lazy per-node comparison value *)
+  value : string array; (* per-node comparison value, precomputed *)
 }
 
 let n_nodes t = Array.length t.tag
@@ -80,18 +90,7 @@ let text_content t n = check t n; t.text.(n)
 
 let value t n =
   check t n;
-  match t.value_cache.(n) with
-  | Some v -> v
-  | None ->
-    let v =
-      if is_text t n then t.text.(n)
-      else
-        fold_children t n ~init:[] ~f:(fun acc c ->
-            if t.tag.(c) = text_tag then t.text.(c) :: acc else acc)
-        |> List.rev |> String.concat ""
-    in
-    t.value_cache.(n) <- Some v;
-    v
+  t.value.(n)
 
 let descendant_or_self_texts t n =
   let stop = subtree_end t n in
@@ -173,6 +172,26 @@ let of_source src =
   in
   let (_ : int) = fill (-1) 0 src in
   let tag_names = Array.of_list (List.rev !names) in
+  (* Comparison values, filled before the tree is published (see the
+     invariant on [t]).  Strings are shared, not copied: a text node's
+     value *is* its text, an element with one text child borrows that
+     child's string, and the all-elements case borrows the empty
+     string — only mixed-content elements allocate. *)
+  let value = Array.make n "" in
+  for i = n - 1 downto 0 do
+    if tag.(i) = text_tag then value.(i) <- text.(i)
+    else begin
+      let rec texts c =
+        if c < 0 then []
+        else if tag.(c) = text_tag then text.(c) :: texts next_sibling.(c)
+        else texts next_sibling.(c)
+      in
+      match texts first_child.(i) with
+      | [] -> ()
+      | [ s ] -> value.(i) <- s
+      | pieces -> value.(i) <- String.concat "" pieces
+    end
+  done;
   {
     tag;
     parent;
@@ -184,7 +203,7 @@ let of_source src =
     attrs;
     tag_names;
     tag_ids;
-    value_cache = Array.make n None;
+    value;
   }
 
 let rec to_source t n =

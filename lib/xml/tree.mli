@@ -7,7 +7,10 @@
     small integers ([tag id]s) shared with the automata and the index. *)
 
 type t
-(** An immutable XML document. *)
+(** An immutable XML document.  Deeply immutable: nothing in a [t] is
+    written after {!of_source} returns (comparison {!value}s are
+    precomputed there, not memoized lazily), so a tree may be read from
+    any number of domains in parallel without synchronization. *)
 
 type node = int
 (** A node id: the pre-order rank of the node, starting at [root = 0]. *)
@@ -86,7 +89,8 @@ val text_content : t -> node -> string
 val value : t -> node -> string
 (** The comparison value of a node, as used by Regular XPath equality
     tests: a text node's content, or the concatenation of an element's
-    immediate text children. *)
+    immediate text children.  Precomputed at construction — an O(1) array
+    read, safe under parallel evaluation. *)
 
 val descendant_or_self_texts : t -> node -> string
 (** Full XPath-style string value: concatenation of all text descendants. *)

@@ -17,6 +17,8 @@ module Docgen = Smoqe_workload.Docgen
 module Dtd = Smoqe_xml.Dtd
 module Rx_parser = Smoqe_rxpath.Parser
 module Pretty = Smoqe_rxpath.Pretty
+module Pool = Smoqe_exec.Pool
+module Err = Smoqe_robust.Error
 
 let ok = function
   | Ok v -> v
@@ -158,6 +160,110 @@ let test_property () =
     property_case seed
   done
 
+(* --- Parallel serving: the domain pool vs the sequential engine ------------ *)
+
+(* One workload through a 4-domain pool.  The sequential reference runs on
+   its own engine (sharing nothing with the pool run), then the parallel
+   engine serves the batch twice: cold (every plan compiled under
+   contention) and warm (every run a cache hit).  Both must be
+   byte-identical to the reference — answer ids and serialized XML. *)
+let parallel_battery ~name ~dtd ~policy ~doc queries =
+  let ref_engine = Engine.of_tree ~dtd doc in
+  ok (Engine.register_policy ref_engine ~group:"members" policy);
+  let reference =
+    List.map
+      (fun (_, text) ->
+        (ok (Engine.query ref_engine ~group:"members" text)).Engine.answer_xml)
+      queries
+  in
+  let engine = Engine.of_tree ~dtd doc in
+  ok (Engine.register_policy engine ~group:"members" policy);
+  Pool.with_pool ~domains:4 (fun pool ->
+      let texts = List.map snd queries in
+      let serve label ~expect_hits =
+        let results, agg =
+          Engine.run_batch engine ~pool ~group:"members" texts
+        in
+        List.iteri
+          (fun i r ->
+            let qname = fst (List.nth queries i) in
+            match r with
+            | Error e ->
+              Alcotest.failf "%s %s (%s): %s" name qname label (Err.to_string e)
+            | Ok o ->
+              Alcotest.(check (list string))
+                (Printf.sprintf "%s %s (%s): pool = sequential" name qname label)
+                (List.nth reference i)
+                o.Engine.answer_xml)
+          results;
+        if expect_hits then
+          (* flags aggregate to counts: a fully warm batch hits every time *)
+          Alcotest.(check int)
+            (Printf.sprintf "%s (%s): every run a cache hit" name label)
+            (List.length queries)
+            agg.Stats.plan_cache_hit
+      in
+      serve "pool cold" ~expect_hits:false;
+      serve "pool warm" ~expect_hits:true)
+
+let test_parallel_hospital () =
+  let doc = Hospital.generate ~seed:7 ~n_patients:4 ~recursion_depth:2 () in
+  parallel_battery ~name:"hospital" ~dtd:Hospital.dtd ~policy:Hospital.policy
+    ~doc
+    (Queries.suite @ Queries.view_suite)
+
+let test_parallel_bib () =
+  let doc = Bib.generate ~seed:11 ~n_books:4 ~section_depth:3 () in
+  parallel_battery ~name:"bib" ~dtd:Bib.dtd ~policy:Bib.policy ~doc
+    Queries.bib_suite
+
+(* Random DTD/policy draws through one long-lived pool: whatever the draw,
+   pooled answers must match inline answers on the same engine. *)
+let test_parallel_property () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      for seed = 1 to 20 do
+        let dtd =
+          Random_dtd.generate ~seed ~n_types:(3 + (seed mod 5))
+            ~recursion:(seed mod 2 = 0) ()
+        in
+        let policy = Random_dtd.random_policy ~seed:(seed * 3 + 1) dtd in
+        match Docgen.generate ~seed:(seed * 5 + 2) ~max_depth:8 ~fanout:2 dtd with
+        | exception Docgen.No_finite_expansion _ -> ()
+        | doc ->
+          let engine = Engine.of_tree ~dtd doc in
+          (match Engine.register_policy engine ~group:"members" policy with
+          | Error _ -> () (* derivation unsupported for this draw: skip *)
+          | Ok () ->
+            let view = Option.get (Engine.view engine ~group:"members") in
+            let tags = Dtd.element_names (Derive.view_dtd view) in
+            let texts =
+              List.map
+                (fun s ->
+                  Pretty.path_to_string
+                    (Random_dtd.random_query ~seed:s ~size:6 ~tags ()))
+                [ (seed * 7) + 3; (seed * 11) + 5; (seed * 13) + 9 ]
+            in
+            let inline =
+              List.map
+                (fun t ->
+                  (ok (Engine.query engine ~group:"members" t)).Engine.answer_xml)
+                texts
+            in
+            let results, _ =
+              Engine.run_batch engine ~pool ~group:"members" texts
+            in
+            List.iteri
+              (fun i r ->
+                match r with
+                | Error e ->
+                  Alcotest.failf "seed %d q%d: %s" seed i (Err.to_string e)
+                | Ok o ->
+                  Alcotest.(check (list string))
+                    (Printf.sprintf "seed %d q%d: pool = inline" seed i)
+                    (List.nth inline i) o.Engine.answer_xml)
+              results)
+      done)
+
 let () =
   Alcotest.run "smoqe_oracle"
     [
@@ -170,4 +276,11 @@ let () =
       ( "property",
         [ Alcotest.test_case "random views, dom=stax=oracle" `Quick
             test_property ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "hospital via pool" `Quick test_parallel_hospital;
+          Alcotest.test_case "bib via pool" `Quick test_parallel_bib;
+          Alcotest.test_case "random draws via pool" `Quick
+            test_parallel_property;
+        ] );
     ]

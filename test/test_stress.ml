@@ -1,0 +1,123 @@
+(* The multicore stress harness (dune build @stress).
+
+   One engine, one 8-domain pool, and every kind of trouble at once:
+
+   - a batch of mixed queries — the hot serving suite (all cache hits
+     once warm) interleaved with one-off queries that force compiles, so
+     the plan cache is probed and populated concurrently;
+   - administrative churn from the main domain while the batch is in
+     flight: the group's view re-registered (invalidating its plans
+     mid-query) and the document replaced with an equal tree
+     (invalidating everything);
+   - the ["plan.compile"] failpoint firing every few compiles.
+
+   The assertions are deliberately coarse — this harness exists to let
+   "many domains on one engine" shake out torn reads and lock-order
+   bugs, not to re-prove semantics (test_oracle does that):
+
+   1. totality: every future resolves to [Ok] or a typed [Error]; no
+      task dies with an exception, no worker wedges;
+   2. consistency: every successful answer to a hot query is
+      byte-identical to the sequential reference — admin churn may fail
+      a query (injected fault) but never corrupt one;
+   3. the only errors seen are the ones we injected;
+   4. per-worker accounting adds up to the submitted batch. *)
+
+module Engine = Smoqe.Engine
+module Pool = Smoqe_exec.Pool
+module Failpoint = Smoqe_robust.Failpoint
+module Err = Smoqe_robust.Error
+module Hospital = Smoqe_workload.Hospital
+module Queries = Smoqe_workload.Queries
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let () =
+  let doc = Hospital.generate ~seed:42 ~n_patients:24 ~recursion_depth:2 () in
+  let engine = Engine.of_tree ~dtd:Hospital.dtd doc in
+  (match Engine.register_policy engine ~group:"members" Hospital.policy with
+  | Ok () -> ()
+  | Error msg -> die "register_policy: %s" msg);
+
+  (* Sequential reference for the hot suite, on an engine the pool never
+     touches.  replace_document below swaps in an equal tree and
+     re-registration reuses the same policy, so these stay the truth for
+     the whole run. *)
+  let hot = Queries.suite @ Queries.view_suite in
+  let reference = Hashtbl.create 16 in
+  let ref_engine = Engine.of_tree ~dtd:Hospital.dtd doc in
+  (match Engine.register_policy ref_engine ~group:"members" Hospital.policy with
+  | Ok () -> ()
+  | Error msg -> die "reference register_policy: %s" msg);
+  List.iter
+    (fun (_, text) ->
+      match Engine.query ref_engine ~group:"members" text with
+      | Ok o -> Hashtbl.replace reference text o.Engine.answer_xml
+      | Error msg -> die "reference %s: %s" text msg)
+    hot;
+
+  (* One-off spellings that always miss the cache, churning the LRU and
+     forcing concurrent compiles while the hot set is served. *)
+  let miss i =
+    Printf.sprintf "patient[visit/treatment/medication = 'm%d']/pname" i
+  in
+
+  let rounds = 400 in
+  let injected = ref 0 and served = ref 0 in
+  Failpoint.with_failpoints "plan.compile=7" (fun () ->
+      Pool.with_pool ~domains:8 (fun pool ->
+          let futures =
+            List.init rounds (fun i ->
+                let text =
+                  if i mod 3 = 2 then miss i
+                  else snd (List.nth hot (i mod List.length hot))
+                in
+                (* admin churn from the producing domain, mid-batch *)
+                if i mod 37 = 17 then
+                  (match
+                     Engine.register_policy engine ~group:"members"
+                       Hospital.policy
+                   with
+                  | Ok () -> ()
+                  | Error msg -> die "re-register: %s" msg);
+                if i mod 97 = 53 then
+                  (match Engine.replace_document engine doc with
+                  | Ok () -> ()
+                  | Error msg -> die "replace_document: %s" msg);
+                (text, Engine.submit engine ~pool ~group:"members" text))
+          in
+          List.iter
+            (fun (text, fut) ->
+              match Pool.await fut with
+              | Ok o -> (
+                incr served;
+                match Hashtbl.find_opt reference text with
+                | Some expected when o.Engine.answer_xml <> expected ->
+                  die "CORRUPT answer for %s under churn" text
+                | _ -> ())
+              | Error e ->
+                let s = Err.to_string e in
+                if contains s "plan.compile" then incr injected
+                else die "unexpected error for %s: %s" text s
+              | exception exn ->
+                die "future raised (totality broken): %s"
+                  (Printexc.to_string exn))
+            futures;
+          let loads = Pool.worker_loads pool in
+          let total = Array.fold_left ( + ) 0 loads in
+          if total <> rounds then
+            die "worker accounting: %d tasks counted, %d submitted" total
+              rounds;
+          if Array.exists (fun f -> f <> 0) (Pool.worker_failures pool) then
+            die "a worker recorded an uncaught task exception"));
+  if !served = 0 then die "no query ever succeeded";
+  if !injected = 0 then die "the armed failpoint never fired";
+  Printf.printf
+    "stress OK: %d tasks (%d served, %d injected faults), answers stable \
+     under re-registration and document replacement\n"
+    rounds !served !injected
