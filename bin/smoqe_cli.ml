@@ -227,6 +227,15 @@ let query_cmd =
        once and [--stats] shows the aggregate plus per-domain loads. *)
     let repeat = max 1 repeat in
     let jobs = match jobs with Some n -> max 1 n | None -> Pool.default_jobs () in
+    (* A trace sink is single-query scratch state with no seat in pooled
+       dispatch (Engine.submit deliberately has no ?trace); refuse rather
+       than silently print an empty trace. *)
+    if trace && jobs > 1 then begin
+      prerr_endline
+        "smoqe: --trace is sequential-only and cannot be combined with \
+         --jobs > 1 (or SMOQE_JOBS > 1)";
+      exit 1
+    end;
     let run_once () =
       let budget = Option.map (fun mk -> mk ()) budget in
       or_die_robust

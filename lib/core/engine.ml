@@ -180,7 +180,9 @@ let register_policy t ~group policy =
             (* Plans rewritten through the group's previous view are now
                answering with the wrong sigma: age them out.  Done while
                still holding the lock so no query can pair the new view
-               with a plan minted under the old one. *)
+               with a plan minted under the old one; a compile already in
+               flight against the old view is fenced separately, by the
+               generation token it captured (see [plan_for_query]). *)
             Plan_cache.invalidate_group t.plan_cache group);
         Log.info (fun m -> m "registered view for group %s" group);
         Ok ()
@@ -359,12 +361,19 @@ let plan_for_query t ?group ~mode ~use_index ?optimize ?budget text =
         | Some plan -> hit plan
         | None ->
           Plan_cache.record_miss cache;
+          (* The compile below runs outside the engine lock, so a
+             concurrent [register_policy]/[replace_document] can
+             invalidate this key mid-flight.  Capture the generation
+             {e before} the compile reads the view: if it moves, the
+             conditional [add ~gen] refuses the insert and the plan
+             minted under the old view is served once, never cached. *)
+          let gen = Plan_cache.generation cache (key canonical) in
           let t0 = Sys.time () in
           (match compile_ast_robust t ?group ?optimize ?budget path with
           | Error e -> Error e
           | Ok mfa ->
             let plan = plan_of mfa ((Sys.time () -. t0) *. 1000.) in
-            Plan_cache.add cache (key canonical) plan;
+            Plan_cache.add cache ~gen (key canonical) plan;
             Ok (plan, false))))
 
 let rewrite_only t ~group ?optimize text =

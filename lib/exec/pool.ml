@@ -76,7 +76,9 @@ let peek fut =
 
 (* Run one task on worker [ix], routing the outcome into its future.  The
    catch-all is the worker's armor: a raising task is recorded and
-   re-raised at [await], never on the worker's own stack. *)
+   re-raised at [await], never on the worker's own stack.  [completed]
+   counts executions (failures included — it is the load-balance view);
+   [failed] marks the subset that raised. *)
 let run_task workers fut f ix =
   (match f () with
   | v ->

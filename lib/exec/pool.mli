@@ -79,11 +79,15 @@ val with_pool : ?queue_capacity:int -> domains:int -> (t -> 'a) -> 'a
 (** {1 Per-domain accounting} *)
 
 val worker_loads : t -> int array
-(** Tasks completed per worker, index [0 .. size - 1].  Read without
+(** Tasks {e executed} per worker, index [0 .. size - 1] — the
+    load-balance view, so tasks that raised count too (a crashing task
+    occupied its worker just the same).  Summed over workers this equals
+    the number of tasks run, successes and failures both.  Read without
     stopping the pool: counts are monotonic snapshots. *)
 
 val worker_failures : t -> int array
-(** Tasks that ended in an exception, per worker. *)
+(** Tasks that ended in an exception, per worker.  A subset of
+    {!worker_loads}, not disjoint from it. *)
 
 (** {1 Sizing} *)
 

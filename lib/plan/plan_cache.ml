@@ -50,6 +50,15 @@ let create ?(capacity = 128) () =
 
 let locked t f = Mutex.protect t.lock f
 
+(* A generation token: the (global, group) generation pair a caller
+   captured before starting a compile.  [add ~gen] refuses to insert when
+   either component has moved — the plan was minted against state
+   (a view, a document) that is no longer the one being served. *)
+type gen = {
+  snap_global : int;
+  snap_group : int;
+}
+
 let capacity t = locked t (fun () -> t.capacity)
 let length t = locked t (fun () -> Hashtbl.length t.table)
 
@@ -108,20 +117,37 @@ let record_miss t =
   if Atomic.get t.enabled then
     locked t (fun () -> if t.capacity > 0 then t.misses <- t.misses + 1)
 
-let add t key plan =
+let generation t key =
+  locked t (fun () ->
+      { snap_global = t.gen_global; snap_group = group_gen t key.group })
+
+let add t ?gen key plan =
   if Atomic.get t.enabled then
     locked t (fun () ->
         if t.capacity > 0 then begin
-          if not (Hashtbl.mem t.table key) then
-            while Hashtbl.length t.table >= t.capacity do
-              evict_one t
-            done;
-          let entry =
-            { plan; g_global = t.gen_global; g_group = group_gen t key.group;
-              stamp = 0 }
+          let fresh =
+            match gen with
+            | None -> true
+            | Some g ->
+              g.snap_global = t.gen_global
+              && g.snap_group = group_gen t key.group
           in
-          touch t entry;
-          Hashtbl.replace t.table key entry
+          if not fresh then
+            (* An invalidation landed while the plan was being compiled:
+               inserting it would serve the old view as current. *)
+            t.stale_drops <- t.stale_drops + 1
+          else begin
+            if not (Hashtbl.mem t.table key) then
+              while Hashtbl.length t.table >= t.capacity do
+                evict_one t
+              done;
+            let entry =
+              { plan; g_global = t.gen_global;
+                g_group = group_gen t key.group; stamp = 0 }
+            in
+            touch t entry;
+            Hashtbl.replace t.table key entry
+          end
         end)
 
 let set_capacity t n =

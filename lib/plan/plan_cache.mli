@@ -31,10 +31,16 @@
 
     What is {e not} atomic is the caller's probe-then-insert sequence:
     two domains may miss on the same key concurrently, both compile, and
-    both insert.  That is benign by design — plans for one key are
-    interchangeable, [add] is last-writer-wins, and the only cost is one
-    duplicated compile on a cold race.  Counters ([hits], [misses], …)
-    are exact, each being bumped under the lock. *)
+    both insert.  Among plans compiled under the {e same} generation that
+    is benign — they are interchangeable, [add] is last-writer-wins, and
+    the only cost is one duplicated compile on a cold race.  Across an
+    invalidation it is {e not} benign: a compile that started before a
+    view change could otherwise be inserted after it and be stamped with
+    the {e new} generation, serving the old view as current.  The caller
+    therefore captures a {!generation} token before compiling and passes
+    it to {!add}, which refuses (counting a [stale_drop]) when either
+    generation has moved.  Counters ([hits], [misses], …) are exact, each
+    being bumped under the lock. *)
 
 type key = {
   group : string option;  (** [None]: the query runs directly on the document *)
@@ -69,9 +75,22 @@ val find : 'plan t -> key -> 'plan option
 val record_miss : _ t -> unit
 (** Count one compile forced by a cache miss.  No-op when disabled. *)
 
-val add : 'plan t -> key -> 'plan -> unit
+type gen
+(** A generation token: the key's (global, group) generation pair at the
+    moment {!generation} was called. *)
+
+val generation : _ t -> key -> gen
+(** Capture the key's current generations.  Call {e before} reading the
+    view (or any other invalidatable state) the plan will be compiled
+    from, and hand the token to {!add}. *)
+
+val add : 'plan t -> ?gen:gen -> key -> 'plan -> unit
 (** Insert (or replace) under the current generations, evicting the
-    least-recently-used entry when full.  No-op when disabled. *)
+    least-recently-used entry when full.  With [~gen], the insert is a
+    no-op (counted under [stale_drops]) if either generation has moved
+    since the token was captured — the plan was compiled against state
+    that has been invalidated mid-flight and must not be served as
+    current.  No-op when disabled. *)
 
 val invalidate_group : _ t -> string -> unit
 (** The group's view changed: every plan rewritten through it is stale. *)

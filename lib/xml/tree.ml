@@ -181,12 +181,16 @@ let of_source src =
   for i = n - 1 downto 0 do
     if tag.(i) = text_tag then value.(i) <- text.(i)
     else begin
-      let rec texts c =
-        if c < 0 then []
-        else if tag.(c) = text_tag then text.(c) :: texts next_sibling.(c)
-        else texts next_sibling.(c)
+      (* Tail-recursive over the sibling chain — an element may have
+         millions of children, and one frame each would blow the stack. *)
+      let rec texts acc c =
+        if c < 0 then List.rev acc
+        else
+          texts
+            (if tag.(c) = text_tag then text.(c) :: acc else acc)
+            next_sibling.(c)
       in
-      match texts first_child.(i) with
+      match texts [] first_child.(i) with
       | [] -> ()
       | [ s ] -> value.(i) <- s
       | pieces -> value.(i) <- String.concat "" pieces

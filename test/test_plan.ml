@@ -132,6 +132,30 @@ let test_group_generations () =
   Alcotest.(check (option int)) "direct stale too" None
     (Plan_cache.find c (key "q"))
 
+let test_gen_fenced_add () =
+  (* The mid-compile invalidation fence: an insert carrying a generation
+     token captured before the invalidation must be refused — otherwise a
+     plan compiled through the old view would be stamped current. *)
+  let c = Plan_cache.create () in
+  let k = key ~group:"g" "q" in
+  let gen = Plan_cache.generation c k in
+  Plan_cache.invalidate_group c "g";
+  Plan_cache.add c ~gen k 1;
+  Alcotest.(check (option int)) "stale insert refused" None
+    (Plan_cache.find c k);
+  Alcotest.(check int) "refusal counted" 1 (Plan_cache.stale_drops c);
+  (* same dance with the global generation *)
+  let gen = Plan_cache.generation c k in
+  Plan_cache.invalidate_all c;
+  Plan_cache.add c ~gen k 2;
+  Alcotest.(check (option int)) "globally stale insert refused" None
+    (Plan_cache.find c k);
+  (* a token captured after the invalidation admits the insert *)
+  let gen = Plan_cache.generation c k in
+  Plan_cache.add c ~gen k 3;
+  Alcotest.(check (option int)) "fresh insert lands" (Some 3)
+    (Plan_cache.find c k)
+
 (* --- through the engine ---------------------------------------------------- *)
 
 let hospital_engine () =
@@ -261,6 +285,7 @@ let () =
             test_capacity_zero_disables;
           Alcotest.test_case "shrink evicts" `Quick test_shrink_evicts;
           Alcotest.test_case "group generations" `Quick test_group_generations;
+          Alcotest.test_case "generation-fenced add" `Quick test_gen_fenced_add;
         ] );
       ( "engine",
         [
