@@ -67,6 +67,22 @@ let rec emit buf = function
 let write ~id v =
   let dir = Option.value (Sys.getenv_opt "SMOQE_BENCH_DIR") ~default:"." in
   let path = Filename.concat dir (Printf.sprintf "BENCH_%s.json" id) in
+  (* Every artifact carries the process-wide table-layer counters
+     (specialization time, memo hits/misses/evictions) accumulated by the
+     runs it timed — the cheapest way to see whether an experiment
+     actually exercised the table path. *)
+  let v =
+    match v with
+    | Obj fields ->
+      let tables =
+        Obj
+          (List.map
+             (fun (k, n) -> (k, Int n))
+             (Smoqe_hype.Stats.tables_counters ()))
+      in
+      Obj (fields @ [ ("tables", tables) ])
+    | other -> other
+  in
   let buf = Buffer.create 1024 in
   emit buf v;
   Buffer.add_char buf '\n';

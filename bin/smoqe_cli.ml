@@ -198,7 +198,7 @@ let rewrite_cmd =
 
 let query_cmd =
   let run doc_path dtd_path policy_path group mode use_index trace output
-      stats budget plan_cache no_plan_cache repeat jobs query =
+      stats budget plan_cache no_plan_cache repeat jobs no_tables query =
     let dtd = Option.map load_dtd dtd_path in
     let engine = or_die (Engine.of_file ?dtd doc_path) in
     (match policy_path, dtd with
@@ -236,11 +236,14 @@ let query_cmd =
          --jobs > 1 (or SMOQE_JOBS > 1)";
       exit 1
     end;
+    (* --no-tables forces the generic engine; otherwise the library default
+       applies (tables on unless SMOQE_NO_TABLES is set). *)
+    let use_tables = if no_tables then Some false else None in
     let run_once () =
       let budget = Option.map (fun mk -> mk ()) budget in
       or_die_robust
         (Engine.query_robust engine ?group ~mode ~use_index ?budget
-           ?trace:tracer query)
+           ?trace:tracer ?use_tables query)
     in
     let outcome, agg_stats, loads =
       if jobs <= 1 then begin
@@ -255,7 +258,7 @@ let query_cmd =
         Pool.with_pool ~domains:jobs (fun pool ->
             let results, agg =
               Engine.run_batch engine ~pool ?group ~mode ~use_index
-                ?make_budget:budget
+                ?make_budget:budget ?use_tables
                 (List.init repeat (fun _ -> query))
             in
             let last =
@@ -339,6 +342,11 @@ let query_cmd =
                  ~doc:"Evaluate --repeat runs on a pool of N domains in \
                        parallel (default: \\$(b,SMOQE_JOBS), else 1 = \
                        sequential, no pool).")
+      $ Arg.(value & flag
+             & info [ "no-tables" ]
+                 ~doc:"Evaluate on the generic engine instead of the \
+                       tag-interned transition tables and lazy-DFA memo \
+                       (same as setting \\$(b,SMOQE_NO_TABLES)).")
       $ query_arg)
 
 (* --- index -------------------------------------------------------------- *)

@@ -19,12 +19,19 @@ type t = {
   accepts : accept list array;
 }
 
-let test_matches test tree node =
+(* The one label-matching semantics of the whole engine: every evaluator
+   (generic HyPE, the table layer, the baselines) goes through here, so
+   there is exactly one definition to test.  [name] is ignored unless the
+   test is [Element _] on an element. *)
+let matches_name test ~is_element ~name =
   match test with
-  | Any_element -> Tree.is_element tree node
-  | Element s ->
-    Tree.is_element tree node && String.equal (Tree.name tree node) s
-  | Text_node -> Tree.is_text tree node
+  | Any_element -> is_element
+  | Element s -> is_element && String.equal s name
+  | Text_node -> not is_element
+
+let test_matches test tree node =
+  matches_name test ~is_element:(Tree.is_element tree node)
+    ~name:(Tree.name tree node)
 
 let pp_test ppf = function
   | Any_element -> Fmt.string ppf "*"

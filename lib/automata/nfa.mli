@@ -35,7 +35,13 @@ type t = private {
   accepts : accept list array;
 }
 
+val matches_name : test -> is_element:bool -> name:string -> bool
+(** The single label-matching semantics shared by every evaluator (the
+    generic HyPE scan, the {!Tables} layer, the baselines).  [name] is
+    only consulted for [Element _] tests on elements. *)
+
 val test_matches : test -> Smoqe_xml.Tree.t -> Smoqe_xml.Tree.node -> bool
+(** [matches_name] applied to a tree node. *)
 
 val pp_test : Format.formatter -> test -> unit
 

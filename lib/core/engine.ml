@@ -8,6 +8,7 @@ module Validator = Smoqe_xml.Validator
 module Rx_parser = Smoqe_rxpath.Parser
 module Compile = Smoqe_automata.Compile
 module Mfa = Smoqe_automata.Mfa
+module Tables = Smoqe_automata.Tables
 module Policy = Smoqe_security.Policy
 module Derive = Smoqe_security.Derive
 module Rewriter = Smoqe_rewrite.Rewriter
@@ -63,6 +64,15 @@ type plan = {
   plan_states : int;
   plan_empty : bool;  (* the DTD proves the query selects nothing *)
   plan_compile_ms : float;
+  plan_tables : (Tree.t * Tables.t) option Atomic.t;
+      (* The frozen table specialization riding the plan, tagged with the
+         tree it was built for.  Document identity is the validity key:
+         [replace_document] swaps the tree (and empties the cache), so a
+         stale pair can only be observed by a query whose snapshot was
+         taken around the swap — it detects the mismatch by physical
+         equality and respecializes.  Atomic: plans are shared across pool
+         domains; last-writer-wins is benign (both writers hold tables
+         valid for their own snapshot). *)
 }
 
 (* Concurrency model (DESIGN.md §9).  One engine serves queries from many
@@ -340,6 +350,7 @@ let plan_for_query t ?group ~mode ~use_index ?optimize ?budget text =
       plan_states = Mfa.n_states mfa;
       plan_empty = statically_empty t mfa;
       plan_compile_ms = compile_ms;
+      plan_tables = Atomic.make None;
     }
   in
   if optimize = Some false || Plan_cache.capacity cache = 0 then
@@ -397,14 +408,43 @@ let budget_error (what, limit) stats =
 (* DOM evaluation on a snapshot; [degraded_from_stax] marks a retry after
    a StAX driver failure.  Requesting the index without one loaded is
    served unindexed and recorded as a degradation rather than failed. *)
-let run_dom snap ~mfa ?use_index ?budget ?trace ~degraded_from_stax () =
+let run_dom snap ~plan ?use_index ?budget ?trace ~use_tables
+    ~degraded_from_stax () =
+  let mfa = plan.plan_mfa in
   let index_requested = use_index = Some true in
   let tax =
     match use_index, snap.snap_tax with
     | Some false, _ | _, None -> None
     | (Some true | None), Some idx -> Some idx
   in
-  let r = Eval_dom.run ?tax ?budget ?trace mfa snap.snap_tree in
+  (* Warm queries reuse the frozen table riding the plan; a cold query (or
+     one whose snapshot tree differs from the cached pair's — a
+     replace_document raced the plan fetch) specializes and publishes.
+     The publish is a plain Atomic.set: both sides of any race hold
+     tables valid for their own snapshot, and Eval_dom re-validates with
+     [Tables.built_for] anyway. *)
+  let tables, spec_us =
+    if not use_tables then (None, 0)
+    else
+      match Atomic.get plan.plan_tables with
+      | Some (tr, tb) when tr == snap.snap_tree -> (Some tb, 0)
+      | Some _ | None ->
+        let tb = Tables.of_tree mfa.Mfa.nfa snap.snap_tree in
+        Atomic.set plan.plan_tables (Some (snap.snap_tree, tb));
+        (Some tb, Tables.spec_us tb)
+  in
+  let r =
+    Eval_dom.run ?tax ?budget ?trace ?tables ~use_tables mfa snap.snap_tree
+  in
+  (* Eval_dom charges specialization time only for tables it built itself;
+     a table built here (to be published on the plan) is charged here. *)
+  if spec_us > 0 then begin
+    r.Eval_dom.stats.Stats.table_spec_us <-
+      r.Eval_dom.stats.Stats.table_spec_us + spec_us;
+    let delta = Stats.zero () in
+    delta.Stats.table_spec_us <- spec_us;
+    Stats.note_tables delta
+  end;
   match r.Eval_dom.budget_hit with
   | Some hit -> Error (budget_error hit r.Eval_dom.stats)
   | None ->
@@ -427,7 +467,7 @@ let run_dom snap ~mfa ?use_index ?budget ?trace ~degraded_from_stax () =
         cans_size = r.Eval_dom.cans_size;
       }
 
-let run_stax snap ~mfa ?budget ?trace () =
+let run_stax snap ~mfa ?budget ?trace ~use_tables () =
   let outcome_of r =
     match r.Eval_stax.budget_hit with
     | Some hit -> Error (budget_error hit r.Eval_stax.stats)
@@ -443,20 +483,23 @@ let run_stax snap ~mfa ?budget ?trace () =
   in
   match snap.snap_source with
   | From_string s ->
-    outcome_of (Eval_stax.run ~capture:true ?budget ?trace mfa (Pull.of_string s))
+    outcome_of
+      (Eval_stax.run ~capture:true ?budget ?trace ~use_tables mfa
+         (Pull.of_string s))
   | From_file path ->
     let ic = open_in_bin path in
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
       (fun () ->
         outcome_of
-          (Eval_stax.run ~capture:true ?budget ?trace mfa (Pull.of_channel ic)))
+          (Eval_stax.run ~capture:true ?budget ?trace ~use_tables mfa
+             (Pull.of_channel ic)))
   | From_tree ->
     outcome_of
-      (Eval_stax.run_events ~capture:true ?budget ?trace mfa
+      (Eval_stax.run_events ~capture:true ?budget ?trace ~use_tables mfa
          (Parser.events_of_tree snap.snap_tree))
 
-let run_compiled snap ~plan ~mode ?use_index ?budget ?trace () =
+let run_compiled snap ~plan ~mode ?use_index ?budget ?trace ~use_tables () =
   let mfa = plan.plan_mfa in
   if plan.plan_empty then begin
     (* The schema proves the query selects nothing: skip the document. *)
@@ -470,12 +513,13 @@ let run_compiled snap ~plan ~mode ?use_index ?budget ?trace () =
     | Dom ->
       Result.join
         (Error.guard (fun () ->
-             run_dom snap ~mfa ?use_index ?budget ?trace
+             run_dom snap ~plan ?use_index ?budget ?trace ~use_tables
                ~degraded_from_stax:false ()))
     | Stax ->
       (match
          Result.join
-           (Error.guard (fun () -> run_stax snap ~mfa ?budget ?trace ()))
+           (Error.guard (fun () ->
+                run_stax snap ~mfa ?budget ?trace ~use_tables ()))
        with
       | Ok outcome -> Ok outcome
       | Error ((Error.Budget_exceeded _ | Error.Query_error _
@@ -490,11 +534,14 @@ let run_compiled snap ~plan ~mode ?use_index ?budget ?trace () =
               (Error.to_string stax_failure));
         Result.join
           (Error.guard (fun () ->
-               run_dom snap ~mfa ?use_index ?budget ?trace
+               run_dom snap ~plan ?use_index ?budget ?trace ~use_tables
                  ~degraded_from_stax:true ()))))
 
 let query_robust t ?group ?(mode = Dom) ?use_index ?optimize ?budget ?trace
-    text =
+    ?use_tables text =
+  let use_tables =
+    match use_tables with Some b -> b | None -> Tables.enabled_default ()
+  in
   match plan_for_query t ?group ~mode ~use_index ?optimize ?budget text with
   | Error e -> Error e
   | Ok (plan, cached) ->
@@ -502,14 +549,17 @@ let query_robust t ?group ?(mode = Dom) ?use_index ?optimize ?budget ?trace
        looks at the live engine again, so a concurrent replace_document
        or index (re)build cannot tear this query. *)
     let snap = snapshot t in
-    let outcome = run_compiled snap ~plan ~mode ?use_index ?budget ?trace () in
+    let outcome =
+      run_compiled snap ~plan ~mode ?use_index ?budget ?trace ~use_tables ()
+    in
     if cached then
       Result.iter (fun o -> o.stats.Stats.plan_cache_hit <- 1) outcome;
     outcome
 
-let query t ?group ?mode ?use_index ?optimize ?budget ?trace text =
+let query t ?group ?mode ?use_index ?optimize ?budget ?trace ?use_tables text =
   Result.map_error Error.to_string
-    (query_robust t ?group ?mode ?use_index ?optimize ?budget ?trace text)
+    (query_robust t ?group ?mode ?use_index ?optimize ?budget ?trace
+       ?use_tables text)
 
 (* --- the multicore serving layer ------------------------------------------- *)
 
@@ -518,16 +568,19 @@ let query t ?group ?mode ?use_index ?optimize ?budget ?trace text =
    snapshot/lock discipline above; the budget is *made* on the worker so
    its wall-clock deadline starts when evaluation does, and so no Budget
    value is ever shared between two in-flight queries. *)
-let submit t ~pool ?group ?mode ?use_index ?optimize ?make_budget text =
+let submit t ~pool ?group ?mode ?use_index ?optimize ?make_budget ?use_tables
+    text =
   Pool.submit pool (fun () ->
       let budget = Option.map (fun mk -> mk ()) make_budget in
-      query_robust t ?group ?mode ?use_index ?optimize ?budget text)
+      query_robust t ?group ?mode ?use_index ?optimize ?budget ?use_tables text)
 
-let run_batch t ~pool ?group ?mode ?use_index ?optimize ?make_budget texts =
+let run_batch t ~pool ?group ?mode ?use_index ?optimize ?make_budget
+    ?use_tables texts =
   let futures =
     List.map
       (fun text ->
-        submit t ~pool ?group ?mode ?use_index ?optimize ?make_budget text)
+        submit t ~pool ?group ?mode ?use_index ?optimize ?make_budget
+          ?use_tables text)
       texts
   in
   (* Await in submission order; queries complete on the workers in any

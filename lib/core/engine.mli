@@ -129,6 +129,7 @@ val query :
   ?optimize:bool ->
   ?budget:Smoqe_robust.Budget.t ->
   ?trace:Smoqe_hype.Trace.t ->
+  ?use_tables:bool ->
   string ->
   (outcome, string) result
 (** Answer a Regular XPath query.  Without [group], the query runs
@@ -136,9 +137,13 @@ val query :
     the group's view.  [use_index] (default [true] when an index exists)
     enables TAX pruning in [Dom] mode; [optimize] (default [true]) runs
     the MFA optimizer before evaluation.  [budget] bounds compilation and
-    evaluation (see {!Smoqe_robust.Budget}).  All failures are returned as
-    [Error] — this is {!query_robust} rendered with
-    [Smoqe_robust.Error.to_string]. *)
+    evaluation (see {!Smoqe_robust.Budget}).  [use_tables] (default
+    {!Smoqe_automata.Tables.enabled_default}, i.e. on unless
+    [SMOQE_NO_TABLES] is set) evaluates on the table-driven engine — in
+    [Dom] mode the frozen specialization rides the compiled plan and warm
+    repeats skip it; [false] is the generic debuggable fallback.  All
+    failures are returned as [Error] — this is {!query_robust} rendered
+    with [Smoqe_robust.Error.to_string]. *)
 
 val query_robust :
   t ->
@@ -148,6 +153,7 @@ val query_robust :
   ?optimize:bool ->
   ?budget:Smoqe_robust.Budget.t ->
   ?trace:Smoqe_hype.Trace.t ->
+  ?use_tables:bool ->
   string ->
   (outcome, Smoqe_robust.Error.t) result
 (** The typed-error form of {!query}.  Guaranteed total: every library
@@ -185,6 +191,7 @@ val submit :
   ?use_index:bool ->
   ?optimize:bool ->
   ?make_budget:(unit -> Smoqe_robust.Budget.t) ->
+  ?use_tables:bool ->
   string ->
   (outcome, Smoqe_robust.Error.t) result Smoqe_exec.Pool.future
 (** Enqueue one query; the future resolves to exactly what
@@ -200,6 +207,7 @@ val run_batch :
   ?use_index:bool ->
   ?optimize:bool ->
   ?make_budget:(unit -> Smoqe_robust.Budget.t) ->
+  ?use_tables:bool ->
   string list ->
   (outcome, Smoqe_robust.Error.t) result list * Smoqe_hype.Stats.t
 (** Submit every query, await them all; results are in submission order

@@ -24,37 +24,42 @@ let schema t =
   | Admin -> Engine.dtd t.engine
   | Member group -> Engine.view_dtd t.engine ~group
 
-let run_robust t ?mode ?use_index ?budget ?trace text =
+let run_robust t ?mode ?use_index ?budget ?trace ?use_tables text =
   (* The engine boundary is already guarded; the extra guard here keeps the
      session total even against failures in its own plumbing. *)
   Result.join
     (Error.guard (fun () ->
          match t.role with
          | Admin ->
-           Engine.query_robust t.engine ?mode ?use_index ?budget ?trace text
+           Engine.query_robust t.engine ?mode ?use_index ?budget ?trace
+             ?use_tables text
          | Member group ->
            Engine.query_robust t.engine ~group ?mode ?use_index ?budget ?trace
-             text))
+             ?use_tables text))
 
-let run t ?mode ?use_index ?budget ?trace text =
+let run t ?mode ?use_index ?budget ?trace ?use_tables text =
   Result.map_error Error.to_string
-    (run_robust t ?mode ?use_index ?budget ?trace text)
+    (run_robust t ?mode ?use_index ?budget ?trace ?use_tables text)
 
 (* The pool-dispatched forms.  Rights travel with the closure: the group
    is resolved from the session *before* submission, so a worker can only
    ever evaluate through the view this session was granted. *)
-let submit t ~pool ?mode ?use_index ?make_budget text =
-  match t.role with
-  | Admin -> Engine.submit t.engine ~pool ?mode ?use_index ?make_budget text
-  | Member group ->
-    Engine.submit t.engine ~pool ~group ?mode ?use_index ?make_budget text
-
-let run_batch t ~pool ?mode ?use_index ?make_budget texts =
+let submit t ~pool ?mode ?use_index ?make_budget ?use_tables text =
   match t.role with
   | Admin ->
-    Engine.run_batch t.engine ~pool ?mode ?use_index ?make_budget texts
+    Engine.submit t.engine ~pool ?mode ?use_index ?make_budget ?use_tables text
   | Member group ->
-    Engine.run_batch t.engine ~pool ~group ?mode ?use_index ?make_budget texts
+    Engine.submit t.engine ~pool ~group ?mode ?use_index ?make_budget
+      ?use_tables text
+
+let run_batch t ~pool ?mode ?use_index ?make_budget ?use_tables texts =
+  match t.role with
+  | Admin ->
+    Engine.run_batch t.engine ~pool ?mode ?use_index ?make_budget ?use_tables
+      texts
+  | Member group ->
+    Engine.run_batch t.engine ~pool ~group ?mode ?use_index ?make_budget
+      ?use_tables texts
 
 let can_access_document t =
   match t.role with Admin -> true | Member _ -> false

@@ -28,6 +28,7 @@ val run :
   ?use_index:bool ->
   ?budget:Smoqe_robust.Budget.t ->
   ?trace:Smoqe_hype.Trace.t ->
+  ?use_tables:bool ->
   string ->
   (Engine.outcome, string) result
 (** Answer a query under the session's rights.  Total: any failure —
@@ -47,6 +48,7 @@ val run_robust :
   ?use_index:bool ->
   ?budget:Smoqe_robust.Budget.t ->
   ?trace:Smoqe_hype.Trace.t ->
+  ?use_tables:bool ->
   string ->
   (Engine.outcome, Smoqe_robust.Error.t) result
 (** The typed-error form of {!run}. *)
@@ -57,6 +59,7 @@ val submit :
   ?mode:Engine.mode ->
   ?use_index:bool ->
   ?make_budget:(unit -> Smoqe_robust.Budget.t) ->
+  ?use_tables:bool ->
   string ->
   (Engine.outcome, Smoqe_robust.Error.t) result Smoqe_exec.Pool.future
 (** {!run_robust}, dispatched onto a domain pool (see {!Engine.submit}).
@@ -72,6 +75,7 @@ val run_batch :
   ?mode:Engine.mode ->
   ?use_index:bool ->
   ?make_budget:(unit -> Smoqe_robust.Budget.t) ->
+  ?use_tables:bool ->
   string list ->
   (Engine.outcome, Smoqe_robust.Error.t) result list * Smoqe_hype.Stats.t
 (** Submit all, await all, in submission order, with the aggregated

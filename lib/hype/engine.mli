@@ -32,11 +32,33 @@ type verdict =
       (** no run matched: the subtree cannot contribute.  A [Dead] enter
           pushes nothing — it has {e no} matching [leave]. *)
 
-val create : ?trace:Trace.t -> Smoqe_automata.Mfa.t -> t
+val create :
+  ?trace:Trace.t ->
+  ?tables:Smoqe_automata.Tables.t ->
+  ?memo_cap:int ->
+  Smoqe_automata.Mfa.t ->
+  t
+(** Without [tables] the engine steps the NFA generically (string tests,
+    per-item list scans).  With [tables] — which must specialize exactly
+    this MFA's automaton (physical equality; [Driver_error] otherwise) —
+    the check-free portion of each node's item set is stepped as one
+    interned state set through a lazy-DFA memo, and check-guarded states
+    re-attach their node-local Conds per node, so qualifier semantics are
+    identical on both paths.  [memo_cap] (default 4096, mainly for tests)
+    bounds the distinct state sets interned before the lazy DFA is
+    flushed and rebuilt. *)
 
 val enter : t -> id:int -> kind:kind -> verdict
 (** Pre-visit a node.  [id] must be the node's pre-order rank (ids are only
-    used as opaque, ordered instance keys and answer labels). *)
+    used as opaque, ordered instance keys and answer labels).  With tables,
+    element tags are interned by name on each call — streaming drivers use
+    this; DOM drivers should prefer {!enter_tagged}. *)
+
+val enter_tagged : t -> id:int -> tag:int -> kind:kind -> verdict
+(** [enter] with the element tag already interned in the engine's table's
+    id space (for frozen tables built by [Tables.of_tree], the tree's own
+    [Tree.tag_id]).  [tag] is ignored for text nodes and on the generic
+    path. *)
 
 val leave : t -> unit
 (** Post-visit the most recently entered node. *)

@@ -39,9 +39,28 @@ let prune_table mfa tree =
         else Check (Array.of_list !ids, text))
     needs
 
-let run ?tax ?(prune_threshold = 48) ?budget ?trace mfa tree =
-  let engine = Engine.create ?trace mfa in
+let run ?tax ?(prune_threshold = 48) ?budget ?trace ?tables ?use_tables
+    ?memo_cap mfa tree =
+  let use_tables =
+    match use_tables with
+    | Some b -> b
+    | None -> Smoqe_automata.Tables.enabled_default ()
+  in
+  (* A frozen table built for exactly this tree can be reused (the plan
+     cache hands one down); anything else is respecialized here so tag ids
+     always align with [Tree.tag_id]. *)
+  let tables, spec_us =
+    if not use_tables then (None, 0)
+    else
+      match tables with
+      | Some tb when Smoqe_automata.Tables.built_for tb tree -> (Some tb, 0)
+      | Some _ | None ->
+        let tb = Smoqe_automata.Tables.of_tree mfa.Mfa.nfa tree in
+        (Some tb, Smoqe_automata.Tables.spec_us tb)
+  in
+  let engine = Engine.create ?trace ?tables ?memo_cap mfa in
   let stats = Engine.stats engine in
+  stats.Stats.table_spec_us <- spec_us;
   let cans = Engine.cans engine in
   let settled = ref 0 in
   (* The budget rides the engine's own node counter (see
@@ -112,7 +131,10 @@ let run ?tax ?(prune_threshold = 48) ?budget ?trace mfa tree =
   in
   let rec visit n =
     checkpoint ();
-    match Engine.enter engine ~id:n ~kind:(kind_of n) with
+    match
+      Engine.enter_tagged engine ~id:n ~tag:(Tree.tag_id tree n)
+        ~kind:(kind_of n)
+    with
     | Engine.Dead -> skip_subtree n Trace.Skipped_dead `Dead
     | Engine.Alive ->
       (if tax = None || Tree.first_child tree n = None || descend_check n then
@@ -131,6 +153,7 @@ let run ?tax ?(prune_threshold = 48) ?budget ?trace mfa tree =
     | None -> Engine.finish engine
     | Some _ -> []
   in
+  Stats.note_tables stats;
   { answers; stats; cans_size = Cans.size cans; budget_hit = !budget_hit }
 
 let eval ?tax tree path =

@@ -19,6 +19,9 @@ val run :
   ?prune_threshold:int ->
   ?budget:Smoqe_robust.Budget.t ->
   ?trace:Trace.t ->
+  ?tables:Smoqe_automata.Tables.t ->
+  ?use_tables:bool ->
+  ?memo_cap:int ->
   Smoqe_automata.Mfa.t ->
   Smoqe_xml.Tree.t ->
   result
@@ -26,7 +29,15 @@ val run :
     are scanned rather than tested against the index — the test costs more
     than the scan below that size.  With [budget], every node entered is
     one tick; a tripped budget ends the pass with [budget_hit] set rather
-    than raising.  The ["hype.step"] failpoint fires here. *)
+    than raising.  The ["hype.step"] failpoint fires here.
+
+    [use_tables] (default {!Smoqe_automata.Tables.enabled_default}, i.e.
+    on unless [SMOQE_NO_TABLES] is set) selects the table-driven engine.
+    [tables] supplies a pre-built frozen specialization; it is used only
+    when built for exactly this tree ([Tables.built_for]), otherwise the
+    driver respecializes — so callers may pass whatever the plan cache
+    holds without checking.  [memo_cap] is forwarded to {!Engine.create}
+    (tests exercise lazy-DFA flushes with tiny caps). *)
 
 val eval :
   ?tax:Smoqe_tax.Tax.t ->

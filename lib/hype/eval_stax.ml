@@ -28,9 +28,27 @@ type capture = {
   mutable open_elements : int;
 }
 
-let run_generic ?(capture = false) ?budget ?trace mfa next =
-  let engine = Engine.create ?trace mfa in
+let run_generic ?(capture = false) ?budget ?trace ?use_tables ?memo_cap mfa
+    next =
+  let use_tables =
+    match use_tables with
+    | Some b -> b
+    | None -> Smoqe_automata.Tables.enabled_default ()
+  in
+  (* Streaming has no tag universe up front: a dynamic table pre-interns
+     the automaton's element names and grows as unseen stream tags arrive.
+     Dynamic tables are mutable, so each run builds its own. *)
+  let tables =
+    if use_tables then
+      Some (Smoqe_automata.Tables.dynamic mfa.Smoqe_automata.Mfa.nfa)
+    else None
+  in
+  let engine = Engine.create ?trace ?tables ?memo_cap mfa in
   let stats = Engine.stats engine in
+  (match tables with
+  | Some tb ->
+    stats.Stats.table_spec_us <- Smoqe_automata.Tables.spec_us tb
+  | None -> ());
   let cans = Engine.cans engine in
   let ticks = ref 0 in
   let checkpoint =
@@ -186,6 +204,7 @@ let run_generic ?(capture = false) ?budget ?trace mfa next =
   let answers =
     match !budget_hit with None -> Engine.finish engine | Some _ -> []
   in
+  Stats.note_tables stats;
   let captured =
     if not capture then []
     else
@@ -203,12 +222,13 @@ let run_generic ?(capture = false) ?budget ?trace mfa next =
     budget_hit = !budget_hit;
   }
 
-let run ?capture ?budget ?trace mfa pull =
-  run_generic ?capture ?budget ?trace mfa (fun () -> Pull.next pull)
+let run ?capture ?budget ?trace ?use_tables ?memo_cap mfa pull =
+  run_generic ?capture ?budget ?trace ?use_tables ?memo_cap mfa (fun () ->
+      Pull.next pull)
 
-let run_events ?capture ?budget ?trace mfa events =
+let run_events ?capture ?budget ?trace ?use_tables ?memo_cap mfa events =
   let remaining = ref events in
-  run_generic ?capture ?budget ?trace mfa (fun () ->
+  run_generic ?capture ?budget ?trace ?use_tables ?memo_cap mfa (fun () ->
       match !remaining with
       | [] -> None
       | ev :: rest ->

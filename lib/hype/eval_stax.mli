@@ -29,16 +29,25 @@ val run :
   ?capture:bool ->
   ?budget:Smoqe_robust.Budget.t ->
   ?trace:Trace.t ->
+  ?use_tables:bool ->
+  ?memo_cap:int ->
   Smoqe_automata.Mfa.t ->
   Smoqe_xml.Pull.t ->
   result
 (** Every event scanned is one budget tick; the ["hype.step"] failpoint
-    fires per event (and ["pull.read"] inside the parser itself). *)
+    fires per event (and ["pull.read"] inside the parser itself).
+
+    [use_tables] (default {!Smoqe_automata.Tables.enabled_default}) runs
+    the table-driven engine over a per-run {e dynamic} table: the
+    automaton's element names are pre-interned, unseen stream tags are
+    interned on the fly.  [memo_cap] is forwarded to {!Engine.create}. *)
 
 val run_events :
   ?capture:bool ->
   ?budget:Smoqe_robust.Budget.t ->
   ?trace:Trace.t ->
+  ?use_tables:bool ->
+  ?memo_cap:int ->
   Smoqe_automata.Mfa.t ->
   Smoqe_xml.Pull.event list ->
   result

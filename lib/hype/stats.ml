@@ -13,6 +13,10 @@ type t = {
   mutable degraded_no_index : int;
   mutable degraded_stax_retry : int;
   mutable plan_cache_hit : int;
+  mutable memo_hits : int;
+  mutable memo_misses : int;
+  mutable memo_evictions : int;
+  mutable table_spec_us : int;
 }
 
 let create () =
@@ -31,6 +35,10 @@ let create () =
     degraded_no_index = 0;
     degraded_stax_retry = 0;
     plan_cache_hit = 0;
+    memo_hits = 0;
+    memo_misses = 0;
+    memo_evictions = 0;
+    table_spec_us = 0;
   }
 
 let zero () =
@@ -52,7 +60,35 @@ let merge_into ~into s =
   into.passes_over_data <- into.passes_over_data + s.passes_over_data;
   into.degraded_no_index <- into.degraded_no_index + s.degraded_no_index;
   into.degraded_stax_retry <- into.degraded_stax_retry + s.degraded_stax_retry;
-  into.plan_cache_hit <- into.plan_cache_hit + s.plan_cache_hit
+  into.plan_cache_hit <- into.plan_cache_hit + s.plan_cache_hit;
+  into.memo_hits <- into.memo_hits + s.memo_hits;
+  into.memo_misses <- into.memo_misses + s.memo_misses;
+  into.memo_evictions <- into.memo_evictions + s.memo_evictions;
+  into.table_spec_us <- into.table_spec_us + s.table_spec_us
+
+(* Process-wide aggregate of the table-layer counters, independent of who
+   keeps the per-query [t]: bench artifacts read it so every
+   BENCH_<id>.json carries the table/memo activity of the runs it timed.
+   Mutex-guarded — drivers note from pool domains. *)
+let tables_lock = Mutex.create ()
+let g_tables = { (create ()) with passes_over_data = 0 }
+
+let note_tables s =
+  if s.memo_hits + s.memo_misses + s.memo_evictions + s.table_spec_us > 0 then
+    Mutex.protect tables_lock (fun () ->
+        g_tables.memo_hits <- g_tables.memo_hits + s.memo_hits;
+        g_tables.memo_misses <- g_tables.memo_misses + s.memo_misses;
+        g_tables.memo_evictions <- g_tables.memo_evictions + s.memo_evictions;
+        g_tables.table_spec_us <- g_tables.table_spec_us + s.table_spec_us)
+
+let tables_counters () =
+  Mutex.protect tables_lock (fun () ->
+      [
+        ("memo_hits", g_tables.memo_hits);
+        ("memo_misses", g_tables.memo_misses);
+        ("memo_evictions", g_tables.memo_evictions);
+        ("table_spec_us", g_tables.table_spec_us);
+      ])
 
 let total_skipped t = t.nodes_skipped_dead + t.nodes_pruned_tax
 
@@ -74,19 +110,27 @@ let to_assoc t =
     ("degraded_no_index", t.degraded_no_index);
     ("degraded_stax_retry", t.degraded_stax_retry);
     ("plan_cache_hit", t.plan_cache_hit);
+    ("memo_hits", t.memo_hits);
+    ("memo_misses", t.memo_misses);
+    ("memo_evictions", t.memo_evictions);
+    ("table_spec_us", t.table_spec_us);
   ]
 
 let pp ppf t =
   Fmt.pf ppf
     "@[<v>entered: %d (alive %d)@ skipped: %d dead, %d via TAX@ candidates: \
      %d, answers: %d@ conditions: %d, qualifiers resolved: %d, atom runs: \
-     %d@ peak items/node: %d, passes over data: %d@]"
+     %d@ peak items/node: %d, passes over data: %d"
     t.nodes_entered t.nodes_alive t.nodes_skipped_dead t.nodes_pruned_tax
     t.candidates t.answers t.conds_created t.quals_resolved t.atom_instances
     t.max_items t.passes_over_data;
   if t.plan_cache_hit > 0 then Fmt.pf ppf "@ plan: served from cache";
+  if t.memo_hits + t.memo_misses + t.table_spec_us > 0 then
+    Fmt.pf ppf "@ tables: %d memo hits, %d misses, %d evictions, specialize %dus"
+      t.memo_hits t.memo_misses t.memo_evictions t.table_spec_us;
   if degraded t then
     Fmt.pf ppf "@ degraded:%s%s"
       (if t.degraded_no_index > 0 then " index unavailable -> unindexed DOM"
        else "")
-      (if t.degraded_stax_retry > 0 then " StAX failed -> DOM retry" else "")
+      (if t.degraded_stax_retry > 0 then " StAX failed -> DOM retry" else "");
+  Fmt.pf ppf "@]"

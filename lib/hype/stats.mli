@@ -25,6 +25,14 @@ type t = {
   mutable plan_cache_hit : int;
       (** 1 when the compiled plan was served from the engine's plan cache
           (parse, rewrite and compile all skipped) *)
+  mutable memo_hits : int;
+      (** lazy-DFA memo: [(state set, tag)] transitions served memoized *)
+  mutable memo_misses : int;  (** transitions computed and memoized *)
+  mutable memo_evictions : int;
+      (** lazy-DFA registry flushes (set diversity exceeded the cap) *)
+  mutable table_spec_us : int;
+      (** microseconds spent specializing transition tables for this query
+          (0 when a frozen table was reused from the plan) *)
 }
 
 val create : unit -> t
@@ -53,3 +61,12 @@ val to_assoc : t -> (string * int) list
     [Smoqe_robust.Error.Budget_exceeded] carries as partial statistics. *)
 
 val pp : Format.formatter -> t -> unit
+
+val note_tables : t -> unit
+(** Fold this query's table-layer counters ([memo_*], [table_spec_us])
+    into a process-wide aggregate.  Drivers call it once per run;
+    thread-safe. *)
+
+val tables_counters : unit -> (string * int) list
+(** The process-wide table-layer aggregate — bench artifacts embed it in
+    every [BENCH_<id>.json]. *)

@@ -82,7 +82,21 @@ let battery ~name ~dtd ~policy ~doc queries =
           Alcotest.(check (list int)) (label "warm answers") cold.Engine.answers
             warm.Engine.answers;
           Alcotest.(check (list string)) (label "warm xml") cold.Engine.answer_xml
-            warm.Engine.answer_xml)
+            warm.Engine.answer_xml;
+          (* Tables off: the generic engine must be byte-identical to the
+             table-driven default, and record no memo activity. *)
+          let generic =
+            ok
+              (Engine.query engine ~group:"members" ~mode ~use_tables:false
+                 text)
+          in
+          Alcotest.(check (list int)) (label "generic answers")
+            cold.Engine.answers generic.Engine.answers;
+          Alcotest.(check (list string)) (label "generic xml")
+            cold.Engine.answer_xml generic.Engine.answer_xml;
+          Alcotest.(check int) (label "generic memo quiet") 0
+            (generic.Engine.stats.Stats.memo_hits
+            + generic.Engine.stats.Stats.memo_misses))
         modes)
     queries
 
@@ -153,7 +167,18 @@ let property_case seed =
         1 warm.Engine.stats.Stats.plan_cache_hit;
       Alcotest.(check (list string))
         (Printf.sprintf "seed %d: warm xml identical" seed)
-        dom.Engine.answer_xml warm.Engine.answer_xml)
+        dom.Engine.answer_xml warm.Engine.answer_xml;
+      (* tables off, both modes: byte-identical to the table-driven runs *)
+      List.iter
+        (fun (mode, mname, reference) ->
+          let generic =
+            ok (Engine.query engine ~group:"members" ~mode ~use_tables:false text)
+          in
+          Alcotest.(check (list string))
+            (Printf.sprintf "seed %d: generic %s xml identical (%s)" seed mname
+               text)
+            reference.Engine.answer_xml generic.Engine.answer_xml)
+        [ (Engine.Dom, "dom", dom); (Engine.Stax, "stax", stax) ])
 
 let test_property () =
   for seed = 1 to 40 do
