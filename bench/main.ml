@@ -1023,6 +1023,99 @@ let e13 () =
          ("median_speedup", J.Float med);
          ("gate", J.Str verdict) ])
 
+(* --- E14: input-hardening overhead --------------------------------------- *)
+
+let e14 () =
+  banner "E14"
+    "input-hardening overhead: budget-checked streaming parse vs bare";
+  (* The hardened lexer (BOM handling, DOCTYPE discipline, char-ref
+     validation, duplicate-attribute checks) runs unconditionally, so the
+     differential knob we can still toggle is the per-event budget
+     accounting — tick_node and check_depth on every Pull.next, plus the
+     failpoint probes at pull.read / pull.depth / pull.ref.  Same
+     interleaved-pair methodology as E10: percent-level effects need
+     paired medians, not OLS cells. *)
+  let floor_of xs = List.fold_left min infinity xs in
+  let median xs =
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  let time_one f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  Printf.printf "%-9s %-9s %-11s %-11s %9s %9s\n" "nodes" "KiB" "bare"
+    "budgeted" "overhead" "MB/s";
+  let all_ratios = ref [] in
+  let rows = ref [] in
+  List.iter
+    (fun n_patients ->
+      let doc = hospital_sized n_patients in
+      let xml = Serializer.to_string ~indent:false doc in
+      let drain budget =
+        let p = Smoqe_xml.Pull.of_string ?budget xml in
+        ignore
+          (Sys.opaque_identity
+             (Smoqe_xml.Pull.fold p ~init:0 ~f:(fun n _ -> n + 1)))
+      in
+      let run_plain () = drain None in
+      let run_budgeted () =
+        (* generous limits: every check runs, none fires *)
+        let budget =
+          Smoqe_robust.Budget.create ~timeout_ms:600_000 ~max_nodes:max_int
+            ~max_depth:1_000_000 ()
+        in
+        drain (Some budget)
+      in
+      run_plain ();
+      run_budgeted ();
+      let ps = ref [] and bs = ref [] and ratios = ref [] in
+      for i = 1 to 120 do
+        let p, b =
+          if i land 1 = 0 then
+            let p = time_one run_plain in
+            (p, time_one run_budgeted)
+          else
+            let b = time_one run_budgeted in
+            (time_one run_plain, b)
+        in
+        ps := p :: !ps;
+        bs := b :: !bs;
+        ratios := ((b -. p) /. p) :: !ratios
+      done;
+      let plain = floor_of !ps and budgeted = floor_of !bs in
+      let mb_s =
+        float_of_int (String.length xml) /. (budgeted *. 1024. *. 1024.)
+      in
+      all_ratios := !ratios @ !all_ratios;
+      rows :=
+        J.Obj
+          [ ("nodes", J.Int (Tree.n_nodes doc));
+            ("kib", J.Int (String.length xml / 1024));
+            ("bare_floor_ns", J.Float (plain *. 1e9));
+            ("budgeted_floor_ns", J.Float (budgeted *. 1e9));
+            ("overhead_pct", J.Float (100. *. median !ratios));
+            ("budgeted_mb_s", J.Float mb_s) ]
+        :: !rows;
+      Printf.printf "%-9d %-9d %s %s %8.2f%% %9.1f\n%!" (Tree.n_nodes doc)
+        (String.length xml / 1024)
+        (pp_time (plain *. 1e9))
+        (pp_time (budgeted *. 1e9))
+        (100. *. median !ratios)
+        mb_s)
+    [ 400; 1600; 6400 ];
+  let overhead = 100. *. median !all_ratios in
+  Printf.printf "workload overhead %.2f%%: %s (guard: < 3%%)\n" overhead
+    (if overhead < 3. then "PASS" else "FAIL");
+  J.write ~id:"e14"
+    (J.Obj
+       [ ("experiment", J.Str "input-hardening overhead");
+         ("rows", J.List (List.rev !rows));
+         ("workload_overhead_pct", J.Float overhead);
+         ("pass", J.Bool (overhead < 3.)) ])
+
 (* --- Figures ----------------------------------------------------------------- *)
 
 let figures () =
@@ -1054,7 +1147,7 @@ let figures () =
 
 let all = [ "e1", e1; "e2", e2; "e3", e3; "e4", e4; "e5", e5; "e6", e6;
             "e7", e7; "e8", e8; "e9", e9; "e10", e10; "e11", e11;
-            "e12", e12; "e13", e13; "figures", figures ]
+            "e12", e12; "e13", e13; "e14", e14; "figures", figures ]
 
 let () =
   let requested =

@@ -30,23 +30,26 @@ let or_die = function
     prerr_endline ("smoqe: " ^ msg);
     exit 1
 
-(* Typed errors keep their exit codes: budget exhaustion (3) is
-   distinguishable from plain failure (1) by callers and schedulers. *)
+(* Typed errors keep their exit codes: malformed input (2) and budget
+   exhaustion (3) are distinguishable from plain failure (1) by callers
+   and schedulers — see README "Exit codes". *)
 let or_die_robust = function
   | Ok v -> v
   | Error e ->
     prerr_endline ("smoqe: " ^ Robust_error.to_string e);
     exit (Robust_error.exit_code e)
 
+let die_malformed msg =
+  let e = Robust_error.Parse_error { loc = None; msg } in
+  prerr_endline ("smoqe: " ^ Robust_error.to_string e);
+  exit (Robust_error.exit_code e)
+
 let load_dtd path =
   match Dtd_parser.of_string (read_file path) with
   | dtd -> dtd
   | exception Dtd_parser.Error (off, msg) ->
-    prerr_endline (Printf.sprintf "smoqe: %s: offset %d: %s" path off msg);
-    exit 1
-  | exception Invalid_argument msg ->
-    prerr_endline ("smoqe: " ^ path ^ ": " ^ msg);
-    exit 1
+    die_malformed (Printf.sprintf "%s: offset %d: %s" path off msg)
+  | exception Invalid_argument msg -> die_malformed (path ^ ": " ^ msg)
 
 let load_policy dtd path =
   or_die (Policy.of_string dtd (read_file path))
@@ -116,11 +119,26 @@ let budget_term =
       & info [ "max-cans" ] ~docv:"N"
           ~doc:"Abort once the candidate-answer set exceeds this size.")
   in
-  let mk timeout_ms max_nodes max_cans =
-    if timeout_ms = None && max_nodes = None && max_cans = None then None
-    else Some (fun () -> Budget.create ?timeout_ms ?max_nodes ?max_cans ())
+  let max_depth =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-depth" ] ~docv:"N"
+          ~doc:
+            "Abort once element nesting exceeds this depth (the only depth \
+             limit the parser has — see DESIGN.md §12).")
   in
-  Term.(const mk $ timeout_ms $ max_nodes $ max_cans)
+  let mk timeout_ms max_nodes max_cans max_depth =
+    if
+      timeout_ms = None && max_nodes = None && max_cans = None
+      && max_depth = None
+    then None
+    else
+      Some
+        (fun () ->
+          Budget.create ?timeout_ms ?max_nodes ?max_cans ?max_depth ())
+  in
+  Term.(const mk $ timeout_ms $ max_nodes $ max_cans $ max_depth)
 
 (* --- schema ------------------------------------------------------------- *)
 
@@ -200,7 +218,12 @@ let query_cmd =
   let run doc_path dtd_path policy_path group mode use_index trace output
       stats budget plan_cache no_plan_cache repeat jobs no_tables query =
     let dtd = Option.map load_dtd dtd_path in
-    let engine = or_die (Engine.of_file ?dtd doc_path) in
+    (* the parse is budgeted too: a depth/node/deadline limit must bound
+       document ingest, not just evaluation (DESIGN.md §12) *)
+    let parse_budget = Option.map (fun mk -> mk ()) budget in
+    let engine =
+      or_die_robust (Engine.of_file_robust ?budget:parse_budget ?dtd doc_path)
+    in
     (match policy_path, dtd with
     | Some p, Some d ->
       or_die
@@ -353,7 +376,7 @@ let query_cmd =
 
 let index_cmd =
   let run doc_path save show =
-    let engine = or_die (Engine.of_file doc_path) in
+    let engine = or_die_robust (Engine.of_file_robust doc_path) in
     Engine.build_index engine;
     (match save with
     | Some path ->
@@ -436,8 +459,14 @@ let store_init_cmd =
       match Smoqe_xml.Parser.tree_of_file doc_path with
       | t -> t
       | exception Smoqe_xml.Pull.Error (line, col, msg) ->
-        prerr_endline (Printf.sprintf "smoqe: %s:%d:%d: %s" doc_path line col msg);
-        exit 1
+        or_die_robust
+          (Error
+             (Robust_error.Parse_error
+                {
+                  loc =
+                    Some (Robust_error.location ~file:doc_path ~line ~col ());
+                  msg;
+                }))
     in
     let store = or_die (Store.create ~dir ?dtd tree) in
     Printf.printf "store initialized in %s

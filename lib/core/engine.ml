@@ -169,6 +169,30 @@ let of_file ?dtd path =
   | Error msg -> Error msg
   | Ok tree -> with_dtd ?dtd tree (From_file path)
 
+(* Typed-error constructors: malformed input — a syntax error or a
+   document that does not conform to the given DTD — comes back as
+   [Error.Parse_error] (CLI exit code 2), budget trips as
+   [Budget_exceeded] (exit 3), the same taxonomy the query path already
+   speaks. *)
+let of_string_robust ?budget ?dtd input =
+  match Error.guard (fun () -> Parser.tree_of_string ?budget input) with
+  | Error e -> Error e
+  | Ok tree ->
+    (match with_dtd ?dtd tree (From_string input) with
+    | Ok t -> Ok t
+    | Error msg -> Error (Error.Parse_error { loc = None; msg }))
+
+let of_file_robust ?budget ?dtd path =
+  match Error.guard (fun () -> Parser.tree_of_file ?budget path) with
+  | Error (Error.Parse_error { loc = Some l; msg }) when l.Error.file = None ->
+    Error
+      (Error.Parse_error { loc = Some { l with Error.file = Some path }; msg })
+  | Error e -> Error e
+  | Ok tree ->
+    (match with_dtd ?dtd tree (From_file path) with
+    | Ok t -> Ok t
+    | Error msg -> Error (Error.Parse_error { loc = None; msg }))
+
 let document t = locked t (fun () -> t.tree)
 let dtd t = t.dtd
 

@@ -53,6 +53,25 @@ val of_string : ?dtd:Smoqe_xml.Dtd.t -> string -> (t, string) result
 val of_file : ?dtd:Smoqe_xml.Dtd.t -> string -> (t, string) result
 (** Like {!of_string}; error messages carry ["file:line:column:"]. *)
 
+val of_string_robust :
+  ?budget:Smoqe_robust.Budget.t ->
+  ?dtd:Smoqe_xml.Dtd.t ->
+  string ->
+  (t, Smoqe_robust.Error.t) result
+(** Like {!of_string}, but failures are the typed taxonomy: malformed
+    input (syntax errors and DTD-validation failures) is
+    [Error.Parse_error] — CLI front-ends exit with
+    [Error.exit_code = 2] on it — and budget/failpoint trips keep their
+    own classes.  With [budget], document *parsing* is bounded too
+    (node count, depth, deadline), returning [Budget_exceeded]. *)
+
+val of_file_robust :
+  ?budget:Smoqe_robust.Budget.t ->
+  ?dtd:Smoqe_xml.Dtd.t ->
+  string ->
+  (t, Smoqe_robust.Error.t) result
+(** Like {!of_string_robust}; parse-error locations carry the file name. *)
+
 val of_tree : ?dtd:Smoqe_xml.Dtd.t -> Smoqe_xml.Tree.t -> t
 
 val document : t -> Smoqe_xml.Tree.t

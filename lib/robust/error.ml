@@ -36,7 +36,10 @@ let pp ppf = function
 
 let to_string e = Fmt.str "%a" pp e
 
-let exit_code = function Budget_exceeded _ -> 3 | _ -> 1
+let exit_code = function
+  | Parse_error _ -> 2
+  | Budget_exceeded _ -> 3
+  | _ -> 1
 
 let classifiers : (exn -> t option) list ref = ref []
 

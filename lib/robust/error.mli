@@ -39,8 +39,10 @@ val to_string : t -> string
 val pp : Format.formatter -> t -> unit
 
 val exit_code : t -> int
-(** Process exit code for CLI front-ends: 3 for [Budget_exceeded],
-    1 for everything else (0 is success and never returned here). *)
+(** Process exit code for CLI front-ends: 2 for [Parse_error] (malformed
+    input — the document, DTD or policy text, not the system, is at
+    fault), 3 for [Budget_exceeded], 1 for everything else (0 is success
+    and never returned here). *)
 
 val register_classifier : (exn -> t option) -> unit
 (** Add a classifier consulted (most recent first) by {!classify} before

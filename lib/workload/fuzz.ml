@@ -1,0 +1,315 @@
+module Pull = Smoqe_xml.Pull
+module Parser = Smoqe_xml.Parser
+module Budget = Smoqe_robust.Budget
+
+type verdict =
+  | Accepted of int
+  | Rejected of int * int * string
+  | Budgeted of string
+  | Bug of string
+
+(* --- the totality check ------------------------------------------------ *)
+
+type 'a run_result =
+  | R_ok of 'a
+  | R_parse of int * int * string
+  | R_budget of string
+  | R_bug of string
+
+let capture f =
+  match f () with
+  | v -> R_ok v
+  | exception Pull.Error (line, col, msg) ->
+    if line < 1 || col < 1 then
+      R_bug
+        (Printf.sprintf "unpositioned parse error (%d:%d): %s" line col msg)
+    else R_parse (line, col, msg)
+  | exception Budget.Exceeded { what; _ } -> R_budget what
+  | exception Stack_overflow -> R_bug "Stack_overflow escaped the parser"
+  | exception Invalid_argument m ->
+    R_bug ("Invalid_argument escaped the parser: " ^ m)
+  | exception e -> R_bug ("exception escaped the parser: " ^ Printexc.to_string e)
+
+let describe = function
+  | R_ok _ -> "accepted"
+  | R_parse (l, c, m) -> Printf.sprintf "parse error %d:%d %s" l c m
+  | R_budget w -> "budget " ^ w
+  | R_bug m -> "BUG " ^ m
+
+let stax_events ?budget ~keep_ws s =
+  let p = Pull.of_string ~keep_ws ?budget s in
+  List.rev (Pull.fold p ~init:[] ~f:(fun acc e -> e :: acc))
+
+let dom_events ?budget ~keep_ws s =
+  Parser.events_of_tree (Parser.tree_of_string ~keep_ws ?budget s)
+
+let check ?(keep_ws = false) ?mk_budget input =
+  let fresh () = Option.map (fun f -> f ()) mk_budget in
+  let stax = capture (fun () -> stax_events ?budget:(fresh ()) ~keep_ws input) in
+  let dom = capture (fun () -> dom_events ?budget:(fresh ()) ~keep_ws input) in
+  match stax, dom with
+  | R_bug m, _ | _, R_bug m -> Bug m
+  | R_ok a, R_ok b ->
+    if a = b then Accepted (List.length a)
+    else Bug "DOM and StAX accepted the input with different event streams"
+  | R_parse (l, c, m), R_parse (l', c', m') ->
+    if (l, c, m) = (l', c', m') then Rejected (l, c, m)
+    else
+      Bug
+        (Printf.sprintf "DOM/StAX rejections disagree: %d:%d %s vs %d:%d %s"
+           l c m l' c' m')
+  | R_budget w, R_budget w' ->
+    if w = w' then Budgeted w
+    else Bug (Printf.sprintf "DOM/StAX budget trips disagree: %s vs %s" w w')
+  | (R_ok _ | R_parse _ | R_budget _), _ ->
+    Bug
+      (Printf.sprintf "DOM/StAX outcome classes diverge: StAX %s, DOM %s"
+         (describe stax) (describe dom))
+
+(* --- generators -------------------------------------------------------- *)
+
+let pick rng arr = arr.(Random.State.int rng (Array.length arr))
+
+let tag_pool =
+  [| "a"; "b"; "item"; "bk:ISBN"; "_under"; "long-name.1"; "xmlns:ns"; "r" |]
+
+let word_pool =
+  [| "alpha"; "beta"; "x"; "line1\nline2"; "24.95"; "  padded  "; "\t" |]
+
+let entity_pool =
+  [| "&lt;"; "&gt;"; "&amp;"; "&apos;"; "&quot;"; "&#65;"; "&#x41;";
+     "&#x4E2D;"; "&#xA;" |]
+
+let gen_text rng buf =
+  for _ = 1 to 1 + Random.State.int rng 3 do
+    if Random.State.int rng 3 = 0 then
+      Buffer.add_string buf (pick rng entity_pool)
+    else Buffer.add_string buf (pick rng word_pool)
+  done
+
+let gen_attrs rng buf =
+  for i = 1 to Random.State.int rng 3 do
+    let q = if Random.State.bool rng then '"' else '\'' in
+    Buffer.add_string buf (Printf.sprintf " k%d=%c" i q);
+    if Random.State.bool rng then
+      Buffer.add_string buf (pick rng [| "v"; ""; "&amp;"; "a b"; "&#65;" |]);
+    Buffer.add_char buf q
+  done
+
+(* Bounded generator recursion (max depth 6): deep documents are a
+   dedicated shape below, built by string repetition, not recursion. *)
+let rec gen_elem rng buf depth =
+  let tag = pick rng tag_pool in
+  Buffer.add_char buf '<';
+  Buffer.add_string buf tag;
+  gen_attrs rng buf;
+  if depth = 0 || Random.State.int rng 4 = 0 then
+    Buffer.add_string buf (if Random.State.bool rng then "/>" else
+      Printf.sprintf "></%s>" tag)
+  else begin
+    Buffer.add_char buf '>';
+    for _ = 1 to 1 + Random.State.int rng 3 do
+      match Random.State.int rng 6 with
+      | 0 -> gen_elem rng buf (depth - 1)
+      | 1 -> Buffer.add_string buf "<![CDATA[ data ]] ]]>"
+      | 2 -> Buffer.add_string buf "<!-- a comment -->"
+      | 3 -> Buffer.add_string buf "<?pi target?>"
+      | _ -> gen_text rng buf
+    done;
+    Buffer.add_string buf "</";
+    Buffer.add_string buf tag;
+    Buffer.add_char buf '>'
+  end
+
+let gen_doc rng =
+  let buf = Buffer.create 256 in
+  if Random.State.int rng 10 = 0 then Buffer.add_string buf "\xEF\xBB\xBF";
+  if Random.State.bool rng then
+    Buffer.add_string buf "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  if Random.State.int rng 4 = 0 then
+    Buffer.add_string buf "<!-- prolog comment -->\n";
+  if Random.State.int rng 4 = 0 then
+    Buffer.add_string buf
+      "<!DOCTYPE r SYSTEM \"a>b\" [ <!ELEMENT r (#PCDATA)> ]>\n";
+  gen_elem rng buf (1 + Random.State.int rng 5);
+  if Random.State.int rng 4 = 0 then Buffer.add_string buf "\n<!-- trailer -->";
+  if Random.State.bool rng then Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* --- mutators ---------------------------------------------------------- *)
+
+let byte_classes = [| '<'; '>'; '&'; '"'; '\''; '/'; ';'; ' '; 'a' |]
+
+(* Truncate just before or after a randomly chosen occurrence of a random
+   byte class — the "cut at every byte class" strategy, one draw at a
+   time. *)
+let truncate rng s =
+  if s = "" then s
+  else begin
+    let cls = pick rng byte_classes in
+    let hits = ref [] in
+    String.iteri (fun i c -> if c = cls then hits := i :: !hits) s;
+    match !hits with
+    | [] -> String.sub s 0 (Random.State.int rng (String.length s))
+    | hits ->
+      let at = List.nth hits (Random.State.int rng (List.length hits)) in
+      let keep = if Random.State.bool rng then at else at + 1 in
+      String.sub s 0 keep
+  end
+
+let garbage_pool =
+  [| "<"; "</"; "<!"; "<!["; "<?"; "&"; "&;"; "]]>"; "--"; "\x00"; "\xFF";
+     "\"\""; "=''"; "<1bad/>"; "</nope>" |]
+
+let splice rng s =
+  let at = Random.State.int rng (String.length s + 1) in
+  String.sub s 0 at ^ pick rng garbage_pool
+  ^ String.sub s at (String.length s - at)
+
+(* Break tag balance: retarget or delete one closing tag. *)
+let unbalance rng s =
+  let re_close i =
+    if i + 1 < String.length s && s.[i] = '<' && s.[i + 1] = '/' then Some i
+    else None
+  in
+  let closes = ref [] in
+  String.iteri (fun i _ -> match re_close i with
+    | Some i -> closes := i :: !closes
+    | None -> ()) s;
+  match !closes with
+  | [] -> splice rng s
+  | closes ->
+    let at = List.nth closes (Random.State.int rng (List.length closes)) in
+    let fin = try String.index_from s at '>' with Not_found -> String.length s - 1 in
+    if Random.State.bool rng then
+      (* delete the close tag *)
+      String.sub s 0 at ^ String.sub s (fin + 1) (String.length s - fin - 1)
+    else
+      (* retarget it *)
+      String.sub s 0 at ^ "</zzz>"
+      ^ String.sub s (fin + 1) (String.length s - fin - 1)
+
+let dup_attr rng s =
+  ignore rng;
+  match String.index_opt s '<' with
+  | Some i when i + 1 < String.length s && s.[i + 1] <> '?' && s.[i + 1] <> '!'
+    ->
+    let fin = try String.index_from s i '>' with Not_found -> String.length s in
+    let fin = if fin > i && s.[fin - 1] = '/' then fin - 1 else fin in
+    String.sub s 0 fin ^ " dup=\"1\" dup=\"2\""
+    ^ String.sub s fin (String.length s - fin)
+  | _ -> "<a dup='1' dup='2'/>"
+
+let repeat n s =
+  let buf = Buffer.create (n * String.length s) in
+  for _ = 1 to n do Buffer.add_string buf s done;
+  Buffer.contents buf
+
+let deep rng =
+  let d = 1_000 + Random.State.int rng 29_000 in
+  let closed = Random.State.int rng 4 <> 0 in
+  repeat d "<d>" ^ "x" ^ (if closed then repeat d "</d>" else "")
+
+let flood rng =
+  match Random.State.int rng 3 with
+  | 0 -> "<r>" ^ repeat (1_000 + Random.State.int rng 19_000) "<x/>" ^ "</r>"
+  | 1 ->
+    let n = 50 + Random.State.int rng 250 in
+    let buf = Buffer.create (n * 8) in
+    Buffer.add_string buf "<r";
+    for i = 1 to n do
+      Buffer.add_string buf (Printf.sprintf " a%d=\"\"" i)
+    done;
+    (* sometimes smuggle a duplicate into the flood *)
+    if Random.State.bool rng then Buffer.add_string buf " a1=\"again\"";
+    Buffer.add_string buf "/>";
+    Buffer.contents buf
+  | _ ->
+    (* one enormous text node built from references *)
+    "<r>" ^ repeat (1_000 + Random.State.int rng 4_000) "&#x41;" ^ "</r>"
+
+let ref_torture rng =
+  pick rng
+    [| "<r>&#" ^ String.make 50 '9' ^ ";</r>";
+       "<r>&#x110000;</r>"; "<r>&#0;</r>"; "<r>&#xD800;</r>";
+       "<r>&#xDFFF;</r>"; "<r>&bogus;</r>"; "<r>&</r>"; "<r>&;</r>";
+       "<r>&#;</r>"; "<r>&#x;</r>"; "<r a=\"&#2;\"/>"; "<r>&#31;</r>";
+       "<r>&#9;&#10;&#13;&#x10FFFF;</r>"; "<r>&amp</r>"; "<r>&#38;#38;</r>" |]
+
+let cdata_comment_torture rng =
+  pick rng
+    [| "<r>]]></r>"; "<r><![CDATA[unterminated"; "<r><![CDATA[]]]]>]]></r>";
+       "<r><!-- -- --></r>"; "<r><!-- unterminated"; "<r><!--></r>";
+       "<r><![CDAT[x]]></r>"; "<![CDATA[top]]>"; "<r><![CDATA[]]></r>";
+       "<r>a]]b</r>"; "<r><!---></r>" |]
+
+let doctype_torture rng =
+  pick rng
+    [| "<!DOCTYPE r [ <!ELEMENT r (#PCDATA)> ]><r/>";
+       "<!DOCTYPE r SYSTEM \"http://x/y>z\"><r/>";
+       "<!DOCTYPE r ]><r/>"; "<!DOCTYPE r [ ]<r/>"; "<r/><!DOCTYPE r []>";
+       "<!DOCTYPE a><!DOCTYPE b><r/>"; "<!DOCTYPE"; "<!DOCTYPE r [";
+       "<!DOCTYPE r \"unclosed literal><r/>";
+       "<r><!DOCTYPE inner []></r>" |]
+
+let garbage rng =
+  let n = 1 + Random.State.int rng 200 in
+  String.init n (fun _ -> Char.chr (Random.State.int rng 256))
+
+let bom_torture rng =
+  pick rng
+    [| "\xFE\xFF<a/>"; "\xFF\xFE<a/>"; "\x00<a/>"; "\xEF\xBB<a/>";
+       "\xEF\xBB\xBF<a/>"; "\xEF\xBB\xBF"; "\xEF<a/>" |]
+
+let generate rng =
+  match Random.State.int rng 13 with
+  | 0 -> gen_doc rng
+  | 1 | 2 -> truncate rng (gen_doc rng)
+  | 3 -> splice rng (gen_doc rng)
+  | 4 -> unbalance rng (gen_doc rng)
+  | 5 -> dup_attr rng (gen_doc rng)
+  | 6 -> deep rng
+  | 7 -> flood rng
+  | 8 -> ref_torture rng
+  | 9 -> cdata_comment_torture rng
+  | 10 -> doctype_torture rng
+  | 11 -> bom_torture rng
+  | _ -> garbage rng
+
+(* --- the harness ------------------------------------------------------- *)
+
+type report = {
+  total : int;
+  accepted : int;
+  rejected : int;
+  budgeted : int;
+  bugs : (string * string) list;
+}
+
+let run ?(seed = 20060806) ?(max_bugs = 10) ~count () =
+  let rng = Random.State.make [| seed |] in
+  let accepted = ref 0 and rejected = ref 0 and budgeted = ref 0 in
+  let bugs = ref [] and n_bugs = ref 0 in
+  for _ = 1 to count do
+    let input = generate rng in
+    let keep_ws = Random.State.bool rng in
+    let mk_budget =
+      if Random.State.int rng 3 = 0 then
+        Some (fun () -> Budget.create ~max_depth:512 ~max_nodes:200_000 ())
+      else None
+    in
+    match check ~keep_ws ?mk_budget input with
+    | Accepted _ -> incr accepted
+    | Rejected _ -> incr rejected
+    | Budgeted _ -> incr budgeted
+    | Bug diagnosis ->
+      incr n_bugs;
+      if !n_bugs <= max_bugs then bugs := (input, diagnosis) :: !bugs
+  done;
+  { total = count; accepted = !accepted; rejected = !rejected;
+    budgeted = !budgeted; bugs = List.rev !bugs }
+
+let pp_report ppf r =
+  Fmt.pf ppf "fuzz: %d inputs — %d accepted (DOM ≡ StAX), %d rejected \
+              (positioned), %d budgeted, %d bug(s)"
+    r.total r.accepted r.rejected r.budgeted (List.length r.bugs)

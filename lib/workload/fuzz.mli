@@ -1,0 +1,52 @@
+(** Structure-aware fuzzing of the XML front door.
+
+    Generators produce adversarial byte sequences — well-formed documents,
+    truncations at every interesting byte class, tag/attribute floods,
+    deep nesting, character-reference bombs, unbalanced tags, garbage
+    interleaves — and {!check} asserts the {e totality contract}
+    (DESIGN.md §12) on each: the input either parses with DOM and StAX in
+    event-for-event agreement, or fails with a positioned [Pull.Error] or
+    a typed budget trip.  [Invalid_argument], [Stack_overflow], any other
+    escaped exception, or DOM/StAX divergence is a {!Bug}.
+
+    Everything is driven by a caller-seeded PRNG (like {!Random_dtd}), so
+    a run is reproducible from its seed. *)
+
+type verdict =
+  | Accepted of int
+      (** both modes accepted; the payload is the (identical) event count *)
+  | Rejected of int * int * string
+      (** both modes rejected with this positioned parse error *)
+  | Budgeted of string
+      (** a resource budget tripped (which dimension) in both modes *)
+  | Bug of string  (** totality-contract violation — a parser bug *)
+
+val check :
+  ?keep_ws:bool ->
+  ?mk_budget:(unit -> Smoqe_robust.Budget.t) ->
+  string ->
+  verdict
+(** Run one input through both parse modes and compare.  [mk_budget] is
+    called once per mode so each run gets a fresh budget (budgets are
+    single-use); only deterministic dimensions ([max_depth], [max_nodes])
+    make sense here — a wall-clock deadline would make the verdict
+    timing-dependent. *)
+
+val generate : Random.State.t -> string
+(** One adversarial input: a well-formed document, or a mutation /
+    pathological shape drawn from the generator mix. *)
+
+type report = {
+  total : int;
+  accepted : int;
+  rejected : int;
+  budgeted : int;
+  bugs : (string * string) list;
+      (** (input, diagnosis) for every {!Bug}, capped by [max_bugs] *)
+}
+
+val run : ?seed:int -> ?max_bugs:int -> count:int -> unit -> report
+(** [run ~count ()] fuzzes [count] generated inputs (a third of them
+    under a small deterministic budget) and tallies the verdicts. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -5,7 +5,16 @@
 type frame = { tag : string; attrs : (string * string) list;
                mutable rev_kids : Tree.source list }
 
-let build_from next =
+(* Structural violations in the event stream fail with a positioned
+   {!Pull.Error}, never [Invalid_argument]: when the events come from a
+   live parse, [pos] reports the lexer's line/column; for a caller-built
+   event list ({!tree_of_events}) there is no input text and the location
+   is the conventional 0:0. *)
+let build_from ?pos next =
+  let fail msg =
+    let line, col = match pos with Some f -> f () | None -> (0, 0) in
+    raise (Pull.Error (line, col, msg))
+  in
   let stack : frame list ref = ref [] in
   let result = ref None in
   let push_kid kid =
@@ -13,9 +22,9 @@ let build_from next =
     | [] ->
       (match kid with
       | Tree.E _ ->
-        if !result <> None then invalid_arg "Parser: multiple roots";
+        if !result <> None then fail "event stream has more than one root";
         result := Some kid
-      | Tree.T _ -> invalid_arg "Parser: text outside the root element")
+      | Tree.T _ -> fail "text event outside the root element")
     | frame :: _ -> frame.rev_kids <- kid :: frame.rev_kids
   in
   let rec loop () =
@@ -27,27 +36,34 @@ let build_from next =
         stack := { tag; attrs; rev_kids = [] } :: !stack
       | Pull.End_element tag ->
         (match !stack with
-        | [] -> invalid_arg "Parser: unbalanced end element"
+        | [] -> fail (Printf.sprintf "end event </%s> with no open element" tag)
         | frame :: rest ->
-          if frame.tag <> tag then invalid_arg "Parser: mismatched end element";
+          if frame.tag <> tag then
+            fail
+              (Printf.sprintf "end event </%s> does not match <%s>" tag
+                 frame.tag);
           stack := rest;
           push_kid (Tree.E (frame.tag, frame.attrs, List.rev frame.rev_kids)))
       | Pull.Text s -> push_kid (Tree.T s));
       loop ()
   in
   loop ();
-  if !stack <> [] then invalid_arg "Parser: unclosed elements";
+  (match !stack with
+  | [] -> ()
+  | frame :: _ -> fail (Printf.sprintf "unclosed element <%s>" frame.tag));
   match !result with
-  | None -> invalid_arg "Parser: empty document"
+  | None -> fail "empty event stream"
   | Some src -> Tree.of_source src
 
 let tree_of_string ?keep_ws ?budget s =
   let p = Pull.of_string ?keep_ws ?budget s in
-  build_from (fun () -> Pull.next p)
+  build_from ~pos:(fun () -> (Pull.line p, Pull.column p))
+    (fun () -> Pull.next p)
 
 let tree_of_channel ?keep_ws ?budget ic =
   let p = Pull.of_channel ?keep_ws ?budget ic in
-  build_from (fun () -> Pull.next p)
+  build_from ~pos:(fun () -> (Pull.line p, Pull.column p))
+    (fun () -> Pull.next p)
 
 let tree_of_file ?keep_ws ?budget path =
   let ic = open_in_bin path in
@@ -56,7 +72,12 @@ let tree_of_file ?keep_ws ?budget path =
   | exception e -> close_in_noerr ic; raise e
 
 (* Result-returning variants: the raise/result split of this module used to
-   force every caller to re-enumerate the parser's exceptions. *)
+   force every caller to re-enumerate the parser's exceptions.  The match
+   is deliberately narrow — only the exceptions the parse path is
+   specified to produce.  [Invalid_argument] in particular is NOT caught:
+   since build_from raises positioned Pull.Errors and Tree construction is
+   worklist-based, an [Invalid_argument] here is a bug in a deeper layer
+   that must surface, not be laundered into a parse failure. *)
 let res_of ?file f =
   match f () with
   | t -> Ok t
@@ -65,10 +86,7 @@ let res_of ?file f =
       (match file with
       | Some path -> Printf.sprintf "%s:%d:%d: %s" path line col msg
       | None -> Printf.sprintf "%d:%d: %s" line col msg)
-  | exception Invalid_argument msg -> Error msg
   | exception Sys_error msg -> Error msg
-  | exception Stack_overflow ->
-    Error "document too deeply nested (stack overflow)"
   | exception Smoqe_robust.Budget.Exceeded { what; limit } ->
     Error (Printf.sprintf "budget exceeded: %s (limit %s)" what limit)
   | exception Smoqe_robust.Failpoint.Injected site ->
@@ -89,14 +107,34 @@ let tree_of_events events =
   in
   build_from next
 
+(* Explicit worklist, not native recursion: document depth must never be
+   limited by the OCaml stack (DESIGN.md §12) — the [max_depth] budget is
+   the only depth limit anywhere in the parse pipeline. *)
+type walk_item = Visit of Tree.node | Close of string
+
 let events_of_tree t =
-  let rec go n acc =
-    if Tree.is_text t n then Pull.Text (Tree.text_content t n) :: acc
-    else begin
-      let tag = Tree.name t n in
-      let acc = Pull.Start_element (tag, Tree.attributes t n) :: acc in
-      let acc = Tree.fold_children t n ~init:acc ~f:(fun acc c -> go c acc) in
-      Pull.End_element tag :: acc
-    end
-  in
-  List.rev (go Tree.root [])
+  let acc = ref [] in
+  let work = ref [ Visit Tree.root ] in
+  let continue = ref true in
+  while !continue do
+    match !work with
+    | [] -> continue := false
+    | Close tag :: rest ->
+      work := rest;
+      acc := Pull.End_element tag :: !acc
+    | Visit n :: rest ->
+      if Tree.is_text t n then begin
+        work := rest;
+        acc := Pull.Text (Tree.text_content t n) :: !acc
+      end
+      else begin
+        let tag = Tree.name t n in
+        acc := Pull.Start_element (tag, Tree.attributes t n) :: !acc;
+        work :=
+          List.fold_left
+            (fun tail c -> Visit c :: tail)
+            (Close tag :: rest)
+            (List.rev (Tree.children t n))
+      end
+  done;
+  List.rev !acc

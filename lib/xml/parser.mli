@@ -16,11 +16,13 @@ val tree_of_string_res :
   ?budget:Smoqe_robust.Budget.t ->
   string ->
   (Tree.t, string) result
-(** Like {!tree_of_string}, but parse errors (with line/column), malformed
-    structure and stack overflow on pathological nesting come back as
-    [Error] instead of raising.  Budget trips still raise
-    [Smoqe_robust.Budget.Exceeded] so the caller's guard can attach
-    partial statistics. *)
+(** Like {!tree_of_string}, but parse errors (with line/column) and
+    malformed structure come back as [Error] instead of raising.  Budget
+    trips come back as [Error] too (rendered); pathological nesting is
+    not an error at all — tree construction is worklist-based, so only
+    the [max_depth] budget limits depth.  Exceptions other than the parse
+    path's own ([Pull.Error], [Sys_error], budget and failpoint trips)
+    are {e not} swallowed. *)
 
 val tree_of_file_res :
   ?keep_ws:bool ->
@@ -30,9 +32,11 @@ val tree_of_file_res :
 (** Like {!tree_of_file}; error messages are prefixed ["file:line:col:"]. *)
 
 val tree_of_events : Pull.event list -> Tree.t
-(** Build from an already-produced event list.  Raises [Invalid_argument]
-    if the events are not balanced around a single root. *)
+(** Build from an already-produced event list.  Raises {!Pull.Error}
+    (at the conventional location 0:0, since there is no input text) if
+    the events are not balanced around a single root. *)
 
 val events_of_tree : Tree.t -> Pull.event list
 (** The event stream a streaming parse of the serialized tree would
-    produce (text nodes emitted as-is). *)
+    produce (text nodes emitted as-is).  Worklist-based: safe on
+    arbitrarily deep documents. *)

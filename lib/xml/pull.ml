@@ -27,6 +27,8 @@ type t = {
   mutable stack : string list; (* open elements, innermost first *)
   mutable depth : int; (* length of [stack], kept incrementally *)
   mutable seen_root : bool;
+  mutable seen_doctype : bool;
+  mutable at_start : bool; (* before the first byte: BOM goes here *)
   mutable finished : bool;
   mutable pending : event option; (* one event of push-back *)
 }
@@ -113,9 +115,23 @@ let read_name rd =
   loop ();
   Buffer.contents buf
 
-(* Entity and character references. *)
+(* The XML 1.0 Char production: anything else is not expressible in a
+   well-formed document, even via a character reference. *)
+let is_xml_char code =
+  code = 0x9 || code = 0xA || code = 0xD
+  || (code >= 0x20 && code <= 0xD7FF)
+  || (code >= 0xE000 && code <= 0xFFFD)
+  || (code >= 0x10000 && code <= 0x10FFFF)
+
+(* Entity and character references.  This is an expansion site, so it
+   carries its own failpoint and a hard cap on the digit run: a reference
+   can never expand to more than four bytes, and its textual form is
+   bounded too, so reference floods cost no more than the input itself. *)
+let max_charref_digits = 10
+
 let read_reference rd =
   (* '&' already consumed *)
+  Failpoint.trigger "pull.ref";
   match peek rd with
   | Some '#' ->
     advance rd;
@@ -130,6 +146,8 @@ let read_reference rd =
       | Some c
         when (c >= '0' && c <= '9')
              || (hex && ((c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F'))) ->
+        if Buffer.length buf >= max_charref_digits then
+          err rd "character reference out of range";
         Buffer.add_char buf (read rd);
         digits ()
       | Some _ | None -> ()
@@ -142,7 +160,11 @@ let read_reference rd =
       try int_of_string (if hex then "0x" ^ s else s)
       with Failure _ -> err rd "invalid character reference"
     in
-    if code < 0 || code > 0x10FFFF then err rd "character reference out of range";
+    if not (is_xml_char code) then
+      err rd
+        (Printf.sprintf "character reference &#%s%s; is not a legal XML \
+                         character"
+           (if hex then "x" else "") s);
     (* Encode as UTF-8. *)
     let b = Buffer.create 4 in
     (if code < 0x80 then Buffer.add_char b (Char.chr code)
@@ -221,16 +243,42 @@ let skip_until rd terminator =
 let skip_comment rd = skip_until rd "-->"
 let skip_pi rd = skip_until rd "?>"
 
-(* Skip a DOCTYPE declaration, including a bracketed internal subset. *)
+(* Skip a DOCTYPE declaration, including a bracketed internal subset.
+   Quoted literals are opaque — a '>' inside a SYSTEM id must not close
+   the declaration — and a ']' without a matching '[' is malformed, not a
+   license to scan to end of input. *)
 let skip_doctype rd =
+  let skip_literal q =
+    let rec lit () = if read rd <> q then lit () in
+    lit ()
+  in
   let rec loop depth =
     match read rd with
+    | ('"' | '\'') as q -> skip_literal q; loop depth
     | '[' -> loop (depth + 1)
-    | ']' -> loop (depth - 1)
+    | ']' ->
+      if depth = 0 then err rd "']' outside the internal subset in DOCTYPE"
+      else loop (depth - 1)
     | '>' when depth = 0 -> ()
     | _ -> loop depth
   in
   loop 0
+
+(* A UTF-8 byte-order mark before the prolog is legal and invisible;
+   UTF-16/UTF-32 marks name an encoding this byte-level parser does not
+   speak, which deserves a clear rejection rather than "text outside the
+   root element". *)
+let skip_bom rd =
+  match peek rd with
+  | Some '\xEF' ->
+    advance rd;
+    let b = read rd in
+    let c = read rd in
+    if b <> '\xBB' || c <> '\xBF' then err rd "malformed UTF-8 byte-order mark";
+    rd.col <- 1
+  | Some ('\xFE' | '\xFF' | '\x00') ->
+    err rd "unsupported encoding (UTF-16/UTF-32 byte-order mark?)"
+  | Some _ | None -> ()
 
 let read_cdata rd =
   expect_str rd "CDATA[";
@@ -263,7 +311,7 @@ let read_cdata rd =
 
 let mk rd keep_ws budget =
   { rd; keep_ws; budget; stack = []; depth = 0; seen_root = false;
-    finished = false; pending = None }
+    seen_doctype = false; at_start = true; finished = false; pending = None }
 
 let of_string ?(keep_ws = false) ?budget s =
   mk (reader_of_string s) keep_ws budget
@@ -285,6 +333,10 @@ let rec next_event t =
     if t.finished then None
     else begin
       let rd = t.rd in
+      if t.at_start then begin
+        t.at_start <- false;
+        skip_bom rd
+      end;
       match peek rd with
       | None ->
         if t.stack <> [] then err rd "unexpected end of input: unclosed elements"
@@ -314,6 +366,10 @@ let rec next_event t =
             if s = "" then next_event t else Some (Text s)
           | Some 'D' ->
             expect_str rd "DOCTYPE";
+            if t.seen_root || t.stack <> [] then
+              err rd "DOCTYPE is only allowed before the root element";
+            if t.seen_doctype then err rd "multiple DOCTYPE declarations";
+            t.seen_doctype <- true;
             skip_doctype rd;
             next_event t
           | Some c -> err rd (Printf.sprintf "unexpected <!%C" c)
@@ -341,6 +397,7 @@ let rec next_event t =
           | '>' ->
             t.stack <- tag :: t.stack;
             t.depth <- t.depth + 1;
+            Failpoint.trigger "pull.depth";
             (match t.budget with
             | None -> ()
             | Some b -> Budget.check_depth b t.depth);

@@ -2,12 +2,20 @@
 
     A single sequential scan of the input produces a stream of events; no
     tree is built.  The parser handles the XML 1.0 constructs needed by
-    data-centric documents: prolog, DOCTYPE (skipped), comments, processing
+    data-centric documents: a UTF-8 byte-order mark, prolog, DOCTYPE
+    (skipped, quote- and subset-aware, prolog-only), comments, processing
     instructions (skipped), CDATA, attributes, self-closing tags, the five
-    predefined entities and numeric character references.
+    predefined entities and numeric character references (validated
+    against the XML [Char] production — [&#0;] and surrogate references
+    are rejected).
 
     Well-formedness is enforced: mismatched or unbalanced tags, text outside
-    the root element, or multiple roots raise {!Error} with a location. *)
+    the root element, duplicate attribute names, multiple roots, or a
+    misplaced DOCTYPE raise {!Error} with a location.  The totality
+    contract (DESIGN.md §12): on {e any} byte sequence, the stream either
+    delivers events or raises a positioned {!Error} (or a typed budget /
+    failpoint exception) — never [Invalid_argument], [Stack_overflow] or
+    unbounded memory growth. *)
 
 type event =
   | Start_element of string * (string * string) list
@@ -35,7 +43,10 @@ val next : t -> event option
 (** The next event, or [None] once the root element has been closed and
     only trailing whitespace/comments remain.  May raise {!Error},
     [Smoqe_robust.Budget.Exceeded] when a budget trips, or
-    [Smoqe_robust.Failpoint.Injected] under the ["pull.read"] failpoint. *)
+    [Smoqe_robust.Failpoint.Injected] under the ["pull.read"] failpoint
+    (per event), the ["pull.depth"] failpoint (at the lexer's depth
+    budget-check site, per open element) or the ["pull.ref"] failpoint
+    (at the entity/character-reference expansion site). *)
 
 val fold : t -> init:'a -> f:('a -> event -> 'a) -> 'a
 (** Drain the stream. *)

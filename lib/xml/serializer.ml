@@ -36,48 +36,64 @@ let add_attrs buf attrs =
       Buffer.add_char buf '"')
     attrs
 
+(* Worklist, not native recursion: serialization must follow the parser
+   in treating document depth as data, never as OCaml stack (DESIGN.md
+   §12). *)
+type ser_item = Node of int * Tree.node | Close of int * string
+
 let subtree_to_buf ~indent buf t start =
-  let rec go level n =
-    let pad () =
-      if indent then
-        for _ = 1 to 2 * level do
-          Buffer.add_char buf ' '
-        done
-    in
-    if Tree.is_text t n then begin
-      pad ();
-      Buffer.add_string buf (escape_text (Tree.text_content t n));
-      if indent then Buffer.add_char buf '\n'
-    end
-    else begin
-      let tag = Tree.name t n in
-      pad ();
-      Buffer.add_char buf '<';
-      Buffer.add_string buf tag;
-      add_attrs buf (Tree.attributes t n);
-      match Tree.children t n with
-      | [] ->
-        Buffer.add_string buf "/>";
-        if indent then Buffer.add_char buf '\n'
-      | [ only ] when Tree.is_text t only ->
-        Buffer.add_char buf '>';
-        Buffer.add_string buf (escape_text (Tree.text_content t only));
-        Buffer.add_string buf "</";
-        Buffer.add_string buf tag;
-        Buffer.add_char buf '>';
-        if indent then Buffer.add_char buf '\n'
-      | kids ->
-        Buffer.add_char buf '>';
-        if indent then Buffer.add_char buf '\n';
-        List.iter (go (level + 1)) kids;
-        pad ();
-        Buffer.add_string buf "</";
-        Buffer.add_string buf tag;
-        Buffer.add_char buf '>';
-        if indent then Buffer.add_char buf '\n'
-    end
+  let pad level =
+    if indent then
+      for _ = 1 to 2 * level do
+        Buffer.add_char buf ' '
+      done
   in
-  go 0 start
+  let work = ref [ Node (0, start) ] in
+  let continue = ref true in
+  while !continue do
+    match !work with
+    | [] -> continue := false
+    | Close (level, tag) :: rest ->
+      work := rest;
+      pad level;
+      Buffer.add_string buf "</";
+      Buffer.add_string buf tag;
+      Buffer.add_char buf '>';
+      if indent then Buffer.add_char buf '\n'
+    | Node (level, n) :: rest ->
+      work := rest;
+      if Tree.is_text t n then begin
+        pad level;
+        Buffer.add_string buf (escape_text (Tree.text_content t n));
+        if indent then Buffer.add_char buf '\n'
+      end
+      else begin
+        let tag = Tree.name t n in
+        pad level;
+        Buffer.add_char buf '<';
+        Buffer.add_string buf tag;
+        add_attrs buf (Tree.attributes t n);
+        match Tree.children t n with
+        | [] ->
+          Buffer.add_string buf "/>";
+          if indent then Buffer.add_char buf '\n'
+        | [ only ] when Tree.is_text t only ->
+          Buffer.add_char buf '>';
+          Buffer.add_string buf (escape_text (Tree.text_content t only));
+          Buffer.add_string buf "</";
+          Buffer.add_string buf tag;
+          Buffer.add_char buf '>';
+          if indent then Buffer.add_char buf '\n'
+        | kids ->
+          Buffer.add_char buf '>';
+          if indent then Buffer.add_char buf '\n';
+          work :=
+            List.fold_left
+              (fun tail k -> Node (level + 1, k) :: tail)
+              (Close (level, tag) :: !work)
+              (List.rev kids)
+      end
+  done
 
 let to_string ?(indent = true) ?(decl = false) t =
   let buf = Buffer.create 1024 in

@@ -112,14 +112,27 @@ let fold_preorder t ~init ~f =
   done;
   !acc
 
-(* Construction: a first pass counts nodes, a second fills the arrays. *)
+(* Construction: a first pass counts nodes, a second fills the arrays.
+   Both passes drive explicit worklists, never native recursion over
+   document depth: a parsed document may nest arbitrarily deep, and the
+   only depth limit in the pipeline is the [max_depth] budget — not
+   [Stack_overflow] (DESIGN.md §12). *)
 
 let count_nodes src =
-  let rec go acc = function
-    | T _ -> acc + 1
-    | E (_, _, kids) -> List.fold_left go (acc + 1) kids
-  in
-  go 0 src
+  let n = ref 0 in
+  let work = ref [ src ] in
+  let continue = ref true in
+  while !continue do
+    match !work with
+    | [] -> continue := false
+    | T _ :: rest ->
+      incr n;
+      work := rest
+    | E (_, _, kids) :: rest ->
+      incr n;
+      work := List.rev_append kids rest
+  done;
+  !n
 
 let of_source src =
   let n = count_nodes src in
@@ -146,31 +159,60 @@ let of_source src =
       id
   in
   let next = ref 0 in
-  let rec fill par dep src =
+  (* Pre-order fill over an explicit frame stack.  A frame is an open
+     element: children still to attach, and the last child attached (for
+     sibling linking).  [subtree_end] of a leaf is known at allocation;
+     an element's is set when its frame pops. *)
+  let alloc par dep s =
     let id = !next in
     incr next;
     parent.(id) <- par;
     depth.(id) <- dep;
-    (match src with
+    (match s with
     | T s ->
       tag.(id) <- text_tag;
-      text.(id) <- s
-    | E (tg, ats, kids) ->
+      text.(id) <- s;
+      subtree_end.(id) <- id + 1
+    | E (tg, ats, _) ->
       if tg = "" then invalid_arg "Tree.of_source: empty tag name";
       tag.(id) <- intern tg;
-      attrs.(id) <- ats;
-      let prev = ref (-1) in
-      let attach kid =
-        let kid_id = fill id (dep + 1) kid in
-        if !prev < 0 then first_child.(id) <- kid_id
-        else next_sibling.(!prev) <- kid_id;
-        prev := kid_id
-      in
-      List.iter attach kids);
-    subtree_end.(id) <- !next;
+      attrs.(id) <- ats);
     id
   in
-  let (_ : int) = fill (-1) 0 src in
+  let module F = struct
+    type frame = { id : int; dep : int; mutable prev : int;
+                   mutable todo : source list }
+  end in
+  let open F in
+  let root_id = alloc (-1) 0 src in
+  let stack =
+    ref
+      (match src with
+      | T _ -> []
+      | E (_, _, kids) -> [ { id = root_id; dep = 0; prev = -1; todo = kids } ])
+  in
+  let continue = ref true in
+  while !continue do
+    match !stack with
+    | [] -> continue := false
+    | frame :: rest ->
+      (match frame.todo with
+      | [] ->
+        subtree_end.(frame.id) <- !next;
+        stack := rest
+      | kid :: more ->
+        frame.todo <- more;
+        let kid_id = alloc frame.id (frame.dep + 1) kid in
+        if frame.prev < 0 then first_child.(frame.id) <- kid_id
+        else next_sibling.(frame.prev) <- kid_id;
+        frame.prev <- kid_id;
+        (match kid with
+        | T _ -> ()
+        | E (_, _, kids) ->
+          stack :=
+            { id = kid_id; dep = frame.dep + 1; prev = -1; todo = kids }
+            :: !stack))
+  done;
   let tag_names = Array.of_list (List.rev !names) in
   (* Comparison values, filled before the tree is published (see the
      invariant on [t]).  Strings are shared, not copied: a text node's

@@ -128,6 +128,12 @@ A budget-tripped query still exits 3 with the cache on:
   smoqe: budget exceeded: max_nodes (limit 5)
   [3]
 
+The depth budget bounds document ingest itself, not just evaluation:
+
+  $ smoqe query -d hospital.xml --max-depth 2 "//pname" 2>&1
+  smoqe: budget exceeded: max_depth (limit 2)
+  [3]
+
 Persistent stores:
 
   $ smoqe store init mystore -d hospital.xml -s hospital.dtd
@@ -146,3 +152,27 @@ Persistent stores:
   $ smoqe store query mystore -g ghosts "patient" 2>&1
   smoqe: no view registered for group ghosts
   [1]
+
+Malformed input is its own failure class (DESIGN.md §12): parse errors
+carry file:line:column and exit 2, distinct from generic failures (1)
+and budget trips (3):
+
+  $ printf '<hospital><patient></hospital>' > broken.xml
+  $ smoqe query -d broken.xml "//pname" 2>&1
+  smoqe: parse error at broken.xml:1:31: closing tag </hospital> does not match <patient>
+  [2]
+  $ printf '<hospital>&undefined;</hospital>' > badref.xml
+  $ smoqe index -d badref.xml 2>&1
+  smoqe: parse error at badref.xml:1:22: unknown entity &undefined;
+  [2]
+  $ smoqe store init brokenstore -d broken.xml -s hospital.dtd 2>&1
+  smoqe: parse error at broken.xml:1:31: closing tag </hospital> does not match <patient>
+  [2]
+
+A well-formed document that does not validate against the DTD is also
+malformed input:
+
+  $ printf '<hospital><mystery/></hospital>' > offschema.xml
+  $ smoqe query -d offschema.xml -s hospital.dtd "//pname" 2>&1
+  smoqe: parse error: document invalid: node 0 <hospital>: children (mystery) do not match content model patient*
+  [2]

@@ -1,0 +1,41 @@
+(* Fixed-seed fuzz smoke: the CI face of Smoqe_workload.Fuzz.  Run via
+   [dune build @fuzz] (~10s).  Every generated input must satisfy the
+   totality contract (DESIGN.md §12): parse with DOM ≡ StAX agreement or
+   fail with a positioned/typed error.  Any [Bug] verdict fails the run
+   and prints the offending input for triage — commit it under
+   test/corpus/regressions/ once fixed. *)
+
+module Fuzz = Smoqe_workload.Fuzz
+
+let getenv_int name default =
+  match Sys.getenv_opt name with
+  | None | Some "" -> default
+  | Some v -> (try int_of_string v with Failure _ -> default)
+
+let excerpt s =
+  let s = String.escaped s in
+  if String.length s <= 160 then s else String.sub s 0 160 ^ "..."
+
+let () =
+  let seed = getenv_int "SMOQE_FUZZ_SEED" 20060806 in
+  let count = getenv_int "SMOQE_FUZZ_COUNT" 12_000 in
+  let t0 = Unix.gettimeofday () in
+  let r = Fuzz.run ~seed ~count () in
+  Printf.printf "%s (seed %d, %.1fs)\n"
+    (Fmt.str "%a" Fuzz.pp_report r)
+    seed
+    (Unix.gettimeofday () -. t0);
+  if r.Fuzz.bugs <> [] then begin
+    List.iter
+      (fun (input, diagnosis) ->
+        Printf.eprintf "BUG: %s\n  input: %s\n%!" diagnosis (excerpt input))
+      r.Fuzz.bugs;
+    exit 1
+  end;
+  (* A fuzzer that rejects everything is as broken as one that accepts
+     everything: make sure the generator mix keeps exercising the accept
+     path. *)
+  if r.Fuzz.accepted = 0 || r.Fuzz.rejected = 0 then begin
+    prerr_endline "fuzz: degenerate verdict mix — generator drift?";
+    exit 1
+  end

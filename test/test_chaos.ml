@@ -62,6 +62,11 @@ let () =
             attempt ("stax " ^ q) (fun () ->
                 Session.run admin ~mode:Engine.Stax q))
           queries);
+      (* entity/char references so pull.ref sites get exercised too *)
+      attempt "refs" (fun () ->
+          Smoqe_robust.Error.guard (fun () ->
+              Smoqe_xml.Parser.tree_of_string
+                "<r a=\"x&amp;y\">&lt;&#65;&#x42;&gt; &quot;&apos;</r>"));
       (* store lifecycle: create, reopen, query — under store.write faults *)
       let dir = Filename.temp_file "smoqe_chaos" "" in
       Sys.remove dir;
@@ -87,9 +92,14 @@ let () =
     (fun site ->
       Printf.printf "  %-12s %5d triggers, %d hits\n" site
         (Failpoint.triggers site) (Failpoint.hits site))
-    [ "pull.read"; "store.read"; "store.write"; "hype.step"; "index.load" ];
-  if Failpoint.active () && Failpoint.hits "pull.read" = 0 then begin
-    prerr_endline "chaos: armed but pull.read never fired";
-    exit 1
-  end;
+    [ "pull.read"; "pull.depth"; "pull.ref"; "store.read"; "store.write";
+      "hype.step"; "index.load" ];
+  if Failpoint.active () then
+    List.iter
+      (fun site ->
+        if Failpoint.hits site = 0 then begin
+          Printf.eprintf "chaos: armed but %s never fired\n%!" site;
+          exit 1
+        end)
+      [ "pull.read"; "pull.depth"; "pull.ref" ];
   if !escaped > 0 then exit 1

@@ -223,6 +223,114 @@ let test_events_of_tree () =
   let t'' = Parser.tree_of_string s in
   Alcotest.(check bool) "events->string->tree" true (Tree.equal t t'')
 
+(* --- Input hardening (DESIGN.md §12) --------------------------------- *)
+
+let test_bom () =
+  let t = Parser.tree_of_string "\xEF\xBB\xBF<?xml version=\"1.0\"?><a>x</a>" in
+  Alcotest.(check string) "root after BOM" "a" (Tree.name t Tree.root);
+  expect_pull_error "\xFE\xFF\x00<\x00a\x00/\x00>";
+  expect_pull_error "\xFF\xFE<\x00a\x00";
+  expect_pull_error "\xEF\xBB<a/>"
+
+let test_doctype_rules () =
+  (* quoted '>' and ']' in internal-subset literals must not end the
+     DOCTYPE early *)
+  let evs =
+    drain "<!DOCTYPE a [ <!ATTLIST a x CDATA \"b > c ] d\"> ]><a>t</a>"
+  in
+  Alcotest.(check int) "quoted markers skipped" 3 (List.length evs);
+  expect_pull_error "<a/><!DOCTYPE a []>";
+  expect_pull_error "<a><!DOCTYPE a []></a>";
+  expect_pull_error "<!DOCTYPE a []><!DOCTYPE a []><a/>";
+  expect_pull_error "<!DOCTYPE r ]><r/>"
+
+let test_charref_validation () =
+  let text s =
+    (* keep_ws: a lone tab is whitespace-only text and would be dropped *)
+    let p = Pull.of_string ~keep_ws:true (Printf.sprintf "<a>%s</a>" s) in
+    let evs = Pull.fold p ~init:[] ~f:(fun acc e -> e :: acc) |> List.rev in
+    match evs with
+    | [ _; Pull.Text t; _ ] -> t
+    | _ -> Alcotest.fail "expected a single text event"
+  in
+  Alcotest.(check string) "tab" "\t" (text "&#9;");
+  Alcotest.(check string) "max scalar" "\xF4\x8F\xBF\xBF" (text "&#x10FFFF;");
+  expect_pull_error "<a>&#0;</a>";
+  expect_pull_error "<a>&#8;</a>";
+  expect_pull_error "<a>&#xD800;</a>";
+  expect_pull_error "<a>&#xDFFF;</a>";
+  expect_pull_error "<a>&#x110000;</a>";
+  expect_pull_error "<a>&#xFFFE;</a>";
+  (* digit flood must be cut off, not accumulated *)
+  expect_pull_error
+    (Printf.sprintf "<a>&#%s;</a>" (String.make 4096 '9'))
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_dup_attr_position () =
+  match drain "<a x='1'\n   x='2'/>" with
+  | exception Pull.Error (line, col, msg) ->
+    Alcotest.(check int) "line" 2 line;
+    Alcotest.(check bool) "column" true (col >= 1);
+    Alcotest.(check bool) "message names the duplicate" true
+      (contains ~sub:"duplicate" msg)
+  | _ -> Alcotest.fail "duplicate attribute accepted"
+
+let deep_doc n =
+  let buf = Buffer.create (n * 8) in
+  for _ = 1 to n do
+    Buffer.add_string buf "<d>"
+  done;
+  Buffer.add_string buf "leaf";
+  for _ = 1 to n do
+    Buffer.add_string buf "</d>"
+  done;
+  Buffer.contents buf
+
+let test_deep_document () =
+  (* 100k nesting: recursion anywhere on the tree path would overflow the
+     stack — parse, re-emit events and serialize all have to survive *)
+  let n = 100_000 in
+  let t = Parser.tree_of_string (deep_doc n) in
+  Alcotest.(check int) "nodes" (n + 1) (Tree.n_nodes t);
+  let evs = Parser.events_of_tree t in
+  Alcotest.(check int) "events" ((2 * n) + 1) (List.length evs);
+  let s = Serializer.to_string ~indent:false t in
+  Alcotest.(check bool) "serializes" true (String.length s > (6 * n));
+  let t' = Parser.tree_of_events evs in
+  Alcotest.(check bool) "events roundtrip" true (Tree.equal t t')
+
+let test_deep_budget () =
+  let budget = Smoqe_robust.Budget.create ~max_depth:64 () in
+  match Parser.tree_of_string ~budget (deep_doc 1000) with
+  | exception Smoqe_robust.Budget.Exceeded _ -> ()
+  | _ -> Alcotest.fail "depth budget did not trip"
+
+let test_tree_of_events_unbalanced () =
+  let expect_positioned evs =
+    match Parser.tree_of_events evs with
+    | exception Pull.Error _ -> ()
+    | exception Invalid_argument _ ->
+      Alcotest.fail "raised Invalid_argument, not Pull.Error"
+    | _ -> Alcotest.fail "bad event stream accepted"
+  in
+  expect_positioned [];
+  expect_positioned [ Pull.Start_element ("a", []) ];
+  expect_positioned [ Pull.End_element "a" ];
+  expect_positioned
+    [ Pull.Start_element ("a", []); Pull.End_element "b" ];
+  expect_positioned
+    [
+      Pull.Start_element ("a", []);
+      Pull.End_element "a";
+      Pull.Start_element ("b", []);
+      Pull.End_element "b";
+    ];
+  expect_positioned [ Pull.Text "outside" ]
+
 (* --- Dtd ------------------------------------------------------------- *)
 
 let hospital_dtd () =
@@ -525,6 +633,19 @@ let () =
             test_parser_roundtrip_indented;
           Alcotest.test_case "escaping" `Quick test_serializer_escaping;
           Alcotest.test_case "event stream" `Quick test_events_of_tree;
+        ] );
+      ( "hardening",
+        [
+          Alcotest.test_case "byte-order marks" `Quick test_bom;
+          Alcotest.test_case "doctype rules" `Quick test_doctype_rules;
+          Alcotest.test_case "char-ref validation" `Quick
+            test_charref_validation;
+          Alcotest.test_case "duplicate attribute" `Quick
+            test_dup_attr_position;
+          Alcotest.test_case "deep document" `Quick test_deep_document;
+          Alcotest.test_case "deep budget" `Quick test_deep_budget;
+          Alcotest.test_case "unbalanced events" `Quick
+            test_tree_of_events_unbalanced;
         ] );
       ( "dtd",
         [
