@@ -214,9 +214,19 @@ let rewrite_cmd =
 
 (* --- query -------------------------------------------------------------- *)
 
+(* A queries file: one Regular XPath query per line; blank lines and
+   [#]-comment lines are skipped.  Line order is answer order. *)
+let load_queries path =
+  read_file path
+  |> String.split_on_char '\n'
+  |> List.filter_map (fun line ->
+         let t = String.trim line in
+         if t = "" || t.[0] = '#' then None else Some t)
+
 let query_cmd =
   let run doc_path dtd_path policy_path group mode use_index trace output
-      stats budget plan_cache no_plan_cache repeat jobs no_tables query =
+      stats budget plan_cache no_plan_cache repeat jobs no_tables queries_file
+      query =
     let dtd = Option.map load_dtd dtd_path in
     (* the parse is budgeted too: a depth/node/deadline limit must bound
        document ingest, not just evaluation (DESIGN.md §12) *)
@@ -262,6 +272,95 @@ let query_cmd =
     (* --no-tables forces the generic engine; otherwise the library default
        applies (tables on unless SMOQE_NO_TABLES is set). *)
     let use_tables = if no_tables then Some false else None in
+    let print_answers outcome =
+      match output with
+      | "ids" ->
+        List.iter (fun n -> Printf.printf "%d\n" n) outcome.Engine.answers
+      | "tree" ->
+        print_string
+          (Ismoqe.answers_tree (Engine.document engine) outcome.Engine.answers)
+      | _ ->
+        print_string
+          (Ismoqe.answers_text (Engine.document engine) outcome.Engine.answers)
+    in
+    let print_plan_cache () =
+      print_endline "-- plan cache --";
+      List.iter
+        (fun (k, v) -> Printf.printf "%s: %d\n" k v)
+        (Engine.plan_cache_counters engine)
+    in
+    (* --queries-file: the whole batch is answered in ONE shared-automaton
+       document pass (Engine.run_many) — or one pass per pool worker with
+       --jobs N.  A failed member (parse error, budget…) is reported in its
+       slot without sinking the rest; the exit code is the first failure's. *)
+    (match queries_file with
+    | Some qpath ->
+      if query <> None then begin
+        prerr_endline
+          "smoqe: a positional QUERY and --queries-file are mutually \
+           exclusive";
+        exit 1
+      end;
+      if trace then begin
+        prerr_endline
+          "smoqe: --trace is single-query-only and cannot be combined with \
+           --queries-file";
+        exit 1
+      end;
+      if repeat > 1 then begin
+        prerr_endline "smoqe: --repeat applies to a single query, not a batch";
+        exit 1
+      end;
+      let texts = load_queries qpath in
+      if texts = [] then begin
+        prerr_endline ("smoqe: " ^ qpath ^ ": no queries (all blank/comments)");
+        exit 1
+      end;
+      let results, agg =
+        if jobs <= 1 then
+          Engine.run_many_robust engine ?group ~mode ~use_index
+            ?budget:(Option.map (fun mk -> mk ()) budget)
+            ?use_tables texts
+        else
+          Pool.with_pool ~domains:jobs (fun pool ->
+              Engine.run_many_pooled engine ~pool ?group ~mode ~use_index
+                ?make_budget:budget ?use_tables texts)
+      in
+      let first_failure = ref None in
+      Array.iteri
+        (fun i r ->
+          Printf.printf "== query %d: %s ==\n" (i + 1) (List.nth texts i);
+          match r with
+          | Error e ->
+            if !first_failure = None then first_failure := Some e;
+            Printf.printf "error: %s\n" (Robust_error.to_string e)
+          | Ok o ->
+            print_answers o;
+            if stats then begin
+              print_endline "-- statistics --";
+              print_endline (Ismoqe.stats_table o.Engine.stats)
+            end)
+        results;
+      if stats then begin
+        Printf.printf "== batch aggregate (%d queries, %d domains) ==\n"
+          (List.length texts) jobs;
+        List.iter
+          (fun (k, v) -> Printf.printf "%s: %d\n" k v)
+          (Stats.to_assoc agg);
+        print_plan_cache ()
+      end;
+      (match !first_failure with
+      | Some e -> exit (Robust_error.exit_code e)
+      | None -> ());
+      exit 0
+    | None -> ());
+    let query =
+      match query with
+      | Some q -> q
+      | None ->
+        prerr_endline "smoqe: a QUERY argument or --queries-file is required";
+        exit 1
+    in
     let run_once () =
       let budget = Option.map (fun mk -> mk ()) budget in
       or_die_robust
@@ -291,15 +390,7 @@ let query_cmd =
             in
             (Option.get last, Some agg, Some (Pool.worker_loads pool)))
     in
-    (match output with
-    | "ids" ->
-      List.iter (fun n -> Printf.printf "%d\n" n) outcome.Engine.answers
-    | "tree" ->
-      print_string
-        (Ismoqe.answers_tree (Engine.document engine) outcome.Engine.answers)
-    | _ ->
-      print_string
-        (Ismoqe.answers_text (Engine.document engine) outcome.Engine.answers));
+    print_answers outcome;
     (match tracer with
     | Some tr ->
       print_string
@@ -322,10 +413,7 @@ let query_cmd =
       | Some loads ->
         Printf.printf "-- domain loads --\n";
         Array.iteri (fun i n -> Printf.printf "domain %d: %d runs\n" i n) loads);
-      print_endline "-- plan cache --";
-      List.iter
-        (fun (k, v) -> Printf.printf "%s: %d\n" k v)
-        (Engine.plan_cache_counters engine)
+      print_plan_cache ()
     end
   in
   Cmd.v
@@ -370,7 +458,15 @@ let query_cmd =
                  ~doc:"Evaluate on the generic engine instead of the \
                        tag-interned transition tables and lazy-DFA memo \
                        (same as setting \\$(b,SMOQE_NO_TABLES)).")
-      $ query_arg)
+      $ Arg.(value & opt (some file) None
+             & info [ "queries-file" ] ~docv:"FILE"
+                 ~doc:"Serve a whole batch: one Regular XPath query per line \
+                       (blank lines and #-comments skipped), all answered in \
+                       a single shared-automaton document pass — one pass \
+                       per worker with --jobs.")
+      $ Arg.(value & pos 0 (some string) None
+             & info [] ~docv:"QUERY"
+                 ~doc:"Regular XPath query (omit with --queries-file)."))
 
 (* --- index -------------------------------------------------------------- *)
 

@@ -1,0 +1,45 @@
+(** Prefix-sharing merge of many compiled MFAs into one batch automaton.
+
+    SMOQE's serving story is one MFA pass per query; a pub/sub deployment
+    with N subscribers would pay N document traversals.  [merge] collapses
+    a batch of compiled queries YFilter-style into a {e single} MFA whose
+    runs carry all N queries at once: states whose incoming languages are
+    provably identical are fused (policy-rewritten view queries share long
+    path prefixes by construction, so the collapse is substantial), and a
+    per-state {e owner set} records which queries select at each fused
+    accept state so the engine can demultiplex candidate answers back to
+    their queries.
+
+    Soundness of the fusion: a member state is eligible for unification
+    only if it is check-free, carries no atom accept, and is not reachable
+    from any qualifier-atom entry (atom subgraphs keep per-query identity
+    because their accepts and value constraints are query-specific).  Two
+    eligible states are fused only when their {e full} incoming-edge sets
+    — external sources already mapped into the merged graph, plus
+    self-loop labels — are identical, which makes their incoming languages
+    identical; fusing then merely unions outgoing behavior the combined
+    NFA would explore nondeterministically anyway.  Qualifier and atom ids
+    are offset per query, so settlement never crosses query boundaries. *)
+
+type t = private {
+  mfa : Mfa.t;
+      (** the combined automaton; [start] is a fresh root with an epsilon
+          edge to every member query's start state *)
+  n_queries : int;
+  owners : int array array;
+      (** merged state -> sorted owner query indices; non-empty exactly at
+          the states carrying a [Select] accept *)
+  merged_states : int;  (** states in the combined automaton *)
+  member_states : int;  (** total states across the input automata *)
+  prefix_hits : int;  (** member states fused into an existing state *)
+  accept_width : int;  (** widest owner set over all accept states *)
+}
+
+val merge : Mfa.t array -> t
+(** Merge a non-empty batch.  Order is significant only for owner
+    numbering: query [i] of the input array is owner [i] in [owners].
+    @raise Invalid_argument on an empty batch. *)
+
+val saved_states : t -> int
+(** [member_states - merged_states]: the collapse the merge achieved
+    (the root state makes this [-1] for a batch of one trivial query). *)

@@ -23,6 +23,7 @@ module Failpoint = Smoqe_robust.Failpoint
 module Plan_cache = Smoqe_plan.Plan_cache
 module Canon = Smoqe_plan.Canon
 module Pool = Smoqe_exec.Pool
+module Shared = Smoqe_automata.Shared
 
 (* Teach the taxonomy this stack's exception types: the guard at the
    façade maps anything the libraries throw into one Error.t.  Runs once,
@@ -63,6 +64,10 @@ type plan = {
   plan_mfa : Mfa.t;
   plan_states : int;
   plan_empty : bool;  (* the DTD proves the query selects nothing *)
+  plan_shared : Shared.t option;
+      (* present on a batch plan: the prefix-sharing merge whose combined
+         automaton [plan_mfa] is (so the frozen-table machinery below
+         applies to batches unchanged) *)
   plan_compile_ms : float;
   plan_tables : (Tree.t * Tables.t) option Atomic.t;
       (* The frozen table specialization riding the plan, tagged with the
@@ -373,6 +378,7 @@ let plan_for_query t ?group ~mode ~use_index ?optimize ?budget text =
       plan_mfa = mfa;
       plan_states = Mfa.n_states mfa;
       plan_empty = statically_empty t mfa;
+      plan_shared = None;
       plan_compile_ms = compile_ms;
       plan_tables = Atomic.make None;
     }
@@ -414,14 +420,12 @@ let plan_for_query t ?group ~mode ~use_index ?optimize ?budget text =
 let rewrite_only t ~group ?optimize text =
   compile_query t ~group ?optimize text
 
-let answer_xml snap answers =
+let answer_xml_one snap n =
   let tree = snap.snap_tree in
-  List.map
-    (fun n ->
-      if Tree.is_text tree n then
-        Serializer.escape_text (Tree.text_content tree n)
-      else Serializer.subtree_to_string ~indent:false tree n)
-    answers
+  if Tree.is_text tree n then Serializer.escape_text (Tree.text_content tree n)
+  else Serializer.subtree_to_string ~indent:false tree n
+
+let answer_xml snap answers = List.map (answer_xml_one snap) answers
 
 (* --- evaluation ------------------------------------------------------------ *)
 
@@ -617,3 +621,369 @@ let run_batch t ~pool ?group ?mode ?use_index ?optimize ?make_budget
       | Error (Error.Budget_exceeded _) | Error _ -> ())
     results;
   (results, aggregate)
+
+(* --- shared-automaton batch serving ---------------------------------------- *)
+
+(* An exact copy of a stats record (merge into a zero accumulator is the
+   identity): batch members report the shared pass's counters without
+   aliasing one mutable record. *)
+let clone_stats s =
+  let c = Stats.zero () in
+  Stats.merge_into ~into:c s;
+  c
+
+(* What one shared pass produced, before demultiplexing into outcomes:
+   per-member answers (index = owner position in the merge), a fragment
+   resolver, and the joint counters. *)
+type batch_eval = {
+  be_by_query : int list array;
+  be_xml : int -> string list;
+  be_stats : Stats.t;
+  be_cans : int;
+}
+
+let run_many_dom snap ~plan ~sh ?use_index ?budget ~use_tables
+    ~degraded_from_stax () =
+  let mfa = plan.plan_mfa in
+  let index_requested = use_index = Some true in
+  let tax =
+    match use_index, snap.snap_tax with
+    | Some false, _ | _, None -> None
+    | (Some true | None), Some idx -> Some idx
+  in
+  (* Same frozen-table discipline as [run_dom]: the specialization riding
+     the batch plan covers the whole merged automaton, so a warm batch
+     skips both the merge (plan cache) and the specialization. *)
+  let tables, spec_us =
+    if not use_tables then (None, 0)
+    else
+      match Atomic.get plan.plan_tables with
+      | Some (tr, tb) when tr == snap.snap_tree -> (Some tb, 0)
+      | Some _ | None ->
+        let tb = Tables.of_tree mfa.Mfa.nfa snap.snap_tree in
+        Atomic.set plan.plan_tables (Some (snap.snap_tree, tb));
+        (Some tb, Tables.spec_us tb)
+  in
+  let r = Eval_dom.run_many ?tax ?budget ?tables ~use_tables sh snap.snap_tree in
+  if spec_us > 0 then begin
+    r.Eval_dom.m_stats.Stats.table_spec_us <-
+      r.Eval_dom.m_stats.Stats.table_spec_us + spec_us;
+    let delta = Stats.zero () in
+    delta.Stats.table_spec_us <- spec_us;
+    Stats.note_tables delta
+  end;
+  match r.Eval_dom.m_budget_hit with
+  | Some hit -> Error (budget_error hit r.Eval_dom.m_stats)
+  | None ->
+    let stats = r.Eval_dom.m_stats in
+    if degraded_from_stax then begin
+      stats.Stats.degraded_stax_retry <- 1;
+      stats.Stats.passes_over_data <- stats.Stats.passes_over_data + 1
+    end;
+    if index_requested && tax = None then begin
+      stats.Stats.degraded_no_index <- 1;
+      Log.warn (fun m -> m "index requested but unavailable: unindexed pass")
+    end;
+    (* Batch answer sets overlap heavily — shared prefixes select shared
+       nodes — so fragments are serialized once per distinct node and
+       shared across the whole batch, where sequential serving would
+       re-serialize per query. *)
+    let frag_memo = Hashtbl.create 64 in
+    let xml_of n =
+      match Hashtbl.find_opt frag_memo n with
+      | Some s -> s
+      | None ->
+        let s = answer_xml_one snap n in
+        Hashtbl.add frag_memo n s;
+        s
+    in
+    Ok
+      {
+        be_by_query = r.Eval_dom.by_query;
+        be_xml = (fun p -> List.map xml_of r.Eval_dom.by_query.(p));
+        be_stats = stats;
+        be_cans = r.Eval_dom.m_cans_size;
+      }
+
+let run_many_stax snap ~sh ?budget ~use_tables () =
+  let outcome_of r =
+    match r.Eval_stax.m_budget_hit with
+    | Some hit -> Error (budget_error hit r.Eval_stax.m_stats)
+    | None ->
+      Ok
+        {
+          be_by_query = r.Eval_stax.by_query;
+          be_xml =
+            (fun p -> List.map snd r.Eval_stax.by_query_captured.(p));
+          be_stats = r.Eval_stax.m_stats;
+          be_cans = r.Eval_stax.m_cans_size;
+        }
+  in
+  match snap.snap_source with
+  | From_string s ->
+    outcome_of
+      (Eval_stax.run_many ~capture:true ?budget ~use_tables sh
+         (Pull.of_string s))
+  | From_file path ->
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        outcome_of
+          (Eval_stax.run_many ~capture:true ?budget ~use_tables sh
+             (Pull.of_channel ic)))
+  | From_tree ->
+    outcome_of
+      (Eval_stax.run_many_events ~capture:true ?budget ~use_tables sh
+         (Parser.events_of_tree snap.snap_tree))
+
+let run_many_compiled snap ~plan ~sh ~mode ?use_index ?budget ~use_tables () =
+  match mode with
+  | Dom ->
+    Result.join
+      (Error.guard (fun () ->
+           run_many_dom snap ~plan ~sh ?use_index ?budget ~use_tables
+             ~degraded_from_stax:false ()))
+  | Stax ->
+    (match
+       Result.join
+         (Error.guard (fun () -> run_many_stax snap ~sh ?budget ~use_tables ()))
+     with
+    | Ok be -> Ok be
+    | Error ((Error.Budget_exceeded _ | Error.Query_error _
+             | Error.Policy_error _) as e) ->
+      Error e
+    | Error stax_failure ->
+      (* Same degradation ladder as the single-query path: one DOM retry
+         on the already-loaded tree. *)
+      Log.warn (fun m ->
+          m "StAX batch evaluation failed (%s): retrying in DOM mode"
+            (Error.to_string stax_failure));
+      Result.join
+        (Error.guard (fun () ->
+             run_many_dom snap ~plan ~sh ?use_index ?budget ~use_tables
+               ~degraded_from_stax:true ())))
+
+(* The outcome of the batch-plan stage. *)
+type batch_plan =
+  | Bp_fail_all of Error.t  (* nothing can run (e.g. merged size budget) *)
+  | Bp_plan of plan * bool * Error.t option array
+      (* plan, served-from-cache, per-member compile failures (by slot) *)
+
+let batch_plan_for t ?group ~mode ~use_index ?budget uniq_keys by_key =
+  let cache = t.plan_cache in
+  let cacheable = Plan_cache.capacity cache > 0 in
+  let n_uniq = Array.length uniq_keys in
+  (* Canonical batch key: the sorted unique member keys.  Canonical query
+     text never contains NUL, so the "batch" prefix cannot collide with a
+     single-query entry. *)
+  let bkey =
+    { Plan_cache.group;
+      query = "batch\x00" ^ String.concat "\x00" (Array.to_list uniq_keys);
+      mode = mode_string mode;
+      use_index = use_index = Some true }
+  in
+  match (if cacheable then Plan_cache.find cache bkey else None) with
+  | Some ({ plan_shared = Some _; _ } as plan) ->
+    (match
+       Error.guard (fun () ->
+           match budget with
+           | None -> ()
+           | Some b -> Budget.check_states b plan.plan_states)
+     with
+    | Error e -> Bp_fail_all e
+    | Ok () ->
+      locked t (fun () ->
+          t.saved_compile_ms <- t.saved_compile_ms +. plan.plan_compile_ms);
+      Bp_plan (plan, true, Array.make n_uniq None))
+  | Some _ | None ->
+    if cacheable then Plan_cache.record_miss cache;
+    (* Generation token captured before the compiles read the views: a
+       concurrent invalidation refuses the insert (same fence as
+       [plan_for_query]). *)
+    let gen = Plan_cache.generation cache bkey in
+    let t0 = Sys.time () in
+    let comp_errs = Array.make n_uniq None in
+    let survivors = ref [] in
+    for i = n_uniq - 1 downto 0 do
+      match
+        compile_ast_robust t ?group ?budget (Hashtbl.find by_key uniq_keys.(i))
+      with
+      | Ok mfa -> survivors := mfa :: !survivors
+      | Error e -> comp_errs.(i) <- Some e
+    done;
+    let survivors = Array.of_list !survivors in
+    if Array.length survivors = 0 then
+      (* every member failed: any member error stands in for the batch *)
+      Bp_fail_all
+        (match comp_errs.(0) with Some e -> e | None -> assert false)
+    else
+      (match
+         Error.guard (fun () ->
+             let sh = Shared.merge survivors in
+             (match budget with
+             | None -> ()
+             | Some b -> Budget.check_states b (Mfa.n_states sh.Shared.mfa));
+             sh)
+       with
+      | Error e -> Bp_fail_all e
+      | Ok sh ->
+        let plan =
+          {
+            plan_mfa = sh.Shared.mfa;
+            plan_states = Mfa.n_states sh.Shared.mfa;
+            plan_empty = false;
+            plan_shared = Some sh;
+            plan_compile_ms = (Sys.time () -. t0) *. 1000.;
+            plan_tables = Atomic.make None;
+          }
+        in
+        (* Only an all-members-compiled batch is cached: the owner table
+           of a partial merge numbers the surviving subset, which a later
+           identical batch (whose members might all compile) must not
+           inherit. *)
+        if cacheable && Array.for_all (( = ) None) comp_errs then
+          Plan_cache.add cache ~gen bkey plan;
+        Bp_plan (plan, false, comp_errs))
+
+let run_many_robust t ?group ?(mode = Dom) ?use_index ?budget ?use_tables texts
+    =
+  let use_tables =
+    match use_tables with Some b -> b | None -> Tables.enabled_default ()
+  in
+  let texts = Array.of_list texts in
+  let fail_all parsed comp_errs slot_of e =
+    Array.map
+      (function
+        | Error pe -> Error pe
+        | Ok (key, _) ->
+          (match comp_errs with
+          | None -> Error e
+          | Some errs ->
+            (match errs.(Hashtbl.find slot_of key) with
+            | Some ce -> Error ce
+            | None -> Error e)))
+      parsed
+  in
+  if Array.length texts = 0 then ([||], Stats.zero ())
+  else begin
+    (* Parse and canonicalize; duplicates collapse onto one slot (they
+       share one accept set in the merge and fan back out below). *)
+    let parsed =
+      Array.map
+        (fun text ->
+          match Rx_parser.path_of_string text with
+          | Error msg -> Error (Error.Query_error msg)
+          | Ok path -> Ok (Canon.to_key path, path))
+        texts
+    in
+    let by_key = Hashtbl.create 16 in
+    Array.iter
+      (function
+        | Error _ -> ()
+        | Ok (key, path) ->
+          if not (Hashtbl.mem by_key key) then Hashtbl.add by_key key path)
+      parsed;
+    let uniq_keys =
+      Array.of_list
+        (List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) by_key []))
+    in
+    let n_uniq = Array.length uniq_keys in
+    let slot_of = Hashtbl.create (max 1 n_uniq) in
+    Array.iteri (fun i k -> Hashtbl.add slot_of k i) uniq_keys;
+    if n_uniq = 0 then
+      ( Array.map
+          (function Error e -> Error e | Ok _ -> assert false)
+          parsed,
+        Stats.zero () )
+    else
+      match batch_plan_for t ?group ~mode ~use_index ?budget uniq_keys by_key
+      with
+      | Bp_fail_all e -> (fail_all parsed None slot_of e, Stats.zero ())
+      | Bp_plan (plan, cached, comp_errs) ->
+        let sh =
+          match plan.plan_shared with Some sh -> sh | None -> assert false
+        in
+        (* Owner positions number the surviving slots in ascending order. *)
+        let pos_of_slot = Array.make n_uniq (-1) in
+        let next = ref 0 in
+        for i = 0 to n_uniq - 1 do
+          if comp_errs.(i) = None then begin
+            pos_of_slot.(i) <- !next;
+            incr next
+          end
+        done;
+        let snap = snapshot t in
+        (match
+           run_many_compiled snap ~plan ~sh ~mode ?use_index ?budget
+             ~use_tables ()
+         with
+        | Error e ->
+          (fail_all parsed (Some comp_errs) slot_of e, Stats.zero ())
+        | Ok be ->
+          if cached then be.be_stats.Stats.plan_cache_hit <- 1;
+          let results =
+            Array.map
+              (function
+                | Error e -> Error e
+                | Ok (key, _) ->
+                  let slot = Hashtbl.find slot_of key in
+                  (match comp_errs.(slot) with
+                  | Some ce -> Error ce
+                  | None ->
+                    let p = pos_of_slot.(slot) in
+                    let answers = be.be_by_query.(p) in
+                    let stats = clone_stats be.be_stats in
+                    stats.Stats.answers <- List.length answers;
+                    Ok
+                      {
+                        answers;
+                        answer_xml = be.be_xml p;
+                        stats;
+                        mfa = plan.plan_mfa;
+                        cans_size = be.be_cans;
+                      }))
+              parsed
+          in
+          (results, be.be_stats))
+  end
+
+let run_many t ?group ?mode ?use_index ?budget ?use_tables texts =
+  let results, aggregate =
+    run_many_robust t ?group ?mode ?use_index ?budget ?use_tables texts
+  in
+  (Array.map (Result.map_error Error.to_string) results, aggregate)
+
+(* Shard a batch across the pool: contiguous chunks, one shared pass per
+   domain, results re-concatenated in order.  Each shard is its own merge
+   (and its own batch-plan cache entry), so warm sharded batches still hit
+   as long as the shard boundaries are stable — which they are for a fixed
+   pool size. *)
+let run_many_pooled t ~pool ?group ?mode ?use_index ?make_budget ?use_tables
+    texts =
+  let texts = Array.of_list texts in
+  let n = Array.length texts in
+  if n = 0 then ([||], Stats.zero ())
+  else begin
+    let shards = max 1 (min (Pool.size pool) n) in
+    let chunk k =
+      (* balanced split: the first (n mod shards) chunks get one extra *)
+      let base = n / shards and extra = n mod shards in
+      let start = (k * base) + min k extra in
+      let len = base + if k < extra then 1 else 0 in
+      Array.to_list (Array.sub texts start len)
+    in
+    let futures =
+      List.init shards (fun k ->
+          Pool.submit pool (fun () ->
+              let budget = Option.map (fun mk -> mk ()) make_budget in
+              run_many_robust t ?group ?mode ?use_index ?budget ?use_tables
+                (chunk k)))
+    in
+    let parts = List.map Pool.await futures in
+    let aggregate = Stats.zero () in
+    List.iter
+      (fun (_, stats) -> Stats.merge_into ~into:aggregate stats)
+      parts;
+    (Array.concat (List.map fst parts), aggregate)
+  end

@@ -187,6 +187,53 @@ val rewrite_only :
   (Smoqe_automata.Mfa.t, string) result
 (** Just the rewriting step — what iSMOQE visualizes (paper Fig. 4). *)
 
+(** {1 Shared-automaton batch serving}
+
+    A batch of queries is answered in {e one} document pass: the compiled
+    member automata are merged prefix-sharing-style into a single combined
+    NFA with per-query accept sets ({!Smoqe_automata.Shared}), the merged
+    automaton rides the same table/lazy-DFA machinery as a single query —
+    the interned state sets just get wider, with the [(set, tag)] memo
+    shared across the whole batch — and candidate answers demultiplex back
+    to their owners.  Identical queries (canonically equal, see
+    {!Smoqe_plan.Canon}) are compiled and merged once and share one accept
+    set; their answers fan back out per input position.  The merged plan
+    is cached under a canonical batch key (the sorted unique member keys),
+    so a warm batch skips parse, compile {e and} merge — permutations and
+    duplicate mixes of a warm batch still hit. *)
+
+val run_many_robust :
+  t ->
+  ?group:string ->
+  ?mode:mode ->
+  ?use_index:bool ->
+  ?budget:Smoqe_robust.Budget.t ->
+  ?use_tables:bool ->
+  string list ->
+  (outcome, Smoqe_robust.Error.t) result array * Smoqe_hype.Stats.t
+(** Answer every query of the batch in one shared pass.  Results align
+    with the input list.  Each successful outcome carries the member's own
+    answers (and serialized fragments) with a private copy of the shared
+    pass's counters, [stats.answers] set per member; the second component
+    is the joint pass statistics (one [passes_over_data], the batch
+    counters [batch_queries]/[shared_states]/[shared_prefix_hits]/
+    [accept_width] filled in).  A member that fails to parse or compile
+    gets its own [Error] without poisoning the rest; [budget] bounds each
+    member's compile and the {e single} traversal (a trip fails the whole
+    batch — the shared pass is all-or-nothing).  Per-query [trace] is not
+    available on the batch path. *)
+
+val run_many :
+  t ->
+  ?group:string ->
+  ?mode:mode ->
+  ?use_index:bool ->
+  ?budget:Smoqe_robust.Budget.t ->
+  ?use_tables:bool ->
+  string list ->
+  (outcome, string) result array * Smoqe_hype.Stats.t
+(** {!run_many_robust} with rendered errors. *)
+
 (** {1 Multicore serving}
 
     Dispatch queries onto a {!Smoqe_exec.Pool} of domains instead of
@@ -234,3 +281,19 @@ val run_batch :
     successful outcomes' counters ({!Smoqe_hype.Stats.merge_into}): each
     query evaluated with its own domain-local [Stats.t], merged only
     after the futures resolved. *)
+
+val run_many_pooled :
+  t ->
+  pool:Smoqe_exec.Pool.t ->
+  ?group:string ->
+  ?mode:mode ->
+  ?use_index:bool ->
+  ?make_budget:(unit -> Smoqe_robust.Budget.t) ->
+  ?use_tables:bool ->
+  string list ->
+  (outcome, Smoqe_robust.Error.t) result array * Smoqe_hype.Stats.t
+(** {!run_many_robust} sharded across the pool: the batch is split into
+    one contiguous chunk per worker, each chunk evaluated as its own
+    shared pass on its own domain, and the per-chunk results concatenated
+    back into input order.  The second component merges the chunk passes'
+    statistics.  Budgets are makers, per chunk (see {!submit}). *)

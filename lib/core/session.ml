@@ -61,5 +61,37 @@ let run_batch t ~pool ?mode ?use_index ?make_budget ?use_tables texts =
     Engine.run_batch t.engine ~pool ~group ?mode ?use_index ?make_budget
       ?use_tables texts
 
+(* Batch serving under the session's rights: one shared-automaton pass,
+   with the group resolved from the role before anything is compiled. *)
+let run_many_robust t ?mode ?use_index ?budget ?use_tables texts =
+  match
+    Error.guard (fun () ->
+        match t.role with
+        | Admin ->
+          Engine.run_many_robust t.engine ?mode ?use_index ?budget ?use_tables
+            texts
+        | Member group ->
+          Engine.run_many_robust t.engine ~group ?mode ?use_index ?budget
+            ?use_tables texts)
+  with
+  | Ok r -> r
+  | Error e ->
+    (Array.make (List.length texts) (Error e), Smoqe_hype.Stats.zero ())
+
+let run_many t ?mode ?use_index ?budget ?use_tables texts =
+  let results, aggregate =
+    run_many_robust t ?mode ?use_index ?budget ?use_tables texts
+  in
+  (Array.map (Result.map_error Error.to_string) results, aggregate)
+
+let run_many_pooled t ~pool ?mode ?use_index ?make_budget ?use_tables texts =
+  match t.role with
+  | Admin ->
+    Engine.run_many_pooled t.engine ~pool ?mode ?use_index ?make_budget
+      ?use_tables texts
+  | Member group ->
+    Engine.run_many_pooled t.engine ~pool ~group ?mode ?use_index ?make_budget
+      ?use_tables texts
+
 let can_access_document t =
   match t.role with Admin -> true | Member _ -> false

@@ -81,4 +81,40 @@ val run_batch :
 (** Submit all, await all, in submission order, with the aggregated
     statistics of the successful runs (see {!Engine.run_batch}). *)
 
+val run_many :
+  t ->
+  ?mode:Engine.mode ->
+  ?use_index:bool ->
+  ?budget:Smoqe_robust.Budget.t ->
+  ?use_tables:bool ->
+  string list ->
+  (Engine.outcome, string) result array * Smoqe_hype.Stats.t
+(** Answer a whole batch in one shared-automaton document pass under the
+    session's rights (see {!Engine.run_many_robust}): member automata are
+    merged prefix-sharing-style, duplicates collapse onto one accept set,
+    and the merged plan is cached per group — a member can only ever hit
+    batch plans rewritten through their own view. *)
+
+val run_many_robust :
+  t ->
+  ?mode:Engine.mode ->
+  ?use_index:bool ->
+  ?budget:Smoqe_robust.Budget.t ->
+  ?use_tables:bool ->
+  string list ->
+  (Engine.outcome, Smoqe_robust.Error.t) result array * Smoqe_hype.Stats.t
+(** The typed-error form of {!run_many}. *)
+
+val run_many_pooled :
+  t ->
+  pool:Smoqe_exec.Pool.t ->
+  ?mode:Engine.mode ->
+  ?use_index:bool ->
+  ?make_budget:(unit -> Smoqe_robust.Budget.t) ->
+  ?use_tables:bool ->
+  string list ->
+  (Engine.outcome, Smoqe_robust.Error.t) result array * Smoqe_hype.Stats.t
+(** The batch sharded across a pool, one shared pass per worker (see
+    {!Engine.run_many_pooled}). *)
+
 val can_access_document : t -> bool

@@ -83,9 +83,15 @@ type t = {
   qual_order : int array; (* dependency-topological same-node order *)
   has_value_atoms : bool;
   n_quals : int;
+  (* batch demultiplexing: which queries select at each accept state.  A
+     single-query engine has every select state owned by query 0; a batch
+     engine gets the owner table of the shared-automaton merge.  Candidate
+     recording fans one (node, conds) entry out to each owner's Cans. *)
+  owners : int array array;
+  n_queries : int;
   (* dynamics *)
   cond_val : (Conds.cond, bool) Hashtbl.t;
-  cans : Cans.t;
+  cans : Cans.t array; (* one per query *)
   stats : Stats.t;
   trace : Trace.t option;
   mutable frames : frame array;
@@ -137,7 +143,7 @@ let fresh_frame n_states n_quals () =
     text_acc = None;
   }
 
-let create ?trace ?tables ?(memo_cap = 4096) mfa =
+let create ?trace ?tables ?(memo_cap = 4096) ?owners ?n_queries mfa =
   (match tables with
   | Some tb when Tables.nfa tb != mfa.Mfa.nfa ->
     raise (Driver_error "tables built for a different automaton")
@@ -207,6 +213,23 @@ let create ?trace ?tables ?(memo_cap = 4096) mfa =
   let has_value_atoms =
     Array.exists (fun (a : Afa.atom) -> a.Afa.value <> None) mfa.Mfa.atoms
   in
+  let n_queries =
+    match (n_queries, owners) with
+    | Some n, _ -> max 1 n
+    | None, None -> 1
+    | None, Some ow ->
+      let m = ref 0 in
+      Array.iter (Array.iter (fun q -> if q >= !m then m := q + 1)) ow;
+      max 1 !m
+  in
+  let owners =
+    match owners with
+    | Some ow ->
+      if Array.length ow <> n_states then
+        raise (Driver_error "owners table sized for a different automaton");
+      ow
+    | None -> Array.make n_states [| 0 |]
+  in
   {
     mfa;
     tables;
@@ -217,8 +240,10 @@ let create ?trace ?tables ?(memo_cap = 4096) mfa =
     qual_order;
     has_value_atoms;
     n_quals;
+    owners;
+    n_queries;
     cond_val = Hashtbl.create 256;
-    cans = Cans.create ();
+    cans = Array.init n_queries (fun _ -> Cans.create ());
     stats = Stats.create ();
     trace;
     frames = Array.init 64 (fun _ -> fresh_frame n_states n_quals ());
@@ -243,7 +268,8 @@ let create ?trace ?tables ?(memo_cap = 4096) mfa =
   }
 
 let stats t = t.stats
-let cans t = t.cans
+let n_queries t = t.n_queries
+let cans_size t = Array.fold_left (fun acc c -> acc + Cans.size c) 0 t.cans
 let set_checkpoint t f = t.on_checkpoint <- Some f
 
 let trace_mark t node m =
@@ -305,10 +331,13 @@ let rec push_item t frame item =
     t.out_items <- item :: t.out_items;
     t.n_out <- t.n_out + 1;
     if t.select_accept.(item.state) then begin
-      t.stats.Stats.candidates <- t.stats.Stats.candidates + 1;
+      let ow = t.owners.(item.state) in
+      t.stats.Stats.candidates <- t.stats.Stats.candidates + Array.length ow;
       t.entered_candidate <- true;
       trace_mark t frame.node Trace.In_cans;
-      Cans.add t.cans ~node:frame.node item.conds
+      Array.iter
+        (fun q -> Cans.add t.cans.(q) ~node:frame.node item.conds)
+        ow
     end;
     push_eps t frame item nfa.Nfa.eps.(item.state)
   end
@@ -487,11 +516,12 @@ let table_step t tb parent tag =
    one per accepting state (mirrors the generic per-item recording). *)
 let record_set_candidates t node accepts =
   Array.iter
-    (fun _s ->
-      t.stats.Stats.candidates <- t.stats.Stats.candidates + 1;
+    (fun s ->
+      let ow = t.owners.(s) in
+      t.stats.Stats.candidates <- t.stats.Stats.candidates + Array.length ow;
       t.entered_candidate <- true;
       trace_mark t node Trace.In_cans;
-      Cans.add t.cans ~node Conds.empty)
+      Array.iter (fun q -> Cans.add t.cans.(q) ~node Conds.empty) ow)
     accepts
 
 (* --- frames ---------------------------------------------------------------- *)
@@ -900,22 +930,28 @@ let may_accept_value_here t =
     raise (Driver_error "may_accept_value_here without a current node");
   (t.frames.(t.depth - 1)).may_accept_value
 
-let finish t =
+let finish_many t =
   if t.depth <> 0 then raise (Driver_error "finish with open nodes");
   if t.finished then raise (Driver_error "finish called twice");
   t.finished <- true;
-  let answers =
-    Cans.resolve t.cans ~lookup:(fun cond ->
-        match Hashtbl.find_opt t.cond_val cond with
-        | Some v -> v
-        | None ->
-          raise
-            (Driver_error
-               (Printf.sprintf "unresolved condition q%d@%d" (fst cond)
-                  (snd cond))))
+  let lookup cond =
+    match Hashtbl.find_opt t.cond_val cond with
+    | Some v -> v
+    | None ->
+      raise
+        (Driver_error
+           (Printf.sprintf "unresolved condition q%d@%d" (fst cond) (snd cond)))
   in
-  t.stats.Stats.answers <- List.length answers;
+  let per = Array.map (fun c -> Cans.resolve c ~lookup) t.cans in
+  t.stats.Stats.answers <-
+    Array.fold_left (fun acc l -> acc + List.length l) 0 per;
   (match t.trace with
   | None -> ()
-  | Some tr -> List.iter (fun n -> Trace.mark tr n Trace.Answer) answers);
-  answers
+  | Some tr ->
+    Array.iter (List.iter (fun n -> Trace.mark tr n Trace.Answer)) per);
+  per
+
+let finish t =
+  let per = finish_many t in
+  if Array.length per = 1 then per.(0)
+  else List.sort_uniq compare (List.concat (Array.to_list per))

@@ -36,6 +36,8 @@ val create :
   ?trace:Trace.t ->
   ?tables:Smoqe_automata.Tables.t ->
   ?memo_cap:int ->
+  ?owners:int array array ->
+  ?n_queries:int ->
   Smoqe_automata.Mfa.t ->
   t
 (** Without [tables] the engine steps the NFA generically (string tests,
@@ -46,7 +48,16 @@ val create :
     re-attach their node-local Conds per node, so qualifier semantics are
     identical on both paths.  [memo_cap] (default 4096, mainly for tests)
     bounds the distinct state sets interned before the lazy DFA is
-    flushed and rebuilt. *)
+    flushed and rebuilt.
+
+    [owners] turns the engine into a {e batch} evaluator for a
+    shared-automaton merge ({!Smoqe_automata.Shared}): it maps each accept
+    state to the queries that select there (the merge's [owners] table,
+    sized exactly to the automaton; [Driver_error] otherwise), and every
+    candidate recorded at that state is fanned out to each owner's private
+    Cans.  [n_queries] fixes the batch width (deduced from [owners] when
+    omitted).  Without [owners] the engine is the plain single-query
+    evaluator: one implicit owner, query 0. *)
 
 val enter : t -> id:int -> kind:kind -> verdict
 (** Pre-visit a node.  [id] must be the node's pre-order rank (ids are only
@@ -80,10 +91,23 @@ val may_accept_value_here : t -> bool
 
 val finish : t -> int list
 (** End of document: resolve Cans and return the answers (pre-order ids,
-    ascending).  The driver must have closed every node. *)
+    ascending).  The driver must have closed every node.  On a batch
+    engine this is the sorted union over all queries — batch drivers want
+    {!finish_many}. *)
+
+val finish_many : t -> int list array
+(** Like {!finish}, demultiplexed: answers per query (index = owner id),
+    each list ascending.  Length is the batch width — [[| answers |]] on a
+    single-query engine.  Like [finish], may only be called once. *)
 
 val stats : t -> Stats.t
-val cans : t -> Cans.t
+
+val n_queries : t -> int
+(** Batch width (1 for a plain engine). *)
+
+val cans_size : t -> int
+(** Total candidate entries currently held across all queries' Cans —
+    what resource budgets audit. *)
 
 val set_checkpoint : t -> (int -> unit) -> unit
 (** Install a callback fired from {!enter} every 32nd node with the

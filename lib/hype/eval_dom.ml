@@ -5,11 +5,20 @@ module Mfa = Smoqe_automata.Mfa
 module Budget = Smoqe_robust.Budget
 module Failpoint = Smoqe_robust.Failpoint
 
+module Shared = Smoqe_automata.Shared
+
 type result = {
   answers : int list;
   stats : Stats.t;
   cans_size : int;
   budget_hit : (string * string) option;
+}
+
+type many_result = {
+  by_query : int list array;
+  m_stats : Stats.t;
+  m_cans_size : int;
+  m_budget_hit : (string * string) option;
 }
 
 (* Per-state pruning data, specialized against one document's tag table:
@@ -39,8 +48,8 @@ let prune_table mfa tree =
         else Check (Array.of_list !ids, text))
     needs
 
-let run ?tax ?(prune_threshold = 48) ?budget ?trace ?tables ?use_tables
-    ?memo_cap mfa tree =
+let run_core ?tax ?(prune_threshold = 48) ?budget ?trace ?tables ?use_tables
+    ?memo_cap ?owners ?n_queries mfa tree =
   let use_tables =
     match use_tables with
     | Some b -> b
@@ -58,10 +67,9 @@ let run ?tax ?(prune_threshold = 48) ?budget ?trace ?tables ?use_tables
         let tb = Smoqe_automata.Tables.of_tree mfa.Mfa.nfa tree in
         (Some tb, Smoqe_automata.Tables.spec_us tb)
   in
-  let engine = Engine.create ?trace ?tables ?memo_cap mfa in
+  let engine = Engine.create ?trace ?tables ?memo_cap ?owners ?n_queries mfa in
   let stats = Engine.stats engine in
   stats.Stats.table_spec_us <- spec_us;
-  let cans = Engine.cans engine in
   let settled = ref 0 in
   (* The budget rides the engine's own node counter (see
      {!Engine.set_checkpoint}): it settles every 32 nodes, audits the
@@ -75,7 +83,7 @@ let run ?tax ?(prune_threshold = 48) ?budget ?trace ?tables ?use_tables
     Engine.set_checkpoint engine (fun n ->
         Budget.tick_nodes b (n - !settled);
         settled := n;
-        if n land 255 = 0 then Budget.check_cans b (Cans.size cans)));
+        if n land 255 = 0 then Budget.check_cans b (Engine.cans_size engine)));
   let checkpoint () = Failpoint.trigger "hype.step" in
   let final_check () =
     match budget with
@@ -83,7 +91,7 @@ let run ?tax ?(prune_threshold = 48) ?budget ?trace ?tables ?use_tables
     | Some b ->
       Budget.tick_nodes b (stats.Stats.nodes_entered - !settled);
       settled := stats.Stats.nodes_entered;
-      Budget.check_cans b (Cans.size cans);
+      Budget.check_cans b (Engine.cans_size engine);
       Budget.check_deadline b
   in
   let skip_subtree n m count_field =
@@ -147,14 +155,46 @@ let run ?tax ?(prune_threshold = 48) ?budget ?trace ?tables ?use_tables
      visit Tree.root;
      final_check ()
    with Budget.Exceeded { what; limit } -> budget_hit := Some (what, limit));
+  (engine, stats, !budget_hit)
+
+let run ?tax ?prune_threshold ?budget ?trace ?tables ?use_tables ?memo_cap mfa
+    tree =
+  let engine, stats, budget_hit =
+    run_core ?tax ?prune_threshold ?budget ?trace ?tables ?use_tables ?memo_cap
+      mfa tree
+  in
   (* On a budget stop the traversal is incomplete: answers cannot be
      resolved, but the statistics accumulated so far are still reported. *)
-  let answers = match !budget_hit with
-    | None -> Engine.finish engine
-    | Some _ -> []
+  let answers =
+    match budget_hit with None -> Engine.finish engine | Some _ -> []
   in
   Stats.note_tables stats;
-  { answers; stats; cans_size = Cans.size cans; budget_hit = !budget_hit }
+  { answers; stats; cans_size = Engine.cans_size engine; budget_hit }
+
+let run_many ?tax ?prune_threshold ?budget ?trace ?tables ?use_tables ?memo_cap
+    (sh : Shared.t) tree =
+  let engine, stats, budget_hit =
+    run_core ?tax ?prune_threshold ?budget ?trace ?tables ?use_tables ?memo_cap
+      ~owners:sh.Shared.owners ~n_queries:sh.Shared.n_queries sh.Shared.mfa
+      tree
+  in
+  stats.Stats.batch_queries <- sh.Shared.n_queries;
+  stats.Stats.shared_states <- sh.Shared.merged_states;
+  stats.Stats.shared_saved <- Shared.saved_states sh;
+  stats.Stats.shared_prefix_hits <- sh.Shared.prefix_hits;
+  stats.Stats.accept_width <- sh.Shared.accept_width;
+  let by_query =
+    match budget_hit with
+    | None -> Engine.finish_many engine
+    | Some _ -> Array.make sh.Shared.n_queries []
+  in
+  Stats.note_tables stats;
+  {
+    by_query;
+    m_stats = stats;
+    m_cans_size = Engine.cans_size engine;
+    m_budget_hit = budget_hit;
+  }
 
 let eval ?tax tree path =
   let mfa = Smoqe_automata.Compile.compile path in

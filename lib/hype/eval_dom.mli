@@ -39,6 +39,32 @@ val run :
     holds without checking.  [memo_cap] is forwarded to {!Engine.create}
     (tests exercise lazy-DFA flushes with tiny caps). *)
 
+type many_result = {
+  by_query : int list array;  (** answers per batch query, document order *)
+  m_stats : Stats.t;  (** one shared pass: traversal counters are joint *)
+  m_cans_size : int;
+  m_budget_hit : (string * string) option;
+}
+
+val run_many :
+  ?tax:Smoqe_tax.Tax.t ->
+  ?prune_threshold:int ->
+  ?budget:Smoqe_robust.Budget.t ->
+  ?trace:Trace.t ->
+  ?tables:Smoqe_automata.Tables.t ->
+  ?use_tables:bool ->
+  ?memo_cap:int ->
+  Smoqe_automata.Shared.t ->
+  Smoqe_xml.Tree.t ->
+  many_result
+(** One traversal answering every query of a shared-automaton batch
+    ({!Smoqe_automata.Shared.merge}): the combined NFA rides the same
+    table/lazy-DFA machinery as {!run} — the interned state sets just get
+    wider — and candidates demultiplex to per-query answer lists through
+    the merge's owner table.  [tables], if supplied, must specialize the
+    {e merged} automaton.  A tripped budget empties every query's answers
+    (the shared pass is all-or-nothing). *)
+
 val eval :
   ?tax:Smoqe_tax.Tax.t ->
   Smoqe_xml.Tree.t ->

@@ -3,6 +3,8 @@ module Serializer = Smoqe_xml.Serializer
 module Budget = Smoqe_robust.Budget
 module Failpoint = Smoqe_robust.Failpoint
 
+module Shared = Smoqe_automata.Shared
+
 type result = {
   answers : int list;
   captured : (int * string) list;
@@ -10,6 +12,15 @@ type result = {
   cans_size : int;
   n_nodes : int;
   budget_hit : (string * string) option;
+}
+
+type many_result = {
+  by_query : int list array;
+  by_query_captured : (int * string) list array;
+  m_stats : Stats.t;
+  m_cans_size : int;
+  m_n_nodes : int;
+  m_budget_hit : (string * string) option;
 }
 
 (* Per open element: was the engine entered for it, and are its children
@@ -28,8 +39,8 @@ type capture = {
   mutable open_elements : int;
 }
 
-let run_generic ?(capture = false) ?budget ?trace ?use_tables ?memo_cap mfa
-    next =
+let run_core ~capture ?budget ?trace ?use_tables ?memo_cap ?owners ?n_queries
+    mfa next =
   let use_tables =
     match use_tables with
     | Some b -> b
@@ -43,13 +54,12 @@ let run_generic ?(capture = false) ?budget ?trace ?use_tables ?memo_cap mfa
       Some (Smoqe_automata.Tables.dynamic mfa.Smoqe_automata.Mfa.nfa)
     else None
   in
-  let engine = Engine.create ?trace ?tables ?memo_cap mfa in
+  let engine = Engine.create ?trace ?tables ?memo_cap ?owners ?n_queries mfa in
   let stats = Engine.stats engine in
   (match tables with
   | Some tb ->
     stats.Stats.table_spec_us <- Smoqe_automata.Tables.spec_us tb
   | None -> ());
-  let cans = Engine.cans engine in
   let ticks = ref 0 in
   let checkpoint =
     (* Same amortization as Eval_dom: one local increment per event, the
@@ -64,7 +74,7 @@ let run_generic ?(capture = false) ?budget ?trace ?use_tables ?memo_cap mfa
         ticks := k;
         if k land 31 = 0 then begin
           Budget.tick_nodes b 32;
-          if k land 255 = 0 then Budget.check_cans b (Cans.size cans)
+          if k land 255 = 0 then Budget.check_cans b (Engine.cans_size engine)
         end
   in
   let final_check () =
@@ -74,7 +84,7 @@ let run_generic ?(capture = false) ?budget ?trace ?use_tables ?memo_cap mfa
       (match !ticks land 31 with
       | 0 -> ()
       | rest -> Budget.tick_nodes b rest);
-      Budget.check_cans b (Cans.size cans);
+      Budget.check_cans b (Engine.cans_size engine);
       Budget.check_deadline b
   in
   let next_id = ref 0 in
@@ -201,30 +211,84 @@ let run_generic ?(capture = false) ?budget ?trace ?use_tables ?memo_cap mfa
      loop ();
      final_check ()
    with Budget.Exceeded { what; limit } -> budget_hit := Some (what, limit));
+  (engine, stats, finished_captures, !next_id, !budget_hit)
+
+(* Serialized fragments for one answer list, from the per-node capture
+   store (node ids are query-agnostic, so a batch shares the store). *)
+let captures_for finished_captures answers =
+  List.filter_map
+    (fun n ->
+      Option.map (fun s -> (n, s)) (Hashtbl.find_opt finished_captures n))
+    answers
+
+let run_generic ?(capture = false) ?budget ?trace ?use_tables ?memo_cap mfa
+    next =
+  let engine, stats, finished_captures, n_nodes, budget_hit =
+    run_core ~capture ?budget ?trace ?use_tables ?memo_cap mfa next
+  in
   let answers =
-    match !budget_hit with None -> Engine.finish engine | Some _ -> []
+    match budget_hit with None -> Engine.finish engine | Some _ -> []
   in
   Stats.note_tables stats;
   let captured =
-    if not capture then []
-    else
-      List.filter_map
-        (fun n ->
-          Option.map (fun s -> (n, s)) (Hashtbl.find_opt finished_captures n))
-        answers
+    if not capture then [] else captures_for finished_captures answers
   in
   {
     answers;
     captured;
     stats;
-    cans_size = Cans.size cans;
-    n_nodes = !next_id;
-    budget_hit = !budget_hit;
+    cans_size = Engine.cans_size engine;
+    n_nodes;
+    budget_hit;
+  }
+
+let run_many_generic ?(capture = false) ?budget ?trace ?use_tables ?memo_cap
+    (sh : Shared.t) next =
+  let engine, stats, finished_captures, n_nodes, budget_hit =
+    run_core ~capture ?budget ?trace ?use_tables ?memo_cap
+      ~owners:sh.Shared.owners ~n_queries:sh.Shared.n_queries sh.Shared.mfa
+      next
+  in
+  stats.Stats.batch_queries <- sh.Shared.n_queries;
+  stats.Stats.shared_states <- sh.Shared.merged_states;
+  stats.Stats.shared_saved <- Shared.saved_states sh;
+  stats.Stats.shared_prefix_hits <- sh.Shared.prefix_hits;
+  stats.Stats.accept_width <- sh.Shared.accept_width;
+  let by_query =
+    match budget_hit with
+    | None -> Engine.finish_many engine
+    | Some _ -> Array.make sh.Shared.n_queries []
+  in
+  Stats.note_tables stats;
+  let by_query_captured =
+    if not capture then Array.make sh.Shared.n_queries []
+    else Array.map (captures_for finished_captures) by_query
+  in
+  {
+    by_query;
+    by_query_captured;
+    m_stats = stats;
+    m_cans_size = Engine.cans_size engine;
+    m_n_nodes = n_nodes;
+    m_budget_hit = budget_hit;
   }
 
 let run ?capture ?budget ?trace ?use_tables ?memo_cap mfa pull =
   run_generic ?capture ?budget ?trace ?use_tables ?memo_cap mfa (fun () ->
       Pull.next pull)
+
+let run_many ?capture ?budget ?trace ?use_tables ?memo_cap sh pull =
+  run_many_generic ?capture ?budget ?trace ?use_tables ?memo_cap sh (fun () ->
+      Pull.next pull)
+
+let run_many_events ?capture ?budget ?trace ?use_tables ?memo_cap sh events =
+  let remaining = ref events in
+  run_many_generic ?capture ?budget ?trace ?use_tables ?memo_cap sh (fun () ->
+      match !remaining with
+      | [] -> None
+      | ev :: rest ->
+        remaining := rest;
+        Some ev)
 
 let run_events ?capture ?budget ?trace ?use_tables ?memo_cap mfa events =
   let remaining = ref events in

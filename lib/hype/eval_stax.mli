@@ -25,6 +25,41 @@ type result = {
           [answers] is empty, [stats] holds the partial counters *)
 }
 
+type many_result = {
+  by_query : int list array;  (** answers per batch query, document order *)
+  by_query_captured : (int * string) list array;
+      (** per-query serialized fragments; all [[]] unless capturing *)
+  m_stats : Stats.t;
+  m_cans_size : int;
+  m_n_nodes : int;
+  m_budget_hit : (string * string) option;
+}
+
+val run_many :
+  ?capture:bool ->
+  ?budget:Smoqe_robust.Budget.t ->
+  ?trace:Trace.t ->
+  ?use_tables:bool ->
+  ?memo_cap:int ->
+  Smoqe_automata.Shared.t ->
+  Smoqe_xml.Pull.t ->
+  many_result
+(** One scan answering every query of a shared-automaton batch
+    ({!Smoqe_automata.Shared.merge}); the per-node capture store is shared
+    and fragments demultiplex with the answers.  A tripped budget empties
+    every query's answers. *)
+
+val run_many_events :
+  ?capture:bool ->
+  ?budget:Smoqe_robust.Budget.t ->
+  ?trace:Trace.t ->
+  ?use_tables:bool ->
+  ?memo_cap:int ->
+  Smoqe_automata.Shared.t ->
+  Smoqe_xml.Pull.event list ->
+  many_result
+(** {!run_many} over an already-materialized event list. *)
+
 val run :
   ?capture:bool ->
   ?budget:Smoqe_robust.Budget.t ->

@@ -17,6 +17,11 @@ type t = {
   mutable memo_misses : int;
   mutable memo_evictions : int;
   mutable table_spec_us : int;
+  mutable batch_queries : int;
+  mutable shared_states : int;
+  mutable shared_saved : int;
+  mutable shared_prefix_hits : int;
+  mutable accept_width : int;
 }
 
 let create () =
@@ -39,6 +44,11 @@ let create () =
     memo_misses = 0;
     memo_evictions = 0;
     table_spec_us = 0;
+    batch_queries = 0;
+    shared_states = 0;
+    shared_saved = 0;
+    shared_prefix_hits = 0;
+    accept_width = 0;
   }
 
 let zero () =
@@ -64,7 +74,12 @@ let merge_into ~into s =
   into.memo_hits <- into.memo_hits + s.memo_hits;
   into.memo_misses <- into.memo_misses + s.memo_misses;
   into.memo_evictions <- into.memo_evictions + s.memo_evictions;
-  into.table_spec_us <- into.table_spec_us + s.table_spec_us
+  into.table_spec_us <- into.table_spec_us + s.table_spec_us;
+  into.batch_queries <- into.batch_queries + s.batch_queries;
+  into.shared_states <- into.shared_states + s.shared_states;
+  into.shared_saved <- into.shared_saved + s.shared_saved;
+  into.shared_prefix_hits <- into.shared_prefix_hits + s.shared_prefix_hits;
+  into.accept_width <- max into.accept_width s.accept_width
 
 (* Process-wide aggregate of the table-layer counters, independent of who
    keeps the per-query [t]: bench artifacts read it so every
@@ -114,6 +129,11 @@ let to_assoc t =
     ("memo_misses", t.memo_misses);
     ("memo_evictions", t.memo_evictions);
     ("table_spec_us", t.table_spec_us);
+    ("batch_queries", t.batch_queries);
+    ("shared_states", t.shared_states);
+    ("shared_saved", t.shared_saved);
+    ("shared_prefix_hits", t.shared_prefix_hits);
+    ("accept_width", t.accept_width);
   ]
 
 let pp ppf t =
@@ -128,6 +148,12 @@ let pp ppf t =
   if t.memo_hits + t.memo_misses + t.table_spec_us > 0 then
     Fmt.pf ppf "@ tables: %d memo hits, %d misses, %d evictions, specialize %dus"
       t.memo_hits t.memo_misses t.memo_evictions t.table_spec_us;
+  if t.batch_queries > 0 then
+    Fmt.pf ppf
+      "@ batch: %d queries, %d merged states (%d saved), %d prefix hits, \
+       accept width %d"
+      t.batch_queries t.shared_states t.shared_saved t.shared_prefix_hits
+      t.accept_width;
   if degraded t then
     Fmt.pf ppf "@ degraded:%s%s"
       (if t.degraded_no_index > 0 then " index unavailable -> unindexed DOM"

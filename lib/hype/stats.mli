@@ -33,6 +33,17 @@ type t = {
   mutable table_spec_us : int;
       (** microseconds spent specializing transition tables for this query
           (0 when a frozen table was reused from the plan) *)
+  mutable batch_queries : int;
+      (** queries served by this shared-automaton batch pass (0 for a
+          plain single-query run) *)
+  mutable shared_states : int;
+      (** states in the merged batch automaton *)
+  mutable shared_saved : int;
+      (** member states the prefix-sharing merge collapsed away *)
+  mutable shared_prefix_hits : int;
+      (** member states fused into an already-merged state *)
+  mutable accept_width : int;
+      (** widest per-state owner set among the batch accept states *)
 }
 
 val create : unit -> t
@@ -46,9 +57,11 @@ val merge_into : into:t -> t -> unit
     reports a batch: each parallel query evaluates with its own
     domain-local [t], and the per-domain results are merged after the
     futures resolve (no counter is ever shared while hot).  Sums every
-    counter except [max_items], which takes the max; the one-valued flags
-    ([degraded_*], [plan_cache_hit]) therefore become {e counts} of
-    affected queries in the aggregate. *)
+    counter except [max_items] and [accept_width], which take the max; the
+    one-valued flags ([degraded_*], [plan_cache_hit]) therefore become
+    {e counts} of affected queries in the aggregate.  Totality over the
+    record is enforced by a unit test — add new fields here, to
+    {!to_assoc} and to the test together. *)
 
 val total_skipped : t -> int
 (** Dead-skipped plus TAX-pruned. *)

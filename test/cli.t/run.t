@@ -128,6 +128,55 @@ A budget-tripped query still exits 3 with the cache on:
   smoqe: budget exceeded: max_nodes (limit 5)
   [3]
 
+Batch serving: --queries-file answers every query of a file (one per
+line, #-comments and blanks skipped) in a single shared-automaton pass.
+The duplicated member is deduplicated before compiling — the aggregate
+counts 2 merged queries for 3 slots — and answers match the per-query runs:
+
+  $ printf '# the batch\n//pname\n\n//medication\n//pname\n' > batch.txt
+  $ smoqe query -d hospital.xml -o ids --queries-file batch.txt
+  == query 1: //pname ==
+  2
+  23
+  33
+  == query 2: //medication ==
+  18
+  37
+  49
+  == query 3: //pname ==
+  2
+  23
+  33
+  $ smoqe query -d hospital.xml -o ids --queries-file batch.txt --stats \
+  >   | sed -n '/== batch aggregate/,$p' | grep -E 'batch_queries|shared_saved'
+  batch_queries: 2
+  shared_saved: 1
+
+Sharded across a pool, the batch prints byte-identical output:
+
+  $ smoqe query -d hospital.xml -o ids --queries-file batch.txt > seq.out
+  $ smoqe query -d hospital.xml -o ids --jobs 2 --queries-file batch.txt > par.out
+  $ diff seq.out par.out
+
+A malformed member fails in its slot without sinking the batch (the exit
+code is the first failure's):
+
+  $ printf '//pname\npatient[\n' > bad.txt
+  $ smoqe query -d hospital.xml -o ids --queries-file bad.txt
+  == query 1: //pname ==
+  2
+  23
+  33
+  == query 2: patient[ ==
+  error: query error: at offset 8: expected a step
+  [1]
+
+A positional QUERY and --queries-file are mutually exclusive:
+
+  $ smoqe query -d hospital.xml --queries-file batch.txt "//pname" 2>&1
+  smoqe: a positional QUERY and --queries-file are mutually exclusive
+  [1]
+
 The depth budget bounds document ingest itself, not just evaluation:
 
   $ smoqe query -d hospital.xml --max-depth 2 "//pname" 2>&1

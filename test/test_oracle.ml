@@ -289,6 +289,228 @@ let test_parallel_property () =
               results)
       done)
 
+(* --- Shared-automaton batch serving: run_many vs N sequential runs -------- *)
+
+(* The full batch matrix: Dom/Stax x tables on/off x cold/warm.  The
+   sequential reference runs on its own engine (sharing nothing with the
+   batch engine), and the batch carries a duplicate of its first query so
+   the dedup fan-out is exercised in every cell.  Byte-identical means
+   answer ids AND serialized XML. *)
+let batch_battery ~name ~dtd ~policy ~doc queries =
+  let texts = List.map snd queries @ [ snd (List.hd queries) ] in
+  let ref_engine = Engine.of_tree ~dtd doc in
+  ok (Engine.register_policy ref_engine ~group:"members" policy);
+  List.iter
+    (fun (mode, mname) ->
+      List.iter
+        (fun use_tables ->
+          let reference =
+            List.map
+              (fun text ->
+                ok
+                  (Engine.query ref_engine ~group:"members" ~mode ~use_tables
+                     text))
+              texts
+          in
+          (* a fresh batch engine per cell, so cold really is cold *)
+          let engine = Engine.of_tree ~dtd doc in
+          ok (Engine.register_policy engine ~group:"members" policy);
+          let serve what ~expect_hit =
+            let label s =
+              Printf.sprintf "%s (%s, tables %b, %s): %s" name mname use_tables
+                what s
+            in
+            let results, agg =
+              Engine.run_many engine ~group:"members" ~mode ~use_tables texts
+            in
+            Alcotest.(check int)
+              (label "one slot per query")
+              (List.length texts) (Array.length results);
+            Array.iteri
+              (fun i r ->
+                match r with
+                | Error e -> Alcotest.failf "%s: %s" (label "member") e
+                | Ok o ->
+                  let re = List.nth reference i in
+                  Alcotest.(check (list int))
+                    (label (Printf.sprintf "answers %d" i))
+                    re.Engine.answers o.Engine.answers;
+                  Alcotest.(check (list string))
+                    (label (Printf.sprintf "xml %d" i))
+                    re.Engine.answer_xml o.Engine.answer_xml)
+              results;
+            (* the appended duplicate must have collapsed onto its twin's
+               accept set: fewer merged queries than batch slots *)
+            Alcotest.(check bool)
+              (label "duplicate deduped")
+              true
+              (agg.Stats.batch_queries > 0
+              && agg.Stats.batch_queries < List.length texts);
+            Alcotest.(check int)
+              (label "plan cache")
+              (if expect_hit then 1 else 0)
+              agg.Stats.plan_cache_hit
+          in
+          serve "cold" ~expect_hit:false;
+          serve "warm" ~expect_hit:true)
+        [ true; false ])
+    modes
+
+let test_batch_hospital () =
+  let doc = Hospital.generate ~seed:7 ~n_patients:4 ~recursion_depth:2 () in
+  batch_battery ~name:"hospital" ~dtd:Hospital.dtd ~policy:Hospital.policy ~doc
+    (Queries.suite @ Queries.view_suite)
+
+let test_batch_bib () =
+  let doc = Bib.generate ~seed:11 ~n_books:4 ~section_depth:3 () in
+  batch_battery ~name:"bib" ~dtd:Bib.dtd ~policy:Bib.policy ~doc
+    Queries.bib_suite
+
+(* The sharded form: one shared pass per pool worker, results re-concatenated
+   in submission order. *)
+let batch_pooled ~name ~dtd ~policy ~doc queries =
+  let texts = List.map snd queries @ [ snd (List.hd queries) ] in
+  let ref_engine = Engine.of_tree ~dtd doc in
+  ok (Engine.register_policy ref_engine ~group:"members" policy);
+  let reference =
+    List.map
+      (fun text ->
+        (ok (Engine.query ref_engine ~group:"members" text)).Engine.answer_xml)
+      texts
+  in
+  let engine = Engine.of_tree ~dtd doc in
+  ok (Engine.register_policy engine ~group:"members" policy);
+  Pool.with_pool ~domains:4 (fun pool ->
+      let results, _ =
+        Engine.run_many_pooled engine ~pool ~group:"members" texts
+      in
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Error e ->
+            Alcotest.failf "%s pooled batch %d: %s" name i (Err.to_string e)
+          | Ok o ->
+            Alcotest.(check (list string))
+              (Printf.sprintf "%s pooled batch %d: sharded = sequential" name i)
+              (List.nth reference i) o.Engine.answer_xml)
+        results)
+
+let test_batch_pooled_hospital () =
+  let doc = Hospital.generate ~seed:7 ~n_patients:4 ~recursion_depth:2 () in
+  batch_pooled ~name:"hospital" ~dtd:Hospital.dtd ~policy:Hospital.policy ~doc
+    (Queries.suite @ Queries.view_suite)
+
+let test_batch_pooled_bib () =
+  let doc = Bib.generate ~seed:11 ~n_books:4 ~section_depth:3 () in
+  batch_pooled ~name:"bib" ~dtd:Bib.dtd ~policy:Bib.policy ~doc
+    Queries.bib_suite
+
+(* A malformed member fails alone: every other slot is still served. *)
+let test_batch_bad_member () =
+  let doc = Hospital.generate ~seed:7 ~n_patients:4 ~recursion_depth:2 () in
+  let engine = Engine.of_tree ~dtd:Hospital.dtd doc in
+  ok (Engine.register_policy engine ~group:"members" Hospital.policy);
+  let good = List.map snd Queries.view_suite in
+  let texts =
+    match good with
+    | g0 :: rest -> (g0 :: "[[[ not a query" :: rest) @ [ g0 ]
+    | [] -> Alcotest.fail "empty view suite"
+  in
+  let reference =
+    List.map
+      (fun text ->
+        match Engine.query engine ~group:"members" text with
+        | Ok o -> Some o.Engine.answer_xml
+        | Error _ -> None)
+      texts
+  in
+  let results, _ = Engine.run_many engine ~group:"members" texts in
+  Array.iteri
+    (fun i r ->
+      match (r, List.nth reference i) with
+      | Error _, None -> ()
+      | Ok o, Some xml ->
+        Alcotest.(check (list string))
+          (Printf.sprintf "surviving member %d" i)
+          xml o.Engine.answer_xml
+      | Ok _, None -> Alcotest.failf "member %d should have failed" i
+      | Error e, Some _ -> Alcotest.failf "member %d failed: %s" i e)
+    results
+
+(* Random DTD/policy draws: batch answers equal per-query answers on the
+   same engine, Dom and Stax, with a duplicated member each draw. *)
+let test_batch_property () =
+  for seed = 1 to 20 do
+    let dtd =
+      Random_dtd.generate ~seed ~n_types:(3 + (seed mod 5))
+        ~recursion:(seed mod 2 = 0) ()
+    in
+    let policy = Random_dtd.random_policy ~seed:(seed * 3 + 1) dtd in
+    match Docgen.generate ~seed:(seed * 5 + 2) ~max_depth:8 ~fanout:2 dtd with
+    | exception Docgen.No_finite_expansion _ -> ()
+    | doc ->
+      let engine = Engine.of_tree ~dtd doc in
+      (match Engine.register_policy engine ~group:"members" policy with
+      | Error _ -> () (* derivation unsupported for this draw: skip *)
+      | Ok () ->
+        let view = Option.get (Engine.view engine ~group:"members") in
+        let tags = Dtd.element_names (Derive.view_dtd view) in
+        let base =
+          List.map
+            (fun s ->
+              Pretty.path_to_string
+                (Random_dtd.random_query ~seed:s ~size:6 ~tags ()))
+            [ (seed * 7) + 3; (seed * 11) + 5; (seed * 13) + 9 ]
+        in
+        let texts = base @ [ List.hd base ] in
+        List.iter
+          (fun (mode, mname) ->
+            let inline =
+              List.map
+                (fun t ->
+                  (ok (Engine.query engine ~group:"members" ~mode t))
+                    .Engine.answer_xml)
+                texts
+            in
+            let results, _ =
+              Engine.run_many engine ~group:"members" ~mode texts
+            in
+            Array.iteri
+              (fun i r ->
+                match r with
+                | Error e ->
+                  Alcotest.failf "seed %d %s q%d: %s" seed mname i e
+                | Ok o ->
+                  Alcotest.(check (list string))
+                    (Printf.sprintf "seed %d %s q%d: batch = inline" seed
+                       mname i)
+                    (List.nth inline i) o.Engine.answer_xml)
+              results)
+          modes)
+  done
+
+(* Spot-check the session road: run_many under a member login equals the
+   member's own sequential runs. *)
+let test_batch_session () =
+  let doc = Hospital.generate ~seed:13 ~n_patients:3 ~recursion_depth:1 () in
+  let engine = Engine.of_tree ~dtd:Hospital.dtd doc in
+  ok (Engine.register_policy engine ~group:"members" Hospital.policy);
+  let session = ok (Session.login engine (Session.Member "members")) in
+  let texts = List.map snd Queries.view_suite in
+  let reference =
+    List.map (fun t -> (ok (Session.run session t)).Engine.answer_xml) texts
+  in
+  let results, _ = Session.run_many session texts in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Error e -> Alcotest.failf "session batch %d: %s" i e
+      | Ok o ->
+        Alcotest.(check (list string))
+          (Printf.sprintf "session batch %d" i)
+          (List.nth reference i) o.Engine.answer_xml)
+    results
+
 let () =
   Alcotest.run "smoqe_oracle"
     [
@@ -307,5 +529,20 @@ let () =
           Alcotest.test_case "bib via pool" `Quick test_parallel_bib;
           Alcotest.test_case "random draws via pool" `Quick
             test_parallel_property;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "hospital run_many matrix" `Quick
+            test_batch_hospital;
+          Alcotest.test_case "bib run_many matrix" `Quick test_batch_bib;
+          Alcotest.test_case "hospital sharded across pool" `Quick
+            test_batch_pooled_hospital;
+          Alcotest.test_case "bib sharded across pool" `Quick
+            test_batch_pooled_bib;
+          Alcotest.test_case "malformed member fails alone" `Quick
+            test_batch_bad_member;
+          Alcotest.test_case "random draws, batch = inline" `Quick
+            test_batch_property;
+          Alcotest.test_case "session road" `Quick test_batch_session;
         ] );
     ]

@@ -1,0 +1,182 @@
+(* Tests for the shared-automaton batch layer: prefix-sharing merge
+   counts, per-query accept demultiplexing, lazy-DFA epoch flushes
+   mid-batch, and totality of Stats.merge_into over the record. *)
+
+module Xml_parser = Smoqe_xml.Parser
+module Rx_parser = Smoqe_rxpath.Parser
+module Compile = Smoqe_automata.Compile
+module Mfa = Smoqe_automata.Mfa
+module Shared = Smoqe_automata.Shared
+module Stats = Smoqe_hype.Stats
+module Eval_dom = Smoqe_hype.Eval_dom
+module Eval_stax = Smoqe_hype.Eval_stax
+
+let parse s =
+  match Rx_parser.path_of_string s with
+  | Ok p -> p
+  | Error msg -> Alcotest.fail (Printf.sprintf "parse %S: %s" s msg)
+
+let compile s = Compile.compile (parse s)
+let merge qs = Shared.merge (Array.of_list (List.map compile qs))
+
+(* --- merge construction ------------------------------------------------- *)
+
+let test_merge_empty () =
+  Alcotest.check_raises "empty batch"
+    (Invalid_argument "Shared.merge: empty batch") (fun () ->
+      ignore (Shared.merge [||]))
+
+let test_merge_single () =
+  let single = compile "//a/b" in
+  let sh = Shared.merge [| single |] in
+  Alcotest.(check int) "one query" 1 sh.Shared.n_queries;
+  Alcotest.(check int) "accept width" 1 sh.Shared.accept_width;
+  (* only the fresh root is added on top of the member *)
+  Alcotest.(check int) "merged = member + root"
+    (Mfa.n_states single + 1)
+    sh.Shared.merged_states
+
+let test_prefix_collapse () =
+  (* the //a prefix spine is shared; only the b/c tails diverge *)
+  let sh = merge [ "//a/b"; "//a/c" ] in
+  Alcotest.(check int) "two queries" 2 sh.Shared.n_queries;
+  Alcotest.(check bool) "states saved" true (Shared.saved_states sh > 0);
+  Alcotest.(check bool) "prefix hits counted" true (sh.Shared.prefix_hits > 0);
+  Alcotest.(check int) "disjoint accepts" 1 sh.Shared.accept_width
+
+let test_identical_collapse () =
+  (* two separate compilations of the same query collapse completely:
+     every state of the second fuses into the first *)
+  let single = compile "//a/b" in
+  let sh = merge [ "//a/b"; "//a/b" ] in
+  Alcotest.(check int) "full collapse"
+    (Mfa.n_states single + 1)
+    sh.Shared.merged_states;
+  Alcotest.(check int) "every state fused" (Mfa.n_states single)
+    sh.Shared.prefix_hits;
+  Alcotest.(check int) "shared accept" 2 sh.Shared.accept_width;
+  (* the shared accept state is owned by both queries, in order *)
+  let widest =
+    Array.fold_left
+      (fun acc ow -> if Array.length ow > Array.length acc then ow else acc)
+      [||] sh.Shared.owners
+  in
+  Alcotest.(check (list int)) "owner order" [ 0; 1 ] (Array.to_list widest)
+
+let test_qualifier_states_not_fused () =
+  (* checked states and atom subgraphs keep per-query identity: merging a
+     qualifier query with itself may still share the check-free prefix but
+     must not collapse fully *)
+  let single = compile "//a[b]/c" in
+  let sh = merge [ "//a[b]/c"; "//a[b]/c" ] in
+  Alcotest.(check bool) "not a full collapse" true
+    (sh.Shared.merged_states > Mfa.n_states single + 1)
+
+(* --- engine demultiplexing ---------------------------------------------- *)
+
+let doc_text =
+  "<r><a><b>1</b><c>2</c><a><b>3</b></a></a><d><a><c>4</c></a></d></r>"
+
+let batch = [ "//a/b"; "//a/c"; "//a[b]/c"; "//a/b" (* duplicate *) ]
+
+let check_demux ~use_tables () =
+  let tree = Xml_parser.tree_of_string doc_text in
+  let sh = merge batch in
+  let m = Eval_dom.run_many ~use_tables sh tree in
+  Alcotest.(check int) "one slot per query" (List.length batch)
+    (Array.length m.Eval_dom.by_query);
+  List.iteri
+    (fun i q ->
+      let solo = Eval_dom.run ~use_tables (compile q) tree in
+      Alcotest.(check (list int))
+        (Printf.sprintf "dom demux %d: %s" i q)
+        solo.Eval_dom.answers
+        m.Eval_dom.by_query.(i))
+    batch;
+  Alcotest.(check int) "batch counter" (List.length batch)
+    m.Eval_dom.m_stats.Stats.batch_queries;
+  Alcotest.(check bool) "width recorded" true
+    (m.Eval_dom.m_stats.Stats.accept_width >= 2);
+  (* same demultiplexing over the event stream *)
+  let events = Xml_parser.events_of_tree tree in
+  let ms = Eval_stax.run_many_events ~use_tables sh events in
+  List.iteri
+    (fun i q ->
+      let solo = Eval_stax.run_events ~use_tables (compile q) events in
+      Alcotest.(check (list int))
+        (Printf.sprintf "stax demux %d: %s" i q)
+        solo.Eval_stax.answers
+        ms.Eval_stax.by_query.(i))
+    batch
+
+let test_demux_tables () = check_demux ~use_tables:true ()
+let test_demux_generic () = check_demux ~use_tables:false ()
+
+let test_memo_flush_mid_batch () =
+  (* a tiny memo cap forces lazy-DFA epoch flushes during the shared pass;
+     answers must match the generic engine exactly *)
+  let tree = Xml_parser.tree_of_string doc_text in
+  let sh = merge batch in
+  let flushed = Eval_dom.run_many ~use_tables:true ~memo_cap:2 sh tree in
+  let generic = Eval_dom.run_many ~use_tables:false sh tree in
+  Alcotest.(check bool) "flushes happened" true
+    (flushed.Eval_dom.m_stats.Stats.memo_evictions > 0);
+  Array.iteri
+    (fun i answers ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "flush-safe query %d" i)
+        generic.Eval_dom.by_query.(i) answers)
+    flushed.Eval_dom.by_query
+
+(* --- stats totality ------------------------------------------------------ *)
+
+let test_stats_merge_total () =
+  (* Stats.t is an all-int record: poke every physical field to a non-zero
+     value by reflection, merge into a zero record, and require every field
+     to come through.  A counter added to the record but forgotten in
+     merge_into (or in to_assoc) fails here. *)
+  let s = Stats.zero () in
+  let r = Obj.repr s in
+  let n = Obj.size r in
+  for i = 0 to n - 1 do
+    assert (Obj.is_int (Obj.field r i));
+    Obj.set_field r i (Obj.repr (i + 1))
+  done;
+  let into = Stats.zero () in
+  Stats.merge_into ~into s;
+  let ir = Obj.repr into in
+  for i = 0 to n - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "field %d survives merge_into" i)
+      true
+      ((Obj.obj (Obj.field ir i) : int) > 0)
+  done;
+  Alcotest.(check int) "to_assoc covers the record" n
+    (List.length (Stats.to_assoc s))
+
+let () =
+  Alcotest.run "smoqe_shared"
+    [
+      ( "merge",
+        [
+          Alcotest.test_case "empty batch rejected" `Quick test_merge_empty;
+          Alcotest.test_case "single query" `Quick test_merge_single;
+          Alcotest.test_case "prefix collapse" `Quick test_prefix_collapse;
+          Alcotest.test_case "identical collapse" `Quick
+            test_identical_collapse;
+          Alcotest.test_case "qualifier states stay private" `Quick
+            test_qualifier_states_not_fused;
+        ] );
+      ( "demux",
+        [
+          Alcotest.test_case "dom+stax, tables" `Quick test_demux_tables;
+          Alcotest.test_case "dom+stax, generic" `Quick test_demux_generic;
+          Alcotest.test_case "memo flush mid-batch" `Quick
+            test_memo_flush_mid_batch;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "merge_into is total" `Quick
+            test_stats_merge_total;
+        ] );
+    ]
