@@ -1118,6 +1118,26 @@ let e14 () =
 
 (* --- E15: shared-automaton batch serving ---------------------------------- *)
 
+(* The E15 serving workload: a pub/sub subscriber mix of 20 descendant
+   spines x 5 leaf finishers = 100 distinct view queries over the E13
+   random recursive DTD.  Every spine ends at t9 (live on the view
+   DTD's t9->t10->t1 cycle) and every finisher is a child chain down
+   the cycle, so answers are rare and evaluation dominates.  E16 reuses
+   the spines with t11-free finishers. *)
+let serving_mix =
+  let spines =
+    [ "//t0//t9"; "//t6//t9"; "//t7//t9"; "//t10//t9"; "//t1//t9";
+      "//t9//t9"; "//t0//t1//t9"; "//t6//t1//t9"; "//t7//t1//t9";
+      "//t10//t1//t9"; "//t0//t10//t9"; "//t6//t10//t9"; "//t7//t10//t9";
+      "//t1//t10//t9"; "//t9//t10//t9"; "//t9//t1//t9"; "//t0//t7//t9";
+      "//t6//t7//t9"; "//t7//t7//t9"; "//t0//t6//t9" ]
+  in
+  let finishers =
+    [ "/t10/t11"; "/t10/t1/t9/t10/t11"; "/t10/t1/t9/t10/t1/t9/t10/t11";
+      "//t1/t9/t10/t11"; "//t10/t1/t9/t10/t11" ]
+  in
+  List.concat_map (fun s -> List.map (fun f -> s ^ f) finishers) spines
+
 let e15 () =
   banner "E15"
     "shared-automaton batch serving: one HyPE pass for N queries \
@@ -1152,20 +1172,7 @@ let e15 () =
      either arm).  Every finisher is a child chain down the cycle ending
      at the t11 leaf, so answers are rare and the fragments tiny:
      evaluation, not serialization, dominates both arms. *)
-  let spines =
-    [ "//t0//t9"; "//t6//t9"; "//t7//t9"; "//t10//t9"; "//t1//t9";
-      "//t9//t9"; "//t0//t1//t9"; "//t6//t1//t9"; "//t7//t1//t9";
-      "//t10//t1//t9"; "//t0//t10//t9"; "//t6//t10//t9"; "//t7//t10//t9";
-      "//t1//t10//t9"; "//t9//t10//t9"; "//t9//t1//t9"; "//t0//t7//t9";
-      "//t6//t7//t9"; "//t7//t7//t9"; "//t0//t6//t9" ]
-  in
-  let finishers =
-    [ "/t10/t11"; "/t10/t1/t9/t10/t11"; "/t10/t1/t9/t10/t1/t9/t10/t11";
-      "//t1/t9/t10/t11"; "//t10/t1/t9/t10/t11" ]
-  in
-  let mix =
-    List.concat_map (fun s -> List.map (fun f -> s ^ f) finishers) spines
-  in
+  let mix = serving_mix in
   assert (List.length mix = 100);
   let reps = if smoke then 3 else 8 in
   let time_min f =
@@ -1264,6 +1271,150 @@ let e15 () =
          ("gate", J.Str verdict);
          ("pass", J.Bool (verdict = "PASS")) ])
 
+(* --- E16: mixed read/update serving --------------------------------------- *)
+
+let e16 () =
+  banner "E16"
+    "mixed read/update serving: incremental maintenance under writes \
+     (gates: warm mixed throughput >= 0.8x read-only; plan-cache hit rate \
+     >= 0.9 in the mixed phase)";
+  let smoke = Sys.getenv_opt "SMOQE_BENCH_SMOKE" <> None in
+  if smoke then Printf.printf "smoke mode: reduced document and repetitions\n";
+  let ok = function Ok v -> v | Error msg -> failwith msg in
+  (* The E15 serving setup: recursive random DTD, condition-free policy,
+     the 100-query subscriber mix, every plan resident. *)
+  let dtd = Random_dtd.generate ~seed:29 ~n_types:12 ~recursion:true () in
+  let policy = Random_dtd.random_policy ~seed:17 ~cond_ratio:0.0 dtd in
+  let doc =
+    if smoke then Docgen.generate ~seed:5 ~max_depth:10 ~fanout:4 dtd
+    else Docgen.generate ~seed:5 ~max_depth:12 ~fanout:5 dtd
+  in
+  let engine = Engine.of_tree ~dtd doc in
+  ok (Engine.register_policy engine ~group:"members" policy);
+  Engine.set_plan_cache_capacity engine 256;
+  Engine.build_index engine;
+  (* E15's spines over finishers that stop above the t11 leaves: 100
+     distinct view queries naming only t0/t1/t6/t7/t9/t10.  The t11
+     leaves (the most numerous element type) are then "quiet": an
+     identity replace of one has tag footprint {t11}, disjoint from
+     every cached plan's scope, so the subtree-scoped invalidation
+     drops nothing and the mixed phase should stay all-hits. *)
+  let spines =
+    [ "//t0//t9"; "//t6//t9"; "//t7//t9"; "//t10//t9"; "//t1//t9";
+      "//t9//t9"; "//t0//t1//t9"; "//t6//t1//t9"; "//t7//t1//t9";
+      "//t10//t1//t9"; "//t0//t10//t9"; "//t6//t10//t9"; "//t7//t10//t9";
+      "//t1//t10//t9"; "//t9//t10//t9"; "//t9//t1//t9"; "//t0//t7//t9";
+      "//t6//t7//t9"; "//t7//t7//t9"; "//t0//t6//t9" ]
+  in
+  let finishers =
+    [ "/t10"; "/t10/t1"; "/t10/t1/t9"; "/t10/t1/t9/t10"; "//t1/t9/t10" ]
+  in
+  let mix =
+    List.concat_map (fun s -> List.map (fun f -> s ^ f) finishers) spines
+  in
+  assert (List.length mix = 100);
+  Printf.printf "document: %d nodes, %d-query mix, 1 update per pass\n"
+    (Tree.n_nodes doc) (List.length mix);
+  let quiet name = name = "t11" in
+  let candidates =
+    let acc = ref [] in
+    for n = Tree.n_nodes doc - 1 downto 1 do
+      if (not (Tree.is_text doc n))
+         && List.for_all quiet (Tree.subtree_element_names doc n)
+      then acc := n :: !acc
+    done;
+    !acc
+  in
+  if candidates = [] then failwith "e16: no quiet update candidate";
+  Printf.printf "update candidates: %d quiet subtrees\n" (List.length candidates);
+  let n_cand = List.length candidates in
+  let next_cand = ref 0 in
+  let updates = ref 0 and plans_dropped = ref 0 in
+  let apply_update () =
+    let d = Engine.document engine in
+    let n = List.nth candidates (!next_cand mod n_cand) in
+    incr next_cand;
+    let r = ok (Engine.update engine (Smoqe_update.Update.Replace
+                  (Smoqe_update.Update.By_id n, Tree.to_source d n))) in
+    incr updates;
+    plans_dropped := !plans_dropped + r.Engine.up_plans_dropped;
+    if not r.Engine.up_index_maintained then
+      failwith "e16: TAX index was not incrementally maintained"
+  in
+  let run_mix () =
+    List.iter
+      (fun q ->
+        ignore
+          (Sys.opaque_identity (ok (Engine.query engine ~group:"members" q))))
+      mix
+  in
+  let reps = if smoke then 3 else 8 in
+  let time_min f =
+    f ();
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  (* Warm: every plan compiled and cached, tables frozen. *)
+  run_mix ();
+  let baseline =
+    List.map
+      (fun q -> (ok (Engine.query engine ~group:"members" q)).Engine.answer_xml)
+      mix
+  in
+  let read_s = time_min run_mix in
+  let counters0 = Engine.plan_cache_counters engine in
+  (* Mixed phase: each pass is the full 100-query mix plus one
+     administrative identity update — a 1% write rate. *)
+  let mixed_s = time_min (fun () -> run_mix (); apply_update ()) in
+  let counters1 = Engine.plan_cache_counters engine in
+  let delta key =
+    List.assoc key counters1 - List.assoc key counters0
+  in
+  let d_hits = delta "hits" and d_misses = delta "misses" in
+  let hit_rate =
+    if d_hits + d_misses = 0 then 1.0
+    else float_of_int d_hits /. float_of_int (d_hits + d_misses)
+  in
+  (* In-bench oracle: identity updates must leave every answer
+     byte-identical to the warm baseline. *)
+  List.iteri
+    (fun i q ->
+      let got = (ok (Engine.query engine ~group:"members" q)).Engine.answer_xml in
+      if got <> List.nth baseline i then
+        failwith (Printf.sprintf "e16: answer drift for %s after updates" q))
+    mix;
+  let n_q = float_of_int (List.length mix) in
+  let read_qps = n_q /. read_s and mixed_qps = n_q /. mixed_s in
+  let ratio = mixed_qps /. read_qps in
+  let pass = ratio >= 0.8 && hit_rate >= 0.9 in
+  Printf.printf
+    "read-only: %.0f q/s   mixed: %.0f q/s   ratio %.3fx (gate: >= 0.8x)\n"
+    read_qps mixed_qps ratio;
+  Printf.printf
+    "mixed-phase plan cache: %d hits, %d misses — hit rate %.3f (gate: >= \
+     0.9); %d updates dropped %d plans, tag_drops delta %d\n"
+    d_hits d_misses hit_rate !updates !plans_dropped (delta "tag_drops");
+  Printf.printf "E16: %s\n" (if pass then "PASS" else "FAIL");
+  J.write ~id:"e16"
+    (J.Obj
+       [ ("experiment", J.Str "mixed read/update serving");
+         ("smoke", J.Bool smoke);
+         ("read_qps", J.Float read_qps);
+         ("mixed_qps", J.Float mixed_qps);
+         ("throughput_ratio", J.Float ratio);
+         ("mixed_hits", J.Int d_hits);
+         ("mixed_misses", J.Int d_misses);
+         ("hit_rate", J.Float hit_rate);
+         ("updates_applied", J.Int !updates);
+         ("plans_dropped", J.Int !plans_dropped);
+         ("pass", J.Bool pass) ])
+
 (* --- Figures ----------------------------------------------------------------- *)
 
 let figures () =
@@ -1295,7 +1446,7 @@ let figures () =
 
 let all = [ "e1", e1; "e2", e2; "e3", e3; "e4", e4; "e5", e5; "e6", e6;
             "e7", e7; "e8", e8; "e9", e9; "e10", e10; "e11", e11;
-            "e12", e12; "e13", e13; "e14", e14; "e15", e15;
+            "e12", e12; "e13", e13; "e14", e14; "e15", e15; "e16", e16;
             "figures", figures ]
 
 let () =

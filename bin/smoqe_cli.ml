@@ -16,6 +16,7 @@ module Budget = Smoqe_robust.Budget
 module Robust_error = Smoqe_robust.Error
 module Pool = Smoqe_exec.Pool
 module Stats = Smoqe_hype.Stats
+module Update = Smoqe_update.Update
 
 let read_file path =
   let ic = open_in_bin path in
@@ -468,6 +469,104 @@ let query_cmd =
              & info [] ~docv:"QUERY"
                  ~doc:"Regular XPath query (omit with --queries-file)."))
 
+(* --- update ------------------------------------------------------------- *)
+
+let update_cmd =
+  let run doc_path dtd_path policy_path group op_name target_query target_id
+      xml before out =
+    let dtd = Option.map load_dtd dtd_path in
+    let engine = or_die_robust (Engine.of_file_robust ?dtd doc_path) in
+    (match policy_path, dtd with
+    | Some p, Some d ->
+      or_die
+        (Engine.register_policy engine
+           ~group:(Option.value group ~default:"user")
+           (load_policy d p))
+    | Some _, None ->
+      prerr_endline "smoqe: --policy requires --dtd";
+      exit 1
+    | None, _ -> ());
+    let group =
+      match policy_path with
+      | Some _ -> Some (Option.value group ~default:"user")
+      | None -> group
+    in
+    let target =
+      match target_id, target_query with
+      | Some n, None -> Update.By_id n
+      | None, Some q -> Update.By_path q
+      | Some _, Some _ ->
+        die_malformed "update: give either --target or --target-id, not both"
+      | None, None ->
+        die_malformed "update: a target is required (--target or --target-id)"
+    in
+    (* The new subtree, for insert/replace: an XML fragment parsed with
+       the document parser — a malformed fragment is malformed input
+       (exit 2), exactly like a malformed document. *)
+    let fragment () =
+      match xml with
+      | None ->
+        die_malformed
+          (Printf.sprintf "update: --xml FRAGMENT is required for %s" op_name)
+      | Some text ->
+        (match Smoqe_xml.Parser.tree_of_string_res text with
+        | Error msg -> die_malformed ("update fragment: " ^ msg)
+        | Ok tree -> Smoqe_xml.Tree.(to_source tree root))
+    in
+    let op =
+      match op_name with
+      | "delete" -> Update.Delete target
+      | "replace" -> Update.Replace (target, fragment ())
+      | _ -> Update.Insert { parent = target; before; source = fragment () }
+    in
+    let report = or_die_robust (Engine.update_robust engine ?group op) in
+    let doc = Serializer.to_string (Engine.document engine) in
+    (match out with
+    | None -> print_string doc
+    | Some path ->
+      let oc = open_out_bin path in
+      output_string oc doc;
+      close_out oc);
+    Printf.eprintf "smoqe: update applied at node %d (%d -> %d nodes)\n"
+      report.Engine.up_target report.Engine.up_nodes_before
+      report.Engine.up_nodes_after
+  in
+  Cmd.v
+    (Cmd.info "update"
+       ~doc:
+         "Apply a subtree update (insert, delete or replace), checked \
+          against a group's security view; prints the updated document. A \
+          view-denied update exits 4, malformed input exits 2.")
+    Term.(
+      const run $ doc_arg $ dtd_opt_arg $ policy_opt_arg
+      $ Arg.(value & opt (some string) None
+             & info [ "g"; "group" ] ~docv:"NAME"
+                 ~doc:"Update as a member of this group (checked against \
+                       its view); omit for an administrative update.")
+      $ Arg.(value
+             & opt (enum [ ("insert", "insert"); ("delete", "delete");
+                           ("replace", "replace") ]) "replace"
+             & info [ "op" ] ~doc:"The edit: insert, delete or replace.")
+      $ Arg.(value & opt (some string) None
+             & info [ "target" ] ~docv:"QUERY"
+                 ~doc:"Regular XPath selecting exactly one node: the \
+                       subtree to delete/replace, or the parent receiving \
+                       an insert.  Members' targets are evaluated through \
+                       their view.")
+      $ Arg.(value & opt (some int) None
+             & info [ "target-id" ] ~docv:"N"
+                 ~doc:"Target by pre-order node id instead of a query.")
+      $ Arg.(value & opt (some string) None
+             & info [ "xml" ] ~docv:"FRAGMENT"
+                 ~doc:"The new subtree, as an XML fragment (insert/replace).")
+      $ Arg.(value & opt (some int) None
+             & info [ "before" ] ~docv:"ID"
+                 ~doc:"Insert before this child of the target (default: \
+                       append as last child).")
+      $ Arg.(value & opt (some string) None
+             & info [ "out" ] ~docv:"FILE"
+                 ~doc:"Write the updated document here instead of stdout."))
+
 (* --- index -------------------------------------------------------------- *)
 
 let index_cmd =
@@ -658,7 +757,7 @@ let main_cmd =
   let doc = "SMOQE: secure access to XML through virtual Regular XPath views" in
   Cmd.group
     (Cmd.info "smoqe" ~version:"1.0.0" ~doc)
-    [ schema_cmd; view_cmd; rewrite_cmd; query_cmd; index_cmd; gen_cmd;
-      store_cmd ]
+    [ schema_cmd; view_cmd; rewrite_cmd; query_cmd; update_cmd; index_cmd;
+      gen_cmd; store_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -45,7 +45,16 @@ let nfa t = t.nfa
 let spec_us t = t.spec_us
 let n_tags t = t.n_tags
 let is_frozen t = t.frozen
-let built_for t tree = match t.source with Some tr -> tr == tree | None -> false
+(* A frozen table depends on the tree only through its tag interning, so
+   it remains valid for any tree of the same tag lineage — in particular
+   across the functional subtree updates, which preserve [tags_token]
+   exactly when they intern no new tag.  A token mismatch (a new tag
+   appeared) forces respecialization: the frozen columns would route the
+   new tag id to the wildcard column and miss its [Element] edges. *)
+let built_for t tree =
+  match t.source with
+  | Some tr -> tr == tree || Tree.tags_token tr = Tree.tags_token tree
+  | None -> false
 
 let no_targets : int array = [||]
 

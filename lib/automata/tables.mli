@@ -47,8 +47,11 @@ val nfa : t -> Nfa.t
     evaluators refuse tables built for a different NFA). *)
 
 val built_for : t -> Smoqe_xml.Tree.t -> bool
-(** Whether this is a frozen table built for exactly this tree (physical
-    equality) — i.e. tree tag ids are valid indices. *)
+(** Whether this frozen table's columns are valid for this tree's tag
+    ids: the tree it was built for, or any tree of the same tag-interning
+    lineage ({!Smoqe_xml.Tree.tags_token} equality) — functional subtree
+    updates preserve the lineage when they intern no new tag, so warm
+    tables survive them. *)
 
 val is_frozen : t -> bool
 val n_tags : t -> int

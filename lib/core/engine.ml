@@ -24,6 +24,8 @@ module Plan_cache = Smoqe_plan.Plan_cache
 module Canon = Smoqe_plan.Canon
 module Pool = Smoqe_exec.Pool
 module Shared = Smoqe_automata.Shared
+module Ast = Smoqe_rxpath.Ast
+module Update = Smoqe_update.Update
 
 (* Teach the taxonomy this stack's exception types: the guard at the
    façade maps anything the libraries throw into one Error.t.  Runs once,
@@ -71,13 +73,14 @@ type plan = {
   plan_compile_ms : float;
   plan_tables : (Tree.t * Tables.t) option Atomic.t;
       (* The frozen table specialization riding the plan, tagged with the
-         tree it was built for.  Document identity is the validity key:
-         [replace_document] swaps the tree (and empties the cache), so a
-         stale pair can only be observed by a query whose snapshot was
-         taken around the swap — it detects the mismatch by physical
-         equality and respecializes.  Atomic: plans are shared across pool
-         domains; last-writer-wins is benign (both writers hold tables
-         valid for their own snapshot). *)
+         tree it was built for.  Tag lineage is the validity key
+         ([Tables.built_for]): an incremental update that splices the
+         tree without interning any new tag preserves the interning token,
+         and the table — pure tag-id arithmetic — stays valid; a swap to
+         an unrelated tree (or a splice that grew the tag table) changes
+         the token and forces respecialization.  Atomic: plans are shared
+         across pool domains; last-writer-wins is benign (both writers
+         hold tables valid for their own snapshot). *)
 }
 
 (* Concurrency model (DESIGN.md §9).  One engine serves queries from many
@@ -337,6 +340,39 @@ let statically_empty t mfa =
 
 let mode_string = function Dom -> "dom" | Stax -> "stax"
 
+(* The tag scope of a compiled plan: the element names the {e query
+   text} mentions.  It is the plan's {e invalidation} scope — a
+   compiled plan depends only on the view and the DTD, never on the
+   document, so dropping (or keeping) it on an update is purely a
+   freshness policy; subtree-scoped invalidation keeps every warm plan
+   whose named tags an update never touched, which is what preserves
+   the hit rate under mixed read/update serving (bench e16).  The scope
+   deliberately comes from the query AST rather than the compiled
+   automaton: security-view rewriting expands wildcard and descendant
+   steps into explicit per-type transitions over the view DTD, which
+   would smear every member plan's scope across the whole alphabet and
+   turn scoped invalidation into a generation bump.  Wildcards and
+   [text()] are navigation, not a dependence on any particular tag; a
+   query naming no tag at all gets [All_tags] conservatively. *)
+let plan_scope paths =
+  let names = Hashtbl.create 8 in
+  let rec path_tags = function
+    | Ast.Self | Ast.Wildcard | Ast.Text -> ()
+    | Ast.Tag s -> Hashtbl.replace names s ()
+    | Ast.Seq (p, q) | Ast.Union (p, q) -> path_tags p; path_tags q
+    | Ast.Star p -> path_tags p
+    | Ast.Filter (p, q) -> path_tags p; qual_tags q
+  and qual_tags = function
+    | Ast.True -> ()
+    | Ast.Exists p | Ast.Value_eq (p, _) -> path_tags p
+    | Ast.Not q -> qual_tags q
+    | Ast.And (a, b) | Ast.Or (a, b) -> qual_tags a; qual_tags b
+  in
+  List.iter path_tags paths;
+  match Hashtbl.fold (fun n () acc -> n :: acc) names [] with
+  | [] -> Plan_cache.All_tags
+  | names -> Plan_cache.Tags names
+
 let set_plan_cache_capacity t n = Plan_cache.set_capacity t.plan_cache n
 let plan_cache_capacity t = Plan_cache.capacity t.plan_cache
 
@@ -414,7 +450,8 @@ let plan_for_query t ?group ~mode ~use_index ?optimize ?budget text =
           | Error e -> Error e
           | Ok mfa ->
             let plan = plan_of mfa ((Sys.time () -. t0) *. 1000.) in
-            Plan_cache.add cache ~gen (key canonical) plan;
+            Plan_cache.add cache ~gen ~scope:(plan_scope [ path ])
+              (key canonical) plan;
             Ok (plan, false))))
 
 let rewrite_only t ~group ?optimize text =
@@ -446,16 +483,16 @@ let run_dom snap ~plan ?use_index ?budget ?trace ~use_tables
     | (Some true | None), Some idx -> Some idx
   in
   (* Warm queries reuse the frozen table riding the plan; a cold query (or
-     one whose snapshot tree differs from the cached pair's — a
-     replace_document raced the plan fetch) specializes and publishes.
-     The publish is a plain Atomic.set: both sides of any race hold
-     tables valid for their own snapshot, and Eval_dom re-validates with
-     [Tables.built_for] anyway. *)
+     one whose snapshot tree left the cached pair's tag lineage — a
+     replace_document raced the plan fetch, or an update interned new
+     tags) specializes and publishes.  The publish is a plain Atomic.set:
+     both sides of any race hold tables valid for their own snapshot, and
+     Eval_dom re-validates with [Tables.built_for] anyway. *)
   let tables, spec_us =
     if not use_tables then (None, 0)
     else
       match Atomic.get plan.plan_tables with
-      | Some (tr, tb) when tr == snap.snap_tree -> (Some tb, 0)
+      | Some (_, tb) when Tables.built_for tb snap.snap_tree -> (Some tb, 0)
       | Some _ | None ->
         let tb = Tables.of_tree mfa.Mfa.nfa snap.snap_tree in
         Atomic.set plan.plan_tables (Some (snap.snap_tree, tb));
@@ -589,6 +626,152 @@ let query t ?group ?mode ?use_index ?optimize ?budget ?trace ?use_tables text =
     (query_robust t ?group ?mode ?use_index ?optimize ?budget ?trace
        ?use_tables text)
 
+(* --- the secure update path ------------------------------------------------ *)
+
+type update_report = {
+  up_target : int;
+  up_nodes_before : int;
+  up_nodes_after : int;
+  up_plans_dropped : int;
+  up_index_maintained : bool;
+}
+
+(* Resolve an update target to one node id of the snapshot's document.
+   [By_id] is taken as given (member legality is still checked against
+   it); [By_path] is a Regular XPath evaluated through the caller's view
+   that must select exactly one node — a member's path runs rewritten,
+   so it can only ever name nodes the view exposes.  Evaluation runs on
+   the caller's snapshot: the ids it yields are coordinates of exactly
+   the tree the staged pipeline edits. *)
+let resolve_target t ?group snap = function
+  | Update.By_id n -> Ok n
+  | Update.By_path text ->
+    (match plan_for_query t ?group ~mode:Dom ~use_index:None text with
+    | Error e -> Error e
+    | Ok (plan, _) ->
+      (match
+         run_compiled snap ~plan ~mode:Dom
+           ~use_tables:(Tables.enabled_default ()) ()
+       with
+      | Error e -> Error e
+      | Ok { answers = [ n ]; _ } -> Ok n
+      | Ok { answers; _ } ->
+        Error
+          (Error.Query_error
+             (Printf.sprintf
+                "update target must select exactly one node, got %d"
+                (List.length answers)))))
+
+(* One secure update, atomically: resolve, validate, policy-precheck,
+   apply functionally, DTD-validate the candidate, policy-postcheck, and
+   only then publish — the new tree, the incrementally spliced TAX index
+   and the tag-scoped plan-cache invalidation land under one lock hold.
+   Everything before the publish works on immutable values derived from
+   one snapshot, so {e any} failure on the way (including the
+   ["update.apply"]/["update.invalidate"] failpoints) is a clean full
+   reject: the engine still serves exactly the state it served before.
+   If the document moved underneath (a concurrent update or
+   [replace_document] won the race), the whole staged pipeline is redone
+   from a fresh snapshot rather than patched up. *)
+let update_robust t ?group op =
+  let member_view =
+    match group with
+    | None -> Ok None
+    | Some g ->
+      (match view t ~group:g with
+      | None ->
+        Error (Error.Policy_error (Printf.sprintf "unknown group %s" g))
+      | Some v -> Ok (Some v))
+  in
+  match member_view with
+  | Error e -> Error e
+  | Ok member_view ->
+    let ( let* ) = Result.bind in
+    let rec attempt retries =
+      let snap = snapshot t in
+      let old_tree = snap.snap_tree in
+      let staged =
+        let* target = resolve_target t ?group snap (Update.target_of op) in
+        let r = Update.resolve op target in
+        let* () = Update.validate old_tree r in
+        let* () =
+          match member_view with
+          | None -> Ok ()
+          | Some v -> Update.precheck ~view:v old_tree r
+        in
+        let* new_tree, fp = Update.apply old_tree r in
+        let* () =
+          match t.dtd with
+          | None -> Ok ()
+          | Some d ->
+            (match validate_against d new_tree with
+            | Ok () -> Ok ()
+            | Error msg -> Error (Error.Parse_error { loc = None; msg }))
+        in
+        let* () =
+          match member_view with
+          | None -> Ok ()
+          | Some v -> Update.postcheck ~view:v ~old_tree ~new_tree fp
+        in
+        (* Incremental index maintenance: splice the served TAX around
+           the edited range instead of rebuilding O(document).  Computed
+           outside the lock — it only reads immutable values. *)
+        let* new_tax =
+          Error.guard (fun () ->
+              Failpoint.trigger "update.apply";
+              match snap.snap_tax with
+              | None -> None
+              | Some idx ->
+                Some
+                  (Tax.splice idx new_tree ~lo:fp.Update.fp_lo
+                     ~old_hi:fp.Update.fp_old_hi ~par:fp.Update.fp_parent))
+        in
+        Ok (target, new_tree, fp, new_tax)
+      in
+      match staged with
+      | Error e -> Error e
+      | Ok (target, new_tree, fp, new_tax) ->
+        let publish =
+          Error.guard (fun () ->
+              Failpoint.trigger "update.invalidate";
+              locked t (fun () ->
+                  if t.tree != old_tree then None
+                  else begin
+                    t.tree <- new_tree;
+                    t.source <- From_tree;
+                    t.tax <- new_tax;
+                    Some
+                      (Plan_cache.invalidate_tags t.plan_cache
+                         fp.Update.fp_tags)
+                  end))
+        in
+        (match publish with
+        | Error e -> Error e
+        | Ok None ->
+          if retries <= 0 then
+            Error
+              (Error.Internal
+                 "update: the document kept changing underneath the retries")
+          else attempt (retries - 1)
+        | Ok (Some dropped) ->
+          Log.info (fun m ->
+              m "update applied at node %d (%d -> %d nodes, %d plans dropped)"
+                target (Tree.n_nodes old_tree) (Tree.n_nodes new_tree)
+                dropped);
+          Ok
+            {
+              up_target = target;
+              up_nodes_before = Tree.n_nodes old_tree;
+              up_nodes_after = Tree.n_nodes new_tree;
+              up_plans_dropped = dropped;
+              up_index_maintained = Option.is_some new_tax;
+            })
+    in
+    attempt 16
+
+let update t ?group op =
+  Result.map_error Error.to_string (update_robust t ?group op)
+
 (* --- the multicore serving layer ------------------------------------------- *)
 
 (* Dispatch one query onto the pool.  The task closes over nothing
@@ -658,7 +841,7 @@ let run_many_dom snap ~plan ~sh ?use_index ?budget ~use_tables
     if not use_tables then (None, 0)
     else
       match Atomic.get plan.plan_tables with
-      | Some (tr, tb) when tr == snap.snap_tree -> (Some tb, 0)
+      | Some (_, tb) when Tables.built_for tb snap.snap_tree -> (Some tb, 0)
       | Some _ | None ->
         let tb = Tables.of_tree mfa.Mfa.nfa snap.snap_tree in
         Atomic.set plan.plan_tables (Some (snap.snap_tree, tb));
@@ -842,8 +1025,12 @@ let batch_plan_for t ?group ~mode ~use_index ?budget uniq_keys by_key =
            of a partial merge numbers the surviving subset, which a later
            identical batch (whose members might all compile) must not
            inherit. *)
-        if cacheable && Array.for_all (( = ) None) comp_errs then
-          Plan_cache.add cache ~gen bkey plan;
+        if cacheable && Array.for_all (( = ) None) comp_errs then begin
+          let member_paths =
+            Array.to_list (Array.map (Hashtbl.find by_key) uniq_keys)
+          in
+          Plan_cache.add cache ~gen ~scope:(plan_scope member_paths) bkey plan
+        end;
         Bp_plan (plan, false, comp_errs))
 
 let run_many_robust t ?group ?(mode = Dom) ?use_index ?budget ?use_tables texts

@@ -187,6 +187,63 @@ val rewrite_only :
   (Smoqe_automata.Mfa.t, string) result
 (** Just the rewriting step — what iSMOQE visualizes (paper Fig. 4). *)
 
+(** {1 Secure updates}
+
+    Typed subtree edits ({!Smoqe_update.Update.op}: insert, delete,
+    replace), policy-checked against the caller's security view and
+    published atomically together with incremental maintenance of the
+    derived read structures:
+
+    - the {b TAX index} is spliced around the edited range
+      ({!Smoqe_tax.Tax.splice}) instead of rebuilt;
+    - {b frozen tag tables} riding cached plans stay valid whenever the
+      edit interned no new tag (tag-lineage tokens,
+      {!Smoqe_automata.Tables.built_for});
+    - the {b plan cache} is invalidated by tag scope
+      ({!Smoqe_plan.Plan_cache.invalidate_tags}): only plans whose named
+      tags intersect the edit's footprint are dropped, warm unrelated
+      entries survive.
+
+    A member update (with [group]) must pass the view-legality
+    discipline — the edit may only touch exposed nodes and must not flip
+    the visibility of anything else; violations return
+    [Error.Update_denied] (CLI exit code 4) carrying the offending node.
+    Updates never leave partial state: every check, the DTD validation
+    of the candidate and both ["update.apply"]/["update.invalidate"]
+    failpoints sit strictly before the locked publish, so any failure is
+    a clean full reject.  Wholesale {!replace_document} remains the
+    bulk-load path. *)
+
+type update_report = {
+  up_target : int;  (** the resolved target node (pre-update ids) *)
+  up_nodes_before : int;
+  up_nodes_after : int;
+  up_plans_dropped : int;  (** plan-cache entries the edit invalidated *)
+  up_index_maintained : bool;
+      (** a TAX index was live and was spliced incrementally *)
+}
+
+val update_robust :
+  t ->
+  ?group:string ->
+  Smoqe_update.Update.op ->
+  (update_report, Smoqe_robust.Error.t) result
+(** Apply one update.  Without [group] the caller is administrative and
+    only structural/DTD checks apply; with [group] the edit is checked
+    against that group's view.  A [By_path] target is evaluated through
+    the view and must select exactly one node ([Query_error] otherwise).
+    A candidate that violates the engine's DTD is [Parse_error] (the
+    input, not the system, is at fault).  Concurrent updates are safe:
+    the staged pipeline redoes itself from a fresh snapshot when it
+    loses the publish race. *)
+
+val update :
+  t ->
+  ?group:string ->
+  Smoqe_update.Update.op ->
+  (update_report, string) result
+(** {!update_robust} with rendered errors. *)
+
 (** {1 Shared-automaton batch serving}
 
     A batch of queries is answered in {e one} document pass: the compiled

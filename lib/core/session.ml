@@ -41,6 +41,19 @@ let run t ?mode ?use_index ?budget ?trace ?use_tables text =
   Result.map_error Error.to_string
     (run_robust t ?mode ?use_index ?budget ?trace ?use_tables text)
 
+(* The write path under the session's rights: admins update the document
+   directly (structural and DTD checks only), members go through their
+   group's view-legality checks — the group is resolved from the role, a
+   member can never sidestep their view. *)
+let update_robust t op =
+  Result.join
+    (Error.guard (fun () ->
+         match t.role with
+         | Admin -> Engine.update_robust t.engine op
+         | Member group -> Engine.update_robust t.engine ~group op))
+
+let update t op = Result.map_error Error.to_string (update_robust t op)
+
 (* The pool-dispatched forms.  Rights travel with the closure: the group
    is resolved from the session *before* submission, so a worker can only
    ever evaluate through the view this session was granted. *)

@@ -53,6 +53,23 @@ val run_robust :
   (Engine.outcome, Smoqe_robust.Error.t) result
 (** The typed-error form of {!run}. *)
 
+val update_robust :
+  t ->
+  Smoqe_update.Update.op ->
+  (Engine.update_report, Smoqe_robust.Error.t) result
+(** Apply one update under the session's rights (see
+    {!Engine.update_robust}): admins edit the document subject to
+    structural and DTD checks only; members additionally pass their
+    group's view-legality discipline — an edit touching any view-hidden
+    node, or changing the visibility of an unrelated one, is
+    [Error.Update_denied] and the document is untouched. *)
+
+val update :
+  t ->
+  Smoqe_update.Update.op ->
+  (Engine.update_report, string) result
+(** {!update_robust} with rendered errors. *)
+
 val submit :
   t ->
   pool:Smoqe_exec.Pool.t ->

@@ -5,8 +5,18 @@ type key = {
   use_index : bool;
 }
 
+(* The tag scope of a plan: the element names its automaton tests.  A
+   subtree update invalidates exactly the entries whose scope intersects
+   the mutated subtree's tags ([invalidate_tags]); [All_tags] entries are
+   swept by every such update.  Scopes are a freshness policy, not a
+   correctness device — compiled plans depend on the view and the DTD,
+   never on the document, so a surviving warm plan still answers
+   correctly on the updated tree. *)
+type scope = All_tags | Tags of string list
+
 type 'plan entry = {
   plan : 'plan;
+  scope : scope;
   g_global : int;  (* global generation at insertion *)
   g_group : int;  (* the group's generation at insertion; 0 for [None] *)
   mutable stamp : int;  (* recency; larger = more recently used *)
@@ -30,6 +40,7 @@ type 'plan t = {
   mutable misses : int;
   mutable evictions : int;
   mutable stale_drops : int;
+  mutable tag_drops : int;
 }
 
 let create ?(capacity = 128) () =
@@ -46,6 +57,7 @@ let create ?(capacity = 128) () =
     misses = 0;
     evictions = 0;
     stale_drops = 0;
+    tag_drops = 0;
   }
 
 let locked t f = Mutex.protect t.lock f
@@ -121,7 +133,7 @@ let generation t key =
   locked t (fun () ->
       { snap_global = t.gen_global; snap_group = group_gen t key.group })
 
-let add t ?gen key plan =
+let add t ?gen ?(scope = All_tags) key plan =
   if Atomic.get t.enabled then
     locked t (fun () ->
         if t.capacity > 0 then begin
@@ -142,7 +154,7 @@ let add t ?gen key plan =
                 evict_one t
               done;
             let entry =
-              { plan; g_global = t.gen_global;
+              { plan; scope; g_global = t.gen_global;
                 g_group = group_gen t key.group; stamp = 0 }
             in
             touch t entry;
@@ -167,18 +179,46 @@ let invalidate_group t group =
 
 let invalidate_all t = locked t (fun () -> t.gen_global <- t.gen_global + 1)
 
+(* Subtree-scoped invalidation, for functional updates: eagerly remove
+   the entries whose scope intersects the mutated subtree's element
+   names (plus every [All_tags] entry).  Eager rather than generational
+   because only a subset dies — bumping a generation would kill the warm
+   entries this mechanism exists to preserve. *)
+let invalidate_tags t names =
+  if names = [] then 0
+  else if not (Atomic.get t.enabled) then 0
+  else
+    locked t (fun () ->
+        let doomed =
+          Hashtbl.fold
+            (fun key entry acc ->
+              let dies =
+                match entry.scope with
+                | All_tags -> true
+                | Tags ts -> List.exists (fun n -> List.mem n ts) names
+              in
+              if dies then key :: acc else acc)
+            t.table []
+        in
+        List.iter (Hashtbl.remove t.table) doomed;
+        let n = List.length doomed in
+        t.tag_drops <- t.tag_drops + n;
+        n)
+
 let clear t =
   locked t (fun () ->
       Hashtbl.reset t.table;
       t.hits <- 0;
       t.misses <- 0;
       t.evictions <- 0;
-      t.stale_drops <- 0)
+      t.stale_drops <- 0;
+      t.tag_drops <- 0)
 
 let hits t = locked t (fun () -> t.hits)
 let misses t = locked t (fun () -> t.misses)
 let evictions t = locked t (fun () -> t.evictions)
 let stale_drops t = locked t (fun () -> t.stale_drops)
+let tag_drops t = locked t (fun () -> t.tag_drops)
 
 let to_assoc t =
   locked t (fun () ->
@@ -187,6 +227,7 @@ let to_assoc t =
         ("misses", t.misses);
         ("evictions", t.evictions);
         ("stale_drops", t.stale_drops);
+        ("tag_drops", t.tag_drops);
         ("entries", Hashtbl.length t.table);
         ("capacity", t.capacity);
       ])

@@ -51,6 +51,16 @@ type key = {
 
 type 'plan t
 
+type scope =
+  | All_tags  (** conservative: swept by every subtree invalidation *)
+  | Tags of string list
+      (** the element names the plan's automaton tests; it survives any
+          subtree update whose tag set is disjoint *)
+(** The tag scope of a cached plan, for {!invalidate_tags}.  A scope is a
+    freshness policy, not a correctness device: compiled plans depend on
+    the view and the DTD, never on the document, so a warm plan that
+    survives an update still answers correctly on the new tree. *)
+
 val create : ?capacity:int -> unit -> 'plan t
 (** [capacity] defaults to 128 plans. *)
 
@@ -84,13 +94,14 @@ val generation : _ t -> key -> gen
     view (or any other invalidatable state) the plan will be compiled
     from, and hand the token to {!add}. *)
 
-val add : 'plan t -> ?gen:gen -> key -> 'plan -> unit
+val add : 'plan t -> ?gen:gen -> ?scope:scope -> key -> 'plan -> unit
 (** Insert (or replace) under the current generations, evicting the
     least-recently-used entry when full.  With [~gen], the insert is a
     no-op (counted under [stale_drops]) if either generation has moved
     since the token was captured — the plan was compiled against state
     that has been invalidated mid-flight and must not be served as
-    current.  No-op when disabled. *)
+    current.  [~scope] (default [All_tags]) declares the entry's tag
+    scope for {!invalidate_tags}.  No-op when disabled. *)
 
 val invalidate_group : _ t -> string -> unit
 (** The group's view changed: every plan rewritten through it is stale. *)
@@ -99,6 +110,14 @@ val invalidate_all : _ t -> unit
 (** The document (or everything) changed: all plans are stale.  Direct
     (group-less) plans are only invalidated here — they do not depend on
     any view. *)
+
+val invalidate_tags : _ t -> string list -> int
+(** Subtree-scoped invalidation after a functional update: eagerly
+    remove every entry whose scope intersects the given element names
+    (plus every [All_tags] entry), counting them under [tag_drops], and
+    return how many died.  Warm entries with disjoint scopes survive —
+    this is the point: a localized edit must not cool the whole cache.
+    Eager rather than generational because only a subset dies. *)
 
 val clear : _ t -> unit
 (** Drop all entries and reset counters; generations survive. *)
@@ -110,6 +129,10 @@ val misses : _ t -> int
 val evictions : _ t -> int
 val stale_drops : _ t -> int
 
+val tag_drops : _ t -> int
+(** Entries removed by {!invalidate_tags}. *)
+
 val to_assoc : _ t -> (string * int) list
-(** [hits]/[misses]/[evictions]/[stale_drops]/[entries]/[capacity], in the
-    [Smoqe_hype.Stats.to_assoc] style for stats surfaces. *)
+(** [hits]/[misses]/[evictions]/[stale_drops]/[tag_drops]/[entries]/
+    [capacity], in the [Smoqe_hype.Stats.to_assoc] style for stats
+    surfaces. *)

@@ -13,6 +13,7 @@ type t =
       limit : string;
       partial_stats : (string * int) list;
     }
+  | Update_denied of { node : int; msg : string }
   | Io_error of string
   | Internal of string
 
@@ -31,6 +32,8 @@ let pp ppf = function
   | Policy_error msg -> Fmt.pf ppf "policy error: %s" msg
   | Budget_exceeded { what; limit; _ } ->
     Fmt.pf ppf "budget exceeded: %s (limit %s)" what limit
+  | Update_denied { node; msg } ->
+    Fmt.pf ppf "update denied: %s (node %d)" msg node
   | Io_error msg -> Fmt.pf ppf "io error: %s" msg
   | Internal msg -> Fmt.pf ppf "internal error: %s" msg
 
@@ -39,6 +42,7 @@ let to_string e = Fmt.str "%a" pp e
 let exit_code = function
   | Parse_error _ -> 2
   | Budget_exceeded _ -> 3
+  | Update_denied _ -> 4
   | _ -> 1
 
 let classifiers : (exn -> t option) list ref = ref []

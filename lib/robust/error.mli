@@ -30,6 +30,11 @@ type t =
       partial_stats : (string * int) list;
           (** evaluation counters at the moment the budget tripped *)
     }
+  | Update_denied of { node : int; msg : string }
+      (** the active security view forbids the update; [node] is the
+          offending document node (the first view-hidden node the edit
+          would touch, or the first node whose visibility it would flip).
+          The document is untouched — updates never leave partial state. *)
   | Io_error of string  (** file system, store or injected I/O faults *)
   | Internal of string  (** driver contract violations, overflows, bugs *)
 
@@ -41,8 +46,9 @@ val pp : Format.formatter -> t -> unit
 val exit_code : t -> int
 (** Process exit code for CLI front-ends: 2 for [Parse_error] (malformed
     input — the document, DTD or policy text, not the system, is at
-    fault), 3 for [Budget_exceeded], 1 for everything else (0 is success
-    and never returned here). *)
+    fault), 3 for [Budget_exceeded], 4 for [Update_denied] (the security
+    view rejected a write), 1 for everything else (0 is success and never
+    returned here). *)
 
 val register_classifier : (exn -> t option) -> unit
 (** Add a classifier consulted (most recent first) by {!classify} before

@@ -11,6 +11,12 @@
 
     Site naming convention: ["subsystem.operation"], e.g. ["pull.read"],
     ["store.read"], ["store.write"], ["index.load"], ["hype.step"].
+    The write path registers ["update.apply"] (after an update passes its
+    policy and DTD checks, before anything is published) and
+    ["update.invalidate"] (immediately before the locked publish +
+    cache invalidation step); both sit strictly before the first state
+    mutation, so an injected fault is a clean full reject — the chaos
+    suite asserts no torn tree/TAX/table state is ever observable.
 
     {b Thread safety.}  Sites are process-global and may be triggered
     from every domain of the pool executor while another domain

@@ -33,6 +33,64 @@ let build tree =
   done;
   { words_per_row = w; bits; n_nodes = n; n_tags }
 
+(* Incremental maintenance after a functional subtree splice
+   (Tree.delete_subtree / replace_subtree / insert_subtree): node rows
+   outside the edited range still describe exactly the same descendant
+   sets, so they are blitted; only the new middle and the ancestor chain
+   of the edit are recomputed.  [lo, old_hi) is the replaced range in
+   pre-update ids, [par] the parent of the edit (new id = old id, it is
+   below [lo]); [par < 0] means the root itself was replaced, which
+   degenerates to a full rebuild.  Tag ids are stable across splices (new
+   tags are appended), so old rows stay valid even when the row width
+   grows. *)
+let splice t new_tree ~lo ~old_hi ~par =
+  if par < 0 then build new_tree
+  else begin
+    let n_old = t.n_nodes in
+    let n_new = Tree.n_nodes new_tree in
+    let shift = n_new - n_old in
+    let new_hi = old_hi + shift in
+    let n_tags = Tree.n_tags new_tree in
+    let w' = max 1 ((n_tags + bits_per_word - 1) / bits_per_word) in
+    let w = t.words_per_row in
+    let bits = Array.make (n_new * w') 0 in
+    let copy_rows src_row dst_row count =
+      if w = w' then
+        Array.blit t.bits (src_row * w) bits (dst_row * w) (count * w)
+      else
+        for r = 0 to count - 1 do
+          Array.blit t.bits ((src_row + r) * w) bits ((dst_row + r) * w') w
+        done
+    in
+    copy_rows 0 0 lo;
+    copy_rows old_hi new_hi (n_old - old_hi);
+    let fill_row node =
+      Tree.iter_children new_tree node (fun c ->
+          for k = 0 to w' - 1 do
+            bits.((node * w') + k) <-
+              bits.((node * w') + k) lor bits.((c * w') + k)
+          done;
+          let tag = Tree.tag_id new_tree c in
+          let word = tag / bits_per_word and bit = tag mod bits_per_word in
+          bits.((node * w') + word) <-
+            bits.((node * w') + word) lor (1 lsl bit))
+    in
+    (* The new middle, bottom-up (children of a middle node are middle). *)
+    for node = new_hi - 1 downto lo do
+      fill_row node
+    done;
+    (* The ancestor chain of the edit, deepest first: each ancestor's
+       other children kept their rows, the chain child below was just
+       recomputed. *)
+    let a = ref par in
+    while !a >= 0 do
+      Array.fill bits (!a * w') w' 0;
+      fill_row !a;
+      a := (match Tree.parent new_tree !a with Some p -> p | None -> -1)
+    done;
+    { words_per_row = w'; bits; n_nodes = n_new; n_tags }
+  end
+
 let mem t node tag =
   if tag < 0 || tag >= t.n_tags then false
   else begin

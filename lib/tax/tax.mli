@@ -15,6 +15,18 @@ type t
 val build : Smoqe_xml.Tree.t -> t
 (** One pass over the document. *)
 
+val splice :
+  t -> Smoqe_xml.Tree.t -> lo:int -> old_hi:int -> par:int -> t
+(** [splice idx new_tree ~lo ~old_hi ~par]: incrementally maintain the
+    index across a functional subtree edit
+    ({!Smoqe_xml.Tree.delete_subtree} and friends) that replaced the
+    pre-update node range [[lo, old_hi)] under parent [par].  Rows
+    outside the edited range are blitted (their descendant sets are
+    untouched); only the new middle and the ancestor chain of the edit
+    are recomputed.  [par < 0] (the root was replaced) degenerates to a
+    full {!build}.  The result satisfies [equal (splice ...) (build
+    new_tree)]. *)
+
 val mem : t -> Smoqe_xml.Tree.node -> int -> bool
 (** [mem idx n tag_id]: does an element with this tag id occur strictly
     below [n]?  (Tag ids are the document's, {!Smoqe_xml.Tree.id_of_tag}.) *)

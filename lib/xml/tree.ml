@@ -9,7 +9,7 @@ type source =
 let text_tag = 0
 let text_tag_name = "#text"
 
-(* INVARIANT: a [t] is deeply immutable once [of_source] returns — no
+(* INVARIANT: a [t] is deeply immutable once construction returns — no
    field, array slot or hashtable binding is ever written afterwards.
    This is what lets one tree be shared by every session and evaluated on
    every domain of the pool executor with no locking at all.  In
@@ -18,7 +18,13 @@ let text_tag_name = "#text"
    data race under parallel evaluation (two domains writing the slot, a
    third reading it torn between the check and the write).  Any future
    per-node cache must either be filled here, before the tree is
-   published, or be published through [Atomic]. *)
+   published, or be published through [Atomic].
+
+   The update operations below ([delete_subtree] &c.) are functional:
+   they build a fresh [t] and never write the input.  A spliced tree may
+   share [tag_names]/[tag_ids] (and therefore [tags_token]) with its
+   parent tree when the edit interned no new tag — sharing is safe
+   because of the same immutability invariant. *)
 type t = {
   tag : int array;
   parent : int array;
@@ -31,10 +37,12 @@ type t = {
   tag_names : string array; (* tag id -> name; slot 0 is #text *)
   tag_ids : (string, int) Hashtbl.t;
   value : string array; (* per-node comparison value, precomputed *)
+  tags_token : int; (* identity of the tag-interning lineage *)
 }
 
 let n_nodes t = Array.length t.tag
 let n_tags t = Array.length t.tag_names
+let tags_token t = t.tags_token
 
 let check t n =
   if n < 0 || n >= n_nodes t then
@@ -134,123 +142,371 @@ let count_nodes src =
   done;
   !n
 
-let of_source src =
-  let n = count_nodes src in
-  let tag = Array.make n 0
-  and parent = Array.make n (-1)
-  and first_child = Array.make n (-1)
-  and next_sibling = Array.make n (-1)
-  and subtree_end = Array.make n 0
-  and depth = Array.make n 0
-  and text = Array.make n ""
-  and attrs = Array.make n [] in
-  let tag_ids = Hashtbl.create 64 in
-  Hashtbl.add tag_ids text_tag_name text_tag;
-  let names = ref [ text_tag_name ] in
-  let n_names = ref 1 in
-  let intern s =
-    match Hashtbl.find_opt tag_ids s with
+(* Tag-lineage tokens.  Every fresh interning run mints a new one; a
+   splice that interned no new tag keeps its input's token.  Equal tokens
+   therefore guarantee byte-identical tag tables, which is what lets
+   artifacts keyed by tag id (the frozen transition tables of
+   [Smoqe_automata.Tables]) survive functional updates. *)
+let token_counter = Atomic.make 1
+let fresh_token () = Atomic.fetch_and_add token_counter 1
+
+(* A tag interner: a read-only base table (empty or seeded from an
+   existing tree, whose ids all stay stable) plus appended new names. *)
+type interner = {
+  int_base : (string, int) Hashtbl.t; (* never written when seeded *)
+  int_extra : (string, int) Hashtbl.t;
+  mutable int_extra_rev : string list;
+  mutable int_n : int;
+}
+
+let fresh_interner () =
+  let base = Hashtbl.create 1 in
+  Hashtbl.add base text_tag_name text_tag;
+  { int_base = base; int_extra = Hashtbl.create 64; int_extra_rev = [];
+    int_n = 1 }
+
+let interner_of_seed t0 =
+  { int_base = t0.tag_ids; int_extra = Hashtbl.create 4;
+    int_extra_rev = []; int_n = Array.length t0.tag_names }
+
+let intern it s =
+  match Hashtbl.find_opt it.int_base s with
+  | Some id -> id
+  | None ->
+    (match Hashtbl.find_opt it.int_extra s with
     | Some id -> id
     | None ->
-      let id = !n_names in
-      incr n_names;
-      names := s :: !names;
-      Hashtbl.add tag_ids s id;
-      id
-  in
-  let next = ref 0 in
-  (* Pre-order fill over an explicit frame stack.  A frame is an open
-     element: children still to attach, and the last child attached (for
-     sibling linking).  [subtree_end] of a leaf is known at allocation;
-     an element's is set when its frame pops. *)
-  let alloc par dep s =
+      let id = it.int_n in
+      it.int_n <- it.int_n + 1;
+      Hashtbl.add it.int_extra s id;
+      it.int_extra_rev <- s :: it.int_extra_rev;
+      id)
+
+let finalize_interner it ~seed =
+  match seed with
+  | Some t0 when it.int_extra_rev = [] ->
+    (* No new tag: share the seed's table and keep its token. *)
+    (t0.tag_names, t0.tag_ids, t0.tags_token)
+  | _ ->
+    let base =
+      match seed with
+      | Some t0 -> Array.to_list t0.tag_names
+      | None -> [ text_tag_name ]
+    in
+    let tag_names = Array.of_list (base @ List.rev it.int_extra_rev) in
+    let tag_ids = Hashtbl.create (2 * Array.length tag_names) in
+    Array.iteri (fun i s -> Hashtbl.add tag_ids s i) tag_names;
+    (tag_names, tag_ids, fresh_token ())
+
+(* Arrays of a tree under construction, before they are frozen into a
+   [t].  Slots outside the range being filled must already hold their
+   final values (or the [Array.make] defaults). *)
+type builder = {
+  b_tag : int array;
+  b_parent : int array;
+  b_first_child : int array;
+  b_next_sibling : int array;
+  b_subtree_end : int array;
+  b_depth : int array;
+  b_text : string array;
+  b_attrs : (string * string) list array;
+}
+
+let make_builder n =
+  {
+    b_tag = Array.make n 0;
+    b_parent = Array.make n (-1);
+    b_first_child = Array.make n (-1);
+    b_next_sibling = Array.make n (-1);
+    b_subtree_end = Array.make n 0;
+    b_depth = Array.make n 0;
+    b_text = Array.make n "";
+    b_attrs = Array.make n [];
+  }
+
+(* Pre-order fill of nodes [start, start + size srcs) from consecutive
+   sibling sources under parent [par] (whose own slots are not touched)
+   at depth [dep].  Drives an explicit frame stack — a frame is an open
+   element: children still to attach, and the last child attached (for
+   sibling linking); [subtree_end] of a leaf is known at allocation, an
+   element's is set when its frame pops.  Returns the id of the last
+   root, -1 when [srcs] is empty. *)
+let fill_range b it ~start ~par ~dep srcs =
+  let next = ref start in
+  let alloc p d s =
     let id = !next in
     incr next;
-    parent.(id) <- par;
-    depth.(id) <- dep;
+    b.b_parent.(id) <- p;
+    b.b_depth.(id) <- d;
     (match s with
     | T s ->
-      tag.(id) <- text_tag;
-      text.(id) <- s;
-      subtree_end.(id) <- id + 1
+      b.b_tag.(id) <- text_tag;
+      b.b_text.(id) <- s;
+      b.b_subtree_end.(id) <- id + 1
     | E (tg, ats, _) ->
       if tg = "" then invalid_arg "Tree.of_source: empty tag name";
-      tag.(id) <- intern tg;
-      attrs.(id) <- ats);
+      b.b_tag.(id) <- intern it tg;
+      b.b_attrs.(id) <- ats);
     id
   in
   let module F = struct
-    type frame = { id : int; dep : int; mutable prev : int;
+    type frame = { id : int; dp : int; mutable prev : int;
                    mutable todo : source list }
   end in
   let open F in
-  let root_id = alloc (-1) 0 src in
-  let stack =
-    ref
-      (match src with
-      | T _ -> []
-      | E (_, _, kids) -> [ { id = root_id; dep = 0; prev = -1; todo = kids } ])
-  in
-  let continue = ref true in
-  while !continue do
-    match !stack with
-    | [] -> continue := false
-    | frame :: rest ->
-      (match frame.todo with
-      | [] ->
-        subtree_end.(frame.id) <- !next;
-        stack := rest
-      | kid :: more ->
-        frame.todo <- more;
-        let kid_id = alloc frame.id (frame.dep + 1) kid in
-        if frame.prev < 0 then first_child.(frame.id) <- kid_id
-        else next_sibling.(frame.prev) <- kid_id;
-        frame.prev <- kid_id;
-        (match kid with
-        | T _ -> ()
-        | E (_, _, kids) ->
-          stack :=
-            { id = kid_id; dep = frame.dep + 1; prev = -1; todo = kids }
-            :: !stack))
-  done;
-  let tag_names = Array.of_list (List.rev !names) in
-  (* Comparison values, filled before the tree is published (see the
-     invariant on [t]).  Strings are shared, not copied: a text node's
-     value *is* its text, an element with one text child borrows that
-     child's string, and the all-elements case borrows the empty
-     string — only mixed-content elements allocate. *)
-  let value = Array.make n "" in
-  for i = n - 1 downto 0 do
-    if tag.(i) = text_tag then value.(i) <- text.(i)
-    else begin
-      (* Tail-recursive over the sibling chain — an element may have
-         millions of children, and one frame each would blow the stack. *)
-      let rec texts acc c =
-        if c < 0 then List.rev acc
-        else
-          texts
-            (if tag.(c) = text_tag then text.(c) :: acc else acc)
-            next_sibling.(c)
+  let last_root = ref (-1) in
+  List.iter
+    (fun src ->
+      let rid = alloc par dep src in
+      if !last_root >= 0 then b.b_next_sibling.(!last_root) <- rid;
+      last_root := rid;
+      let stack =
+        ref
+          (match src with
+          | T _ -> []
+          | E (_, _, kids) -> [ { id = rid; dp = dep; prev = -1; todo = kids } ])
       in
-      match texts [] first_child.(i) with
-      | [] -> ()
-      | [ s ] -> value.(i) <- s
-      | pieces -> value.(i) <- String.concat "" pieces
-    end
-  done;
+      let continue = ref true in
+      while !continue do
+        match !stack with
+        | [] -> continue := false
+        | frame :: rest ->
+          (match frame.todo with
+          | [] ->
+            b.b_subtree_end.(frame.id) <- !next;
+            stack := rest
+          | kid :: more ->
+            frame.todo <- more;
+            let kid_id = alloc frame.id (frame.dp + 1) kid in
+            if frame.prev < 0 then b.b_first_child.(frame.id) <- kid_id
+            else b.b_next_sibling.(frame.prev) <- kid_id;
+            frame.prev <- kid_id;
+            (match kid with
+            | T _ -> ()
+            | E (_, _, kids) ->
+              stack :=
+                { id = kid_id; dp = frame.dp + 1; prev = -1; todo = kids }
+                :: !stack))
+      done)
+    srcs;
+  !last_root
+
+(* Comparison value of an element from its immediate children.
+   Tail-recursive over the sibling chain — an element may have millions
+   of children, and one frame each would blow the stack.  Strings are
+   shared, not copied: a single text child's value *is* that child's
+   string, and the all-elements case borrows the empty string — only
+   mixed-content elements allocate. *)
+let concat_child_texts b c0 =
+  let rec texts acc c =
+    if c < 0 then List.rev acc
+    else
+      texts
+        (if b.b_tag.(c) = text_tag then b.b_text.(c) :: acc else acc)
+        b.b_next_sibling.(c)
+  in
+  match texts [] c0 with
+  | [] -> ""
+  | [ s ] -> s
+  | pieces -> String.concat "" pieces
+
+(* Comparison values, filled before the tree is published (see the
+   invariant on [t]). *)
+let fill_values b value ~lo ~hi =
+  for i = hi - 1 downto lo do
+    value.(i) <-
+      (if b.b_tag.(i) = text_tag then b.b_text.(i)
+       else concat_child_texts b b.b_first_child.(i))
+  done
+
+let freeze b value (tag_names, tag_ids, tags_token) =
   {
-    tag;
-    parent;
-    first_child;
-    next_sibling;
-    subtree_end;
-    depth;
-    text;
-    attrs;
+    tag = b.b_tag;
+    parent = b.b_parent;
+    first_child = b.b_first_child;
+    next_sibling = b.b_next_sibling;
+    subtree_end = b.b_subtree_end;
+    depth = b.b_depth;
+    text = b.b_text;
+    attrs = b.b_attrs;
     tag_names;
     tag_ids;
     value;
+    tags_token;
   }
+
+let build ?seed src =
+  let n = count_nodes src in
+  let b = make_builder n in
+  let it =
+    match seed with
+    | Some t0 -> interner_of_seed t0
+    | None -> fresh_interner ()
+  in
+  ignore (fill_range b it ~start:0 ~par:(-1) ~dep:0 [ src ]);
+  let value = Array.make n "" in
+  fill_values b value ~lo:0 ~hi:n;
+  freeze b value (finalize_interner it ~seed)
+
+let of_source src = build src
+
+(* [splice t ~lo ~old_hi ~par ~prev ~nxt srcs] replaces the node range
+   [lo, old_hi) — zero or more whole consecutive sibling subtrees under
+   [par] — with the subtrees described by [srcs].  [prev] is the child of
+   [par] immediately preceding the range (-1 when the range starts at
+   [par]'s first child), [nxt] the sibling immediately following it (-1
+   when it ends the chain); both in old ids.  Ids below [lo] are stable,
+   ids at or above [old_hi] shift by the size delta; everything outside
+   the edited range is blitted, not re-walked, and tag ids stay aligned
+   with the input tree (new tags are appended). *)
+let splice t ~lo ~old_hi ~par ~prev ~nxt srcs =
+  let n_old = n_nodes t in
+  let m = List.fold_left (fun acc s -> acc + count_nodes s) 0 srcs in
+  let removed = old_hi - lo in
+  let shift = m - removed in
+  let n_new = n_old + shift in
+  let b = make_builder n_new in
+  let value = Array.make n_new "" in
+  (* Ancestors of [par] (inclusive), to disambiguate the subtree_end
+     boundary case below when the replaced range is empty (an insert): a
+     prefix subtree ending exactly at [lo] contains the new nodes iff it
+     is an ancestor's. *)
+  let anc = Hashtbl.create 16 in
+  let a = ref par in
+  while !a >= 0 do
+    Hashtbl.replace anc !a ();
+    a := t.parent.(!a)
+  done;
+  (* Prefix [0, lo): only pointers into the suffix shift.  [parent] slots
+     all point backwards; [first_child] is node + 1 or -1, never past
+     [lo]. *)
+  Array.blit t.tag 0 b.b_tag 0 lo;
+  Array.blit t.parent 0 b.b_parent 0 lo;
+  Array.blit t.first_child 0 b.b_first_child 0 lo;
+  Array.blit t.depth 0 b.b_depth 0 lo;
+  Array.blit t.text 0 b.b_text 0 lo;
+  Array.blit t.attrs 0 b.b_attrs 0 lo;
+  Array.blit t.value 0 value 0 lo;
+  for q = 0 to lo - 1 do
+    let ns = t.next_sibling.(q) in
+    b.b_next_sibling.(q) <- (if ns >= old_hi then ns + shift else ns);
+    let se = t.subtree_end.(q) in
+    b.b_subtree_end.(q) <-
+      (if se > old_hi || (se = old_hi && (removed > 0 || Hashtbl.mem anc q))
+       then se + shift
+       else se)
+  done;
+  (* The new middle [lo, lo + m). *)
+  let it = interner_of_seed t in
+  let last_root = fill_range b it ~start:lo ~par ~dep:(t.depth.(par) + 1) srcs in
+  (* Suffix [old_hi, n_old), shifted.  A suffix node's parent is either
+     an ancestor of the range (below [lo]) or in the suffix — never
+     inside the replaced range. *)
+  let slen = n_old - old_hi in
+  Array.blit t.tag old_hi b.b_tag (old_hi + shift) slen;
+  Array.blit t.depth old_hi b.b_depth (old_hi + shift) slen;
+  Array.blit t.text old_hi b.b_text (old_hi + shift) slen;
+  Array.blit t.attrs old_hi b.b_attrs (old_hi + shift) slen;
+  Array.blit t.value old_hi value (old_hi + shift) slen;
+  for s = old_hi to n_old - 1 do
+    let d = s + shift in
+    let p = t.parent.(s) in
+    b.b_parent.(d) <- (if p >= old_hi then p + shift else p);
+    let fc = t.first_child.(s) in
+    b.b_first_child.(d) <- (if fc >= 0 then fc + shift else -1);
+    let ns = t.next_sibling.(s) in
+    b.b_next_sibling.(d) <- (if ns >= 0 then ns + shift else -1);
+    b.b_subtree_end.(d) <- t.subtree_end.(s) + shift
+  done;
+  (* Splice the sibling chain back together. *)
+  let new_next = if nxt < 0 then -1 else nxt + shift in
+  let head = if m > 0 then lo else new_next in
+  if last_root >= 0 then b.b_next_sibling.(last_root) <- new_next;
+  if prev >= 0 then b.b_next_sibling.(prev) <- head
+  else begin
+    let ofc = t.first_child.(par) in
+    if ofc = lo || ofc < 0 then b.b_first_child.(par) <- head
+  end;
+  fill_values b value ~lo ~hi:(lo + m);
+  (* [par]'s immediate text children may have changed. *)
+  value.(par) <- concat_child_texts b b.b_first_child.(par);
+  freeze b value (finalize_interner it ~seed:(Some t))
+
+let prev_sibling_in t par n =
+  let prev = ref (-1) and c = ref t.first_child.(par) in
+  while !c >= 0 && !c <> n do
+    prev := !c;
+    c := t.next_sibling.(!c)
+  done;
+  if !c <> n then invalid_arg "Tree: node is not a child of its parent";
+  !prev
+
+let last_child_of t par =
+  let last = ref (-1) and c = ref t.first_child.(par) in
+  while !c >= 0 do
+    last := !c;
+    c := t.next_sibling.(!c)
+  done;
+  !last
+
+let delete_subtree t n =
+  check t n;
+  if n = root then invalid_arg "Tree.delete_subtree: cannot delete the root";
+  let par = t.parent.(n) in
+  splice t ~lo:n ~old_hi:t.subtree_end.(n) ~par
+    ~prev:(prev_sibling_in t par n) ~nxt:t.next_sibling.(n) []
+
+let replace_subtree t n src =
+  check t n;
+  if n = root then build ~seed:t src
+  else
+    let par = t.parent.(n) in
+    splice t ~lo:n ~old_hi:t.subtree_end.(n) ~par
+      ~prev:(prev_sibling_in t par n) ~nxt:t.next_sibling.(n) [ src ]
+
+let insert_subtree t ~parent:par ?before src =
+  check t par;
+  if is_text t par then
+    invalid_arg "Tree.insert_subtree: parent is a text node";
+  match before with
+  | Some b ->
+    check t b;
+    if b = root || t.parent.(b) <> par then
+      invalid_arg "Tree.insert_subtree: ~before is not a child of ~parent";
+    splice t ~lo:b ~old_hi:b ~par ~prev:(prev_sibling_in t par b) ~nxt:b
+      [ src ]
+  | None ->
+    let pos = t.subtree_end.(par) in
+    splice t ~lo:pos ~old_hi:pos ~par ~prev:(last_child_of t par) ~nxt:(-1)
+      [ src ]
+
+let subtree_element_names t n =
+  let stop = subtree_end t n in
+  let seen = Hashtbl.create 8 and acc = ref [] in
+  for i = n to stop - 1 do
+    let tg = t.tag.(i) in
+    if tg <> text_tag && not (Hashtbl.mem seen tg) then begin
+      Hashtbl.add seen tg ();
+      acc := t.tag_names.(tg) :: !acc
+    end
+  done;
+  List.rev !acc
+
+let source_element_names src =
+  let seen = Hashtbl.create 8 and acc = ref [] in
+  let work = ref [ src ] and continue = ref true in
+  while !continue do
+    match !work with
+    | [] -> continue := false
+    | T _ :: rest -> work := rest
+    | E (tg, _, kids) :: rest ->
+      if not (Hashtbl.mem seen tg) then begin
+        Hashtbl.add seen tg ();
+        acc := tg :: !acc
+      end;
+      work := List.rev_append kids rest
+  done;
+  List.rev !acc
 
 let rec to_source t n =
   if is_text t n then T (text_content t n)

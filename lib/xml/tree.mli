@@ -34,6 +34,46 @@ val to_source : t -> node -> source
 val text_tag : int
 (** The reserved tag id of text nodes (its name is ["#text"]). *)
 
+(** {1 Functional updates}
+
+    Each operation returns a {e new} tree; the input is never written
+    (see the immutability invariant on [t]).  Node ids keep their
+    pre-order meaning: ids below the edited range are unchanged, ids at
+    or after it shift by the size delta.  Tag interning is {e stable}:
+    ids of the input tree's tags are preserved, tags first seen in the
+    inserted material are appended, and when the edit interns no new tag
+    the result shares the input's tag table and {!tags_token} — which is
+    what lets frozen per-tag transition tables survive the update.
+    All three raise [Invalid_argument] on out-of-range or structurally
+    invalid targets (deleting the root, inserting under a text node,
+    [?before] not a child of [~parent]). *)
+
+val delete_subtree : t -> node -> t
+(** Remove the whole subtree rooted at a node (not the root). *)
+
+val replace_subtree : t -> node -> source -> t
+(** Replace the whole subtree rooted at a node.  Replacing the root
+    rebuilds the document but still keeps tag interning stable. *)
+
+val insert_subtree : t -> parent:node -> ?before:node -> source -> t
+(** Insert a new subtree as a child of [~parent], immediately before the
+    existing child [?before], or as the last child when omitted. *)
+
+val tags_token : t -> int
+(** Identity of the tag-interning lineage.  Two trees with equal tokens
+    have byte-identical tag tables (the same names at the same ids), so
+    artifacts keyed by tag id — the frozen transition tables, the TAX
+    bit rows — built against one are tag-aligned with the other.
+    {!of_source} mints a fresh token; the functional updates above
+    preserve it exactly when they intern no new tag. *)
+
+val subtree_element_names : t -> node -> string list
+(** Distinct element names occurring in the subtree of a node, in first-
+    occurrence order ([#text] excluded). *)
+
+val source_element_names : source -> string list
+(** Distinct element names occurring in a source description. *)
+
 (** {1 Structure} *)
 
 val n_nodes : t -> int

@@ -100,6 +100,7 @@ so (saved_compile_ms is wall-clock, so it is filtered out here):
   misses: 1
   evictions: 0
   stale_drops: 0
+  tag_drops: 0
   entries: 1
   capacity: 128
   $ smoqe query -d hospital.xml --repeat 3 --stats -o ids "//pname" 2>&1 \
@@ -116,6 +117,7 @@ and the answers are unchanged:
   misses: 0
   evictions: 0
   stale_drops: 0
+  tag_drops: 0
   entries: 0
   capacity: 0
   $ smoqe query -d hospital.xml --plan-cache 1 -o ids "//pname" > cached.ids
@@ -224,4 +226,36 @@ malformed input:
   $ printf '<hospital><mystery/></hospital>' > offschema.xml
   $ smoqe query -d offschema.xml -s hospital.dtd "//pname" 2>&1
   smoqe: parse error: document invalid: node 0 <hospital>: children (mystery) do not match content model patient*
+  [2]
+
+The secure update path.  An administrative update succeeds, and a
+subsequent query over the written document reflects it:
+
+  $ smoqe query -d hospital.xml -o ids "//pname" | head -1
+  2
+  $ smoqe update -d hospital.xml -s hospital.dtd --op replace --target-id 2 --xml "<pname>renamed-by-update</pname>" --out updated.xml
+  smoqe: update applied at node 2 (53 -> 53 nodes)
+  $ smoqe query -d updated.xml "//pname" | grep -c renamed-by-update
+  1
+
+A member's update against a view-hidden node is denied with its own
+exit code (4), distinct from malformed input (2) and generic failure
+(1) -- and the document is untouched:
+
+  $ smoqe update -d hospital.xml -s hospital.dtd -p s0.policy -g staff --op delete --target-id 2 2>&1
+  smoqe: update denied: the update target is hidden by the view (node 2)
+  [4]
+
+A malformed update -- a broken XML fragment, a missing target, or a
+candidate that violates the DTD -- is malformed input (exit 2):
+
+  $ smoqe update -d hospital.xml --op replace --target-id 2 --xml "<broken" 2>&1
+  smoqe: parse error: update fragment: 1:8: unexpected end of input
+  [2]
+  $ smoqe update -d hospital.xml --op replace --xml "<pname>x</pname>" 2>&1
+  smoqe: parse error: update: a target is required (--target or --target-id)
+  [2]
+  $ smoqe update -d hospital.xml -s hospital.dtd --op replace --target-id 2 --xml "<mystery/>" 2>&1
+  smoqe: parse error: document invalid: node 1 <patient>: children (mystery, visit, visit,
+  visit) do not match content model pname, visit*, parent*
   [2]

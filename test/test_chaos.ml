@@ -7,15 +7,18 @@
    degradation) or [Error] — an escaped exception fails the run.  *)
 
 module Serializer = Smoqe_xml.Serializer
+module Tree = Smoqe_xml.Tree
 module Engine = Smoqe.Engine
 module Session = Smoqe.Session
 module Store = Smoqe_store.Store
 module Failpoint = Smoqe_robust.Failpoint
+module Update = Smoqe_update.Update
 module Hospital = Smoqe_workload.Hospital
 
 let runs = ref 0
 let faulted = ref 0
 let escaped = ref 0
+let torn = ref 0
 
 let attempt label f =
   incr runs;
@@ -62,6 +65,32 @@ let () =
             attempt ("stax " ^ q) (fun () ->
                 Session.run admin ~mode:Engine.Stax q))
           queries);
+      (* the write path under update.apply / update.invalidate faults:
+         an update either fully applies or fully rejects.  Identity
+         replaces keep the document content byte-stable, so whatever
+         mix of injected faults and successes the loop saw, a probe
+         query must still answer exactly its pre-update baseline — a
+         mismatch is torn tree/TAX/table state, the thing the
+         pre-publish failpoint placement forbids. *)
+      Engine.build_index e;
+      let probe = "//pname" in
+      let baseline =
+        match Engine.query e probe with
+        | Ok o -> Some o.Engine.answer_xml
+        | Error _ -> None  (* the probe itself was faulted: skip compare *)
+      in
+      for k = 1 to 6 do
+        let d = Engine.document e in
+        let n = 1 + ((k * 37) + i) mod (Tree.n_nodes d - 1) in
+        attempt "update.identity" (fun () ->
+            Engine.update_robust e
+              (Update.Replace (Update.By_id n, Tree.to_source d n)))
+      done;
+      (match baseline, Engine.query e probe with
+      | Some b, Ok o when o.Engine.answer_xml <> b ->
+        incr torn;
+        Printf.eprintf "TORN update state at iteration %d\n%!" i
+      | _ -> ());
       (* entity/char references so pull.ref sites get exercised too *)
       attempt "refs" (fun () ->
           Smoqe_robust.Error.guard (fun () ->
@@ -93,7 +122,7 @@ let () =
       Printf.printf "  %-12s %5d triggers, %d hits\n" site
         (Failpoint.triggers site) (Failpoint.hits site))
     [ "pull.read"; "pull.depth"; "pull.ref"; "store.read"; "store.write";
-      "hype.step"; "index.load" ];
+      "hype.step"; "index.load"; "update.apply"; "update.invalidate" ];
   if Failpoint.active () then
     List.iter
       (fun site ->
@@ -101,5 +130,10 @@ let () =
           Printf.eprintf "chaos: armed but %s never fired\n%!" site;
           exit 1
         end)
-      [ "pull.read"; "pull.depth"; "pull.ref" ];
+      [ "pull.read"; "pull.depth"; "pull.ref"; "update.apply";
+        "update.invalidate" ];
+  if !torn > 0 then begin
+    Printf.eprintf "chaos: %d torn update states observed\n%!" !torn;
+    exit 1
+  end;
   if !escaped > 0 then exit 1

@@ -511,6 +511,237 @@ let test_batch_session () =
           (List.nth reference i) o.Engine.answer_xml)
     results
 
+(* --- The write-path differential oracle ------------------------------------ *)
+
+(* The invariant: after any legal update sequence, `update; query` is
+   byte-identical to `re-materialize from scratch; query` — a fresh
+   engine built from the updated tree, with the policy re-registered and
+   the index rebuilt, answering with none of the incrementally
+   maintained state (spliced TAX, surviving plans, frozen tables).  The
+   two paths share the compiled automaton but none of the maintenance
+   code, so agreement is evidence the splices are right. *)
+
+module Update = Smoqe_update.Update
+module Tree = Smoqe_xml.Tree
+module Tax = Smoqe_tax.Tax
+module Serializer = Smoqe_xml.Serializer
+
+let okr = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail (Err.to_string e)
+
+(* A random legal update sequence applied as admin: candidates are drawn
+   from the live document each step (ids shift as edits land); a
+   candidate the DTD rejects is skipped — identity replaces always
+   apply, so the sequence never stalls.  Text rewrites change answer
+   content, delete/duplicate change answer sets: the oracle is not
+   comparing fixed points. *)
+let random_updates ~seed ~steps engine =
+  let rng = Random.State.make [| seed |] in
+  let applied = ref 0 in
+  for step = 1 to steps do
+    let doc = Engine.document engine in
+    let n_nodes = Tree.n_nodes doc in
+    if n_nodes > 1 then begin
+      let n = 1 + Random.State.int rng (n_nodes - 1) in
+      let op =
+        match Random.State.int rng 4 with
+        | 0 -> Update.Replace (Update.By_id n, Tree.to_source doc n)
+        | 1 when Tree.is_text doc n ->
+          Update.Replace (Update.By_id n, Tree.T (Printf.sprintf "w%d" step))
+        | 1 | 2 -> Update.Delete (Update.By_id n)
+        | _ ->
+          let p = Option.get (Tree.parent doc n) in
+          Update.Insert
+            { parent = Update.By_id p; before = Some n;
+              source = Tree.to_source doc n }
+      in
+      match Engine.update_robust engine op with
+      | Ok _ -> incr applied
+      | Error (Err.Parse_error _) -> ()  (* the DTD rejected it: skip *)
+      | Error e ->
+        Alcotest.failf "seed %d step %d: %s" seed step (Err.to_string e)
+    end
+  done;
+  if !applied = 0 then begin
+    (* every random draw was DTD-rejected: an identity replace of the
+       root always applies, so the sequence is never empty *)
+    let doc = Engine.document engine in
+    match
+      Engine.update_robust engine
+        (Update.Replace (Update.By_id Tree.root, Tree.to_source doc Tree.root))
+    with
+    | Ok _ -> incr applied
+    | Error e -> Alcotest.failf "seed %d fallback: %s" seed (Err.to_string e)
+  end;
+  !applied
+
+let write_battery ~name ~dtd ~policy ~doc ~seed queries =
+  let engine = Engine.of_tree ~dtd doc in
+  ok (Engine.register_policy engine ~group:"members" policy);
+  Engine.build_index engine;
+  (* warm the cache first so the update sequence exercises scoped
+     invalidation on live entries *)
+  List.iter
+    (fun (_, text) ->
+      ignore (okr (Engine.query_robust engine ~group:"members" text)))
+    queries;
+  let applied = random_updates ~seed ~steps:12 engine in
+  Alcotest.(check bool) (name ^ ": updates applied") true (applied > 0);
+  let updated = Engine.document engine in
+  (* reference: re-materialize everything from scratch *)
+  let fresh = Engine.of_tree ~dtd updated in
+  ok (Engine.register_policy fresh ~group:"members" policy);
+  Engine.build_index fresh;
+  Alcotest.(check bool) (name ^ ": spliced index = rebuilt index") true
+    (Tax.equal
+       (Option.get (Engine.index engine))
+       (Option.get (Engine.index fresh)));
+  List.iter
+    (fun (mode, mname) ->
+      List.iter
+        (fun use_tables ->
+          List.iter
+            (fun (qname, text) ->
+              let label what =
+                Printf.sprintf "%s %s (%s, tables %b, %s)" name qname mname
+                  use_tables what
+              in
+              let reference =
+                okr
+                  (Engine.query_robust fresh ~group:"members" ~mode ~use_tables
+                     text)
+              in
+              let cold =
+                okr
+                  (Engine.query_robust engine ~group:"members" ~mode
+                     ~use_tables text)
+              in
+              Alcotest.(check (list int)) (label "answers")
+                reference.Engine.answers cold.Engine.answers;
+              Alcotest.(check (list string)) (label "xml")
+                reference.Engine.answer_xml cold.Engine.answer_xml;
+              let warm =
+                okr
+                  (Engine.query_robust engine ~group:"members" ~mode
+                     ~use_tables text)
+              in
+              Alcotest.(check (list string)) (label "warm xml")
+                reference.Engine.answer_xml warm.Engine.answer_xml)
+            queries)
+        [ true; false ])
+    modes;
+  (* wholesale replace_document remains byte-identical to both *)
+  let whole = Engine.of_tree ~dtd doc in
+  ok (Engine.register_policy whole ~group:"members" policy);
+  ok (Engine.replace_document whole updated);
+  Engine.build_index whole;
+  List.iter
+    (fun (qname, text) ->
+      let reference = okr (Engine.query_robust fresh ~group:"members" text) in
+      let o = okr (Engine.query_robust whole ~group:"members" text) in
+      Alcotest.(check (list string))
+        (Printf.sprintf "%s %s: replace_document agrees" name qname)
+        reference.Engine.answer_xml o.Engine.answer_xml)
+    queries;
+  (* pooled at 4 domains: the updated engine serves the whole suite
+     sharded, byte-identical to the fresh reference *)
+  Pool.with_pool ~domains:4 (fun pool ->
+      let texts = List.map snd queries in
+      let reference =
+        List.map
+          (fun t ->
+            (okr (Engine.query_robust fresh ~group:"members" t))
+              .Engine.answer_xml)
+          texts
+      in
+      let results, _ =
+        Engine.run_many_pooled engine ~pool ~group:"members" texts
+      in
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Error e ->
+            Alcotest.failf "%s pooled %d: %s" name i (Err.to_string e)
+          | Ok o ->
+            Alcotest.(check (list string))
+              (Printf.sprintf "%s pooled %d: updated engine = fresh" name i)
+              (List.nth reference i) o.Engine.answer_xml)
+        results)
+
+let test_write_hospital () =
+  let doc = Hospital.generate ~seed:7 ~n_patients:4 ~recursion_depth:2 () in
+  write_battery ~name:"hospital" ~dtd:Hospital.dtd ~policy:Hospital.policy
+    ~doc ~seed:101
+    (Queries.suite @ Queries.view_suite)
+
+let test_write_bib () =
+  let doc = Bib.generate ~seed:11 ~n_books:4 ~section_depth:3 () in
+  write_battery ~name:"bib" ~dtd:Bib.dtd ~policy:Bib.policy ~doc ~seed:103
+    Queries.bib_suite
+
+(* Random DTD draws: a handful of updates, then Dom and Stax answers of
+   the updated engine against the from-scratch rebuild. *)
+let test_write_property () =
+  for seed = 1 to 20 do
+    let dtd =
+      Random_dtd.generate ~seed ~n_types:(3 + (seed mod 5))
+        ~recursion:(seed mod 2 = 0) ()
+    in
+    let policy = Random_dtd.random_policy ~seed:(seed * 3 + 1) dtd in
+    match Docgen.generate ~seed:(seed * 5 + 2) ~max_depth:8 ~fanout:2 dtd with
+    | exception Docgen.No_finite_expansion _ -> ()
+    | doc ->
+      let engine = Engine.of_tree ~dtd doc in
+      (match Engine.register_policy engine ~group:"members" policy with
+      | Error _ -> ()  (* derivation unsupported for this draw: skip *)
+      | Ok () ->
+        Engine.build_index engine;
+        let view = Option.get (Engine.view engine ~group:"members") in
+        let tags = Dtd.element_names (Derive.view_dtd view) in
+        let texts =
+          List.map
+            (fun s ->
+              Pretty.path_to_string
+                (Random_dtd.random_query ~seed:s ~size:6 ~tags ()))
+            [ (seed * 7) + 3; (seed * 11) + 5; (seed * 13) + 9 ]
+        in
+        (* warm, update, compare against the from-scratch rebuild *)
+        List.iter
+          (fun t ->
+            ignore (okr (Engine.query_robust engine ~group:"members" t)))
+          texts;
+        let applied = random_updates ~seed:(seed * 19 + 7) ~steps:6 engine in
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: updates applied" seed)
+          true (applied > 0);
+        let fresh = Engine.of_tree ~dtd (Engine.document engine) in
+        ok (Engine.register_policy fresh ~group:"members" policy);
+        Engine.build_index fresh;
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: spliced index = rebuilt" seed)
+          true
+          (Tax.equal
+             (Option.get (Engine.index engine))
+             (Option.get (Engine.index fresh)));
+        List.iter
+          (fun (mode, mname) ->
+            List.iter
+              (fun t ->
+                let reference =
+                  okr (Engine.query_robust fresh ~group:"members" ~mode t)
+                in
+                let o =
+                  okr (Engine.query_robust engine ~group:"members" ~mode t)
+                in
+                Alcotest.(check (list string))
+                  (Printf.sprintf "seed %d %s %s: updated = fresh" seed mname
+                     t)
+                  reference.Engine.answer_xml o.Engine.answer_xml)
+              texts)
+          modes)
+  done
+
 let () =
   Alcotest.run "smoqe_oracle"
     [
@@ -544,5 +775,14 @@ let () =
           Alcotest.test_case "random draws, batch = inline" `Quick
             test_batch_property;
           Alcotest.test_case "session road" `Quick test_batch_session;
+        ] );
+      ( "write-path",
+        [
+          Alcotest.test_case "hospital: update = rematerialize" `Quick
+            test_write_hospital;
+          Alcotest.test_case "bib: update = rematerialize" `Quick
+            test_write_bib;
+          Alcotest.test_case "random draws: update = rematerialize" `Quick
+            test_write_property;
         ] );
     ]

@@ -27,6 +27,8 @@ module Engine = Smoqe.Engine
 module Pool = Smoqe_exec.Pool
 module Failpoint = Smoqe_robust.Failpoint
 module Err = Smoqe_robust.Error
+module Tree = Smoqe_xml.Tree
+module Update = Smoqe_update.Update
 module Hospital = Smoqe_workload.Hospital
 module Queries = Smoqe_workload.Queries
 
@@ -69,6 +71,7 @@ let () =
 
   let rounds = 400 in
   let injected = ref 0 and served = ref 0 in
+  let update_futures = ref [] in
   Failpoint.with_failpoints "plan.compile=7" (fun () ->
       Pool.with_pool ~domains:8 (fun pool ->
           let futures =
@@ -89,6 +92,22 @@ let () =
                   (match Engine.replace_document engine doc with
                   | Ok () -> ()
                   | Error msg -> die "replace_document: %s" msg);
+                (* concurrent writes through the pool: identity replaces
+                   keep every answer byte-stable (so the hot-reference
+                   check below stays the truth) while the write path's
+                   snapshot/retry publish races the queries and the
+                   admin churn.  Identity edits and the equal-tree
+                   replace_document keep the node count constant, so a
+                   By_id picked from the live document stays in range
+                   whatever interleaving wins. *)
+                if i mod 29 = 13 then
+                  update_futures :=
+                    Pool.submit pool (fun () ->
+                        let d = Engine.document engine in
+                        let n = 1 + (i * 31 mod (Tree.n_nodes d - 1)) in
+                        Engine.update_robust engine
+                          (Update.Replace (Update.By_id n, Tree.to_source d n)))
+                    :: !update_futures;
                 (text, Engine.submit engine ~pool ~group:"members" text))
           in
           List.iter
@@ -108,16 +127,28 @@ let () =
                 die "future raised (totality broken): %s"
                   (Printexc.to_string exn))
             futures;
+          List.iter
+            (fun fut ->
+              match Pool.await fut with
+              | Ok (_ : Engine.update_report) -> ()
+              | Error e -> die "concurrent update failed: %s" (Err.to_string e)
+              | exception exn ->
+                die "update future raised (totality broken): %s"
+                  (Printexc.to_string exn))
+            !update_futures;
           let loads = Pool.worker_loads pool in
           let total = Array.fold_left ( + ) 0 loads in
-          if total <> rounds then
+          let submitted = rounds + List.length !update_futures in
+          if total <> submitted then
             die "worker accounting: %d tasks counted, %d submitted" total
-              rounds;
+              submitted;
           if Array.exists (fun f -> f <> 0) (Pool.worker_failures pool) then
             die "a worker recorded an uncaught task exception"));
   if !served = 0 then die "no query ever succeeded";
   if !injected = 0 then die "the armed failpoint never fired";
   Printf.printf
-    "stress OK: %d tasks (%d served, %d injected faults), answers stable \
-     under re-registration and document replacement\n"
+    "stress OK: %d tasks (%d served, %d injected faults, %d concurrent \
+     updates), answers stable under re-registration, document replacement \
+     and writes\n"
     rounds !served !injected
+    (List.length !update_futures)
