@@ -80,7 +80,22 @@ let write ~id v =
              (fun (k, n) -> (k, Int n))
              (Smoqe_hype.Stats.tables_counters ()))
       in
-      Obj (fields @ [ ("tables", tables) ])
+      (* Likewise the process-wide GC counters at write time: cumulative
+         bytes allocated (minor + major - promoted) and the live/peak
+         words of the major heap — the allocation trajectory of the run,
+         for diffing across PRs alongside the latencies. *)
+      let gc =
+        let s = Gc.quick_stat () in
+        Obj
+          [
+            ("allocated_bytes", Int (int_of_float (Gc.allocated_bytes ())));
+            ("minor_collections", Int s.Gc.minor_collections);
+            ("major_collections", Int s.Gc.major_collections);
+            ("heap_words", Int s.Gc.heap_words);
+            ("top_heap_words", Int s.Gc.top_heap_words);
+          ]
+      in
+      Obj (fields @ [ ("tables", tables); ("gc", gc) ])
     | other -> other
   in
   let buf = Buffer.create 1024 in

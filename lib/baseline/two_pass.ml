@@ -61,7 +61,7 @@ let run (mfa : Mfa.t) tree =
         | Nfa.Atom_accept aid ->
           (match (mfa.Mfa.atoms.(aid)).Afa.value with
           | None -> true
-          | Some c -> String.equal (Tree.value tree n) c))
+          | Some c -> Tree.value_equal tree n c))
       nfa.Nfa.accepts.(s)
   in
   for n = n_nodes - 1 downto 0 do

@@ -57,7 +57,7 @@ let run tree path =
     | Ast.True -> true
     | Ast.Exists p -> select p n <> []
     | Ast.Value_eq (p, c) ->
-      List.exists (fun m -> String.equal (Tree.value tree m) c) (select p n)
+      List.exists (fun m -> Tree.value_equal tree m c) (select p n)
     | Ast.Not q -> not (holds q n)
     | Ast.And (a, b) -> holds a n && holds b n
     | Ast.Or (a, b) -> holds a n || holds b n

@@ -459,7 +459,12 @@ let rewrite_only t ~group ?optimize text =
 
 let answer_xml_one snap n =
   let tree = snap.snap_tree in
-  if Tree.is_text tree n then Serializer.escape_text (Tree.text_content tree n)
+  if Tree.is_text tree n then begin
+    let backing, off, len = Tree.content_slice tree n in
+    let buf = Buffer.create (len + 8) in
+    Serializer.add_escaped_text buf backing off len;
+    Buffer.contents buf
+  end
   else Serializer.subtree_to_string ~indent:false tree n
 
 let answer_xml snap answers = List.map (answer_xml_one snap) answers

@@ -25,6 +25,12 @@ type t
 type kind =
   | El of string  (** element with this tag *)
   | Tx of string  (** text node with this content *)
+  | Tx_sub of string * int * int
+      (** text node whose content is the slice [(backing, off, len)] — a
+          borrowed span that zero-copy drivers pass instead of [Tx].  The
+          engine reads it during {!enter} and the node's own {!leave}
+          only, so a span valid across that enter/leave pair (a text node
+          leaves immediately — it has no children) never needs copying. *)
 
 type verdict =
   | Alive  (** at least one run is active: descend into the children *)

@@ -111,7 +111,9 @@ let run_core ?tax ?(prune_threshold = 48) ?budget ?trace ?tables ?use_tables
       done
   in
   let kind_of n =
-    if Tree.is_text tree n then Engine.Tx (Tree.text_content tree n)
+    if Tree.is_text tree n then
+      let backing, off, len = Tree.content_slice tree n in
+      Engine.Tx_sub (backing, off, len)
     else Engine.El (Tree.name tree n)
   in
   let descend_check =

@@ -39,8 +39,14 @@ type capture = {
   mutable open_elements : int;
 }
 
+(* [run_core] is written against three per-event handlers rather than an
+   event stream: the cursor driver below feeds the engine interned names
+   and borrowed [Tx_sub] text spans, so on the fast path (no capture in
+   progress) an event costs no allocation at all.  Attribute lists and
+   text copies are behind thunks, forced only while a capture is actually
+   recording. *)
 let run_core ~capture ?budget ?trace ?use_tables ?memo_cap ?owners ?n_queries
-    mfa next =
+    mfa drive =
   let use_tables =
     match use_tables with
     | Some b -> b
@@ -159,59 +165,101 @@ let run_core ~capture ?budget ?trace ?use_tables ?memo_cap ?owners ?n_queries
     if capture && is_candidate then
       Hashtbl.replace finished_captures id (Serializer.escape_text content)
   in
+  (* Attribute/text thunks are forced only when some capture buffer will
+     consume the result — the guards mirror the no-op conditions of
+     [cap_start]/[cap_text], so behaviour is unchanged. *)
+  let on_start name attrs_fn =
+    checkpoint ();
+    let id = fresh_id () in
+    if parent_alive () then begin
+      (match Engine.enter engine ~id ~kind:(Engine.El name) with
+      | Engine.Alive -> stack := Entered_alive :: !stack
+      | Engine.Dead ->
+        mark id Trace.Skipped_dead;
+        stack := Skipped :: !stack);
+      let candidate = Engine.entered_candidate engine in
+      if !open_captures <> [] || (capture && candidate) then
+        cap_start ~candidate id name (attrs_fn ())
+    end
+    else begin
+      stats.Stats.nodes_skipped_dead <- stats.Stats.nodes_skipped_dead + 1;
+      mark id Trace.Skipped_dead;
+      stack := Skipped :: !stack;
+      if !open_captures <> [] then
+        cap_start ~candidate:false (-1) name (attrs_fn ())
+    end
+  in
+  let on_end name =
+    checkpoint ();
+    (match !stack with
+    | [] -> raise (Engine.Driver_error "unbalanced end event")
+    | level :: rest ->
+      (match level with
+      | Entered_alive -> Engine.leave engine
+      | Skipped -> ());
+      stack := rest);
+    cap_end name
+  in
+  let on_text kind content_fn =
+    checkpoint ();
+    let id = fresh_id () in
+    if parent_alive () then begin
+      match Engine.enter engine ~id ~kind with
+      | Engine.Alive ->
+        let candidate = Engine.entered_candidate engine in
+        if !open_captures <> [] || (capture && candidate) then
+          cap_text id (content_fn ()) candidate;
+        Engine.leave engine
+      | Engine.Dead ->
+        if !open_captures <> [] then cap_text id (content_fn ()) false
+    end
+    else begin
+      stats.Stats.nodes_skipped_dead <- stats.Stats.nodes_skipped_dead + 1;
+      mark id Trace.Skipped_dead;
+      if !open_captures <> [] then cap_text id (content_fn ()) false
+    end
+  in
+  let budget_hit = ref None in
+  (try
+     drive ~on_start ~on_end ~on_text;
+     final_check ()
+   with Budget.Exceeded { what; limit } -> budget_hit := Some (what, limit));
+  (engine, stats, finished_captures, !next_id, !budget_hit)
+
+(* Zero-copy driver: names arrive interned from the cursor, text as a
+   borrowed span consumed inside [on_text] (enter → capture → leave)
+   before the next [cursor_next] invalidates it. *)
+let drive_cursor pull ~on_start ~on_end ~on_text =
+  let rec loop () =
+    match Pull.cursor_next pull with
+    | Pull.Cursor_eof -> ()
+    | Pull.Cursor_start ->
+      on_start (Pull.cur_name pull) (fun () -> Pull.cur_attrs pull);
+      loop ()
+    | Pull.Cursor_end ->
+      on_end (Pull.cur_name pull);
+      loop ()
+    | Pull.Cursor_text ->
+      let backing, off, len = Pull.cur_text_span pull in
+      on_text
+        (Engine.Tx_sub (backing, off, len))
+        (fun () -> Pull.cur_text pull);
+      loop ()
+  in
+  loop ()
+
+let drive_events next ~on_start ~on_end ~on_text =
   let rec loop () =
     match next () with
     | None -> ()
     | Some ev ->
-      checkpoint ();
       (match ev with
-      | Pull.Start_element (name, attrs) ->
-        let id = fresh_id () in
-        if parent_alive () then begin
-          (match Engine.enter engine ~id ~kind:(Engine.El name) with
-          | Engine.Alive -> stack := Entered_alive :: !stack
-          | Engine.Dead ->
-            mark id Trace.Skipped_dead;
-            stack := Skipped :: !stack);
-          cap_start ~candidate:(Engine.entered_candidate engine) id name attrs
-        end
-        else begin
-          stats.Stats.nodes_skipped_dead <- stats.Stats.nodes_skipped_dead + 1;
-          mark id Trace.Skipped_dead;
-          stack := Skipped :: !stack;
-          if !open_captures <> [] then cap_start ~candidate:false (-1) name attrs
-        end
-      | Pull.End_element name ->
-        (match !stack with
-        | [] -> raise (Engine.Driver_error "unbalanced end event")
-        | level :: rest ->
-          (match level with
-          | Entered_alive -> Engine.leave engine
-          | Skipped -> ());
-          stack := rest);
-        cap_end name
-      | Pull.Text content ->
-        let id = fresh_id () in
-        if parent_alive () then begin
-          match Engine.enter engine ~id ~kind:(Engine.Tx content) with
-          | Engine.Alive ->
-            cap_text id content (Engine.entered_candidate engine);
-            Engine.leave engine
-          | Engine.Dead -> cap_text id content false
-        end
-        else begin
-          stats.Stats.nodes_skipped_dead <- stats.Stats.nodes_skipped_dead + 1;
-          mark id Trace.Skipped_dead;
-          cap_text id content false
-        end);
+      | Pull.Start_element (name, attrs) -> on_start name (fun () -> attrs)
+      | Pull.End_element name -> on_end name
+      | Pull.Text content -> on_text (Engine.Tx content) (fun () -> content));
       loop ()
   in
-  let budget_hit = ref None in
-  (try
-     loop ();
-     final_check ()
-   with Budget.Exceeded { what; limit } -> budget_hit := Some (what, limit));
-  (engine, stats, finished_captures, !next_id, !budget_hit)
+  loop ()
 
 (* Serialized fragments for one answer list, from the per-node capture
    store (node ids are query-agnostic, so a batch shares the store). *)
@@ -222,9 +270,9 @@ let captures_for finished_captures answers =
     answers
 
 let run_generic ?(capture = false) ?budget ?trace ?use_tables ?memo_cap mfa
-    next =
+    drive =
   let engine, stats, finished_captures, n_nodes, budget_hit =
-    run_core ~capture ?budget ?trace ?use_tables ?memo_cap mfa next
+    run_core ~capture ?budget ?trace ?use_tables ?memo_cap mfa drive
   in
   let answers =
     match budget_hit with None -> Engine.finish engine | Some _ -> []
@@ -243,11 +291,11 @@ let run_generic ?(capture = false) ?budget ?trace ?use_tables ?memo_cap mfa
   }
 
 let run_many_generic ?(capture = false) ?budget ?trace ?use_tables ?memo_cap
-    (sh : Shared.t) next =
+    (sh : Shared.t) drive =
   let engine, stats, finished_captures, n_nodes, budget_hit =
     run_core ~capture ?budget ?trace ?use_tables ?memo_cap
       ~owners:sh.Shared.owners ~n_queries:sh.Shared.n_queries sh.Shared.mfa
-      next
+      drive
   in
   stats.Stats.batch_queries <- sh.Shared.n_queries;
   stats.Stats.shared_states <- sh.Shared.merged_states;
@@ -274,30 +322,29 @@ let run_many_generic ?(capture = false) ?budget ?trace ?use_tables ?memo_cap
   }
 
 let run ?capture ?budget ?trace ?use_tables ?memo_cap mfa pull =
-  run_generic ?capture ?budget ?trace ?use_tables ?memo_cap mfa (fun () ->
-      Pull.next pull)
+  run_generic ?capture ?budget ?trace ?use_tables ?memo_cap mfa
+    (drive_cursor pull)
 
 let run_many ?capture ?budget ?trace ?use_tables ?memo_cap sh pull =
-  run_many_generic ?capture ?budget ?trace ?use_tables ?memo_cap sh (fun () ->
-      Pull.next pull)
+  run_many_generic ?capture ?budget ?trace ?use_tables ?memo_cap sh
+    (drive_cursor pull)
+
+let next_of_list events =
+  let remaining = ref events in
+  fun () ->
+    match !remaining with
+    | [] -> None
+    | ev :: rest ->
+      remaining := rest;
+      Some ev
 
 let run_many_events ?capture ?budget ?trace ?use_tables ?memo_cap sh events =
-  let remaining = ref events in
-  run_many_generic ?capture ?budget ?trace ?use_tables ?memo_cap sh (fun () ->
-      match !remaining with
-      | [] -> None
-      | ev :: rest ->
-        remaining := rest;
-        Some ev)
+  run_many_generic ?capture ?budget ?trace ?use_tables ?memo_cap sh
+    (drive_events (next_of_list events))
 
 let run_events ?capture ?budget ?trace ?use_tables ?memo_cap mfa events =
-  let remaining = ref events in
-  run_generic ?capture ?budget ?trace ?use_tables ?memo_cap mfa (fun () ->
-      match !remaining with
-      | [] -> None
-      | ev :: rest ->
-        remaining := rest;
-        Some ev)
+  run_generic ?capture ?budget ?trace ?use_tables ?memo_cap mfa
+    (drive_events (next_of_list events))
 
 let eval_string ?capture ?trace path input =
   let mfa = Smoqe_automata.Compile.compile path in

@@ -51,7 +51,7 @@ and holds_qual env q n =
         not (Node_set.is_empty (eval_path env p (Node_set.singleton n)))
       | Ast.Value_eq (p, c) ->
         Node_set.exists
-          (fun m -> String.equal (Tree.value env.tree m) c)
+          (fun m -> Tree.value_equal env.tree m c)
           (eval_path env p (Node_set.singleton n))
       | Ast.Not q -> not (holds_qual env q n)
       | Ast.And (a, b) -> holds_qual env a n && holds_qual env b n

@@ -10,18 +10,27 @@ let advance st = st.pos <- st.pos + 1
 
 let is_ws = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
 
+(* Index-wise prefix test: no [String.sub] allocation per probe. *)
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src
+  &&
+  let i = ref 0 in
+  while !i < n && String.unsafe_get st.src (st.pos + !i) = String.unsafe_get s !i do
+    incr i
+  done;
+  !i = n
+
 let rec skip_ws_and_comments st =
   (match peek st with
   | Some c when is_ws c ->
     advance st;
     skip_ws_and_comments st
-  | Some '<'
-    when st.pos + 3 < String.length st.src
-         && String.sub st.src st.pos 4 = "<!--" ->
+  | Some '<' when looking_at st "<!--" ->
     st.pos <- st.pos + 4;
     let rec close () =
       if st.pos + 2 >= String.length st.src then err st "unterminated comment"
-      else if String.sub st.src st.pos 3 = "-->" then st.pos <- st.pos + 3
+      else if looking_at st "-->" then st.pos <- st.pos + 3
       else begin
         advance st;
         close ()
@@ -38,10 +47,6 @@ let expect st c =
   | None -> err st (Printf.sprintf "expected %C, found end of input" c)
 
 let expect_str st s = String.iter (expect st) s
-
-let looking_at st s =
-  let n = String.length s in
-  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
 
 let is_name_start c =
   (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'

@@ -55,15 +55,41 @@ let build_from ?pos next =
   | None -> fail "empty event stream"
   | Some src -> Tree.of_source src
 
+(* The DOM fast path: the parser runs in retain mode, so its byte region
+   is the finished tree's arena and its scratch the appendix — the
+   cursor's raw spans are stored verbatim by [Tree.Builder] and not one
+   content string is allocated on the way.  Well-formedness (balance,
+   single root) is enforced by the pull parser itself, which raises
+   positioned [Pull.Error]s exactly as before. *)
+let build_retained p =
+  let b = Tree.Builder.create () in
+  let rec loop () =
+    match Pull.cursor_next p with
+    | Pull.Cursor_eof -> ()
+    | Pull.Cursor_start ->
+      Tree.Builder.start_element b (Pull.cur_name p);
+      for i = 0 to Pull.cur_attr_count p - 1 do
+        let off, len = Pull.cur_attr_raw p i in
+        Tree.Builder.attr b (Pull.cur_attr_name p i) off len
+      done;
+      loop ()
+    | Pull.Cursor_end ->
+      Tree.Builder.end_element b;
+      loop ()
+    | Pull.Cursor_text ->
+      let off, len = Pull.cur_text_raw p in
+      Tree.Builder.text b off len;
+      loop ()
+  in
+  loop ();
+  Tree.Builder.finish b ~arena:(Pull.retained p)
+    ~appendix:(Pull.scratch_contents p)
+
 let tree_of_string ?keep_ws ?budget s =
-  let p = Pull.of_string ?keep_ws ?budget s in
-  build_from ~pos:(fun () -> (Pull.line p, Pull.column p))
-    (fun () -> Pull.next p)
+  build_retained (Pull.of_string ?keep_ws ?budget ~retain:true s)
 
 let tree_of_channel ?keep_ws ?budget ic =
-  let p = Pull.of_channel ?keep_ws ?budget ic in
-  build_from ~pos:(fun () -> (Pull.line p, Pull.column p))
-    (fun () -> Pull.next p)
+  build_retained (Pull.of_channel ?keep_ws ?budget ~retain:true ic)
 
 let tree_of_file ?keep_ws ?budget path =
   let ic = open_in_bin path in

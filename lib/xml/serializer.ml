@@ -1,25 +1,45 @@
-let escape ~quotes s =
-  let needs_escape = ref false in
-  String.iter
-    (fun c ->
-      match c with
-      | '&' | '<' | '>' -> needs_escape := true
-      | '"' | '\'' -> if quotes then needs_escape := true
-      | _ -> ())
-    s;
-  if not !needs_escape then s
+let needs_entity ~quotes c =
+  match c with
+  | '&' | '<' | '>' -> true
+  | '"' | '\'' -> quotes
+  | _ -> false
+
+(* Slice-wise escape straight into a buffer: scan for the first byte that
+   needs an entity, and in the common clean case the whole slice is one
+   [Buffer.add_substring] — no intermediate string either way. *)
+let add_escaped ~quotes buf s off len =
+  let stop = off + len in
+  let i = ref off in
+  while !i < stop && not (needs_entity ~quotes (String.unsafe_get s !i)) do
+    incr i
+  done;
+  if !i = stop then Buffer.add_substring buf s off len
   else begin
-    let buf = Buffer.create (String.length s + 8) in
-    String.iter
-      (fun c ->
-        match c with
-        | '&' -> Buffer.add_string buf "&amp;"
-        | '<' -> Buffer.add_string buf "&lt;"
-        | '>' -> Buffer.add_string buf "&gt;"
-        | '"' when quotes -> Buffer.add_string buf "&quot;"
-        | '\'' when quotes -> Buffer.add_string buf "&apos;"
-        | c -> Buffer.add_char buf c)
-      s;
+    Buffer.add_substring buf s off (!i - off);
+    for j = !i to stop - 1 do
+      match String.unsafe_get s j with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' when quotes -> Buffer.add_string buf "&quot;"
+      | '\'' when quotes -> Buffer.add_string buf "&apos;"
+      | c -> Buffer.add_char buf c
+    done
+  end
+
+let add_escaped_text buf s off len = add_escaped ~quotes:false buf s off len
+let add_escaped_attr buf s off len = add_escaped ~quotes:true buf s off len
+
+let escape ~quotes s =
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n && not (needs_entity ~quotes (String.unsafe_get s !i)) do
+    incr i
+  done;
+  if !i = n then s
+  else begin
+    let buf = Buffer.create (n + 8) in
+    add_escaped ~quotes buf s 0 n;
     Buffer.contents buf
   end
 
@@ -32,9 +52,22 @@ let add_attrs buf attrs =
       Buffer.add_char buf ' ';
       Buffer.add_string buf k;
       Buffer.add_string buf "=\"";
-      Buffer.add_string buf (escape_attr v);
+      add_escaped_attr buf v 0 (String.length v);
       Buffer.add_char buf '"')
     attrs
+
+(* Tree attributes, read in place through the packed spans. *)
+let add_tree_attrs buf t n =
+  Tree.iter_attrs t n (fun k backing off len ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf k;
+      Buffer.add_string buf "=\"";
+      add_escaped_attr buf backing off len;
+      Buffer.add_char buf '"')
+
+let add_text_content buf t n =
+  let backing, off, len = Tree.content_slice t n in
+  add_escaped_text buf backing off len
 
 (* Worklist, not native recursion: serialization must follow the parser
    in treating document depth as data, never as OCaml stack (DESIGN.md
@@ -64,7 +97,7 @@ let subtree_to_buf ~indent buf t start =
       work := rest;
       if Tree.is_text t n then begin
         pad level;
-        Buffer.add_string buf (escape_text (Tree.text_content t n));
+        add_text_content buf t n;
         if indent then Buffer.add_char buf '\n'
       end
       else begin
@@ -72,14 +105,14 @@ let subtree_to_buf ~indent buf t start =
         pad level;
         Buffer.add_char buf '<';
         Buffer.add_string buf tag;
-        add_attrs buf (Tree.attributes t n);
+        add_tree_attrs buf t n;
         match Tree.children t n with
         | [] ->
           Buffer.add_string buf "/>";
           if indent then Buffer.add_char buf '\n'
         | [ only ] when Tree.is_text t only ->
           Buffer.add_char buf '>';
-          Buffer.add_string buf (escape_text (Tree.text_content t only));
+          add_text_content buf t only;
           Buffer.add_string buf "</";
           Buffer.add_string buf tag;
           Buffer.add_char buf '>';

@@ -13,18 +13,40 @@ let text_tag_name = "#text"
    field, array slot or hashtable binding is ever written afterwards.
    This is what lets one tree be shared by every session and evaluated on
    every domain of the pool executor with no locking at all.  In
-   particular [value] is *precomputed* at construction: an earlier
-   version memoized it lazily into a [string option array], which is a
-   data race under parallel evaluation (two domains writing the slot, a
-   third reading it torn between the check and the write).  Any future
-   per-node cache must either be filled here, before the tree is
-   published, or be published through [Atomic].
+   particular comparison values are *precomputed* at construction: an
+   earlier version memoized them lazily into a [string option array],
+   which is a data race under parallel evaluation (two domains writing
+   the slot, a third reading it torn between the check and the write).
+   Any future per-node cache must either be filled here, before the tree
+   is published, or be published through [Atomic].
+
+   REPRESENTATION (DESIGN.md §15): the tree is packed.  Structure is six
+   flat pre-order int arrays; content is never stored as per-node
+   strings.  All text bytes live in two shared immutable regions:
+
+   - [arena]: the raw document bytes when the tree was built by the
+     streaming parser (zero-copy — the parse buffer itself), or [""] for
+     [of_source]-built trees;
+   - [appendix]: everything else — reference-decoded segments, content
+     of [of_source] material, content spliced in by functional updates,
+     and the concatenated values of mixed-content elements.
+
+   A content span is coded in one int: [off >= 0] indexes [arena],
+   [off < 0] indexes [appendix] at [lnot off].  [cont_off]/[cont_len]
+   hold a text node's content, and an element's comparison value — for
+   an element with a single text child the value *aliases* the child's
+   span, so only mixed-content elements cost appendix bytes.  Attributes
+   are packed the same way: [attr_start] (n+1 entries, cumulative) maps
+   a node to its range in [attr_names]/[attr_voff]/[attr_vlen].
 
    The update operations below ([delete_subtree] &c.) are functional:
-   they build a fresh [t] and never write the input.  A spliced tree may
-   share [tag_names]/[tag_ids] (and therefore [tags_token]) with its
-   parent tree when the edit interned no new tag — sharing is safe
-   because of the same immutability invariant. *)
+   they build a fresh [t] and never write the input.  A spliced tree
+   shares the input's [arena] outright and extends its [appendix] by
+   appending only — prefix and suffix spans are therefore blitted
+   verbatim, never re-encoded.  It may also share
+   [tag_names]/[tag_ids] (and therefore [tags_token]) with its parent
+   tree when the edit interned no new tag — sharing is safe because of
+   the same immutability invariant. *)
 type t = {
   tag : int array;
   parent : int array;
@@ -32,11 +54,16 @@ type t = {
   next_sibling : int array;
   subtree_end : int array;
   depth : int array;
-  text : string array; (* text content; "" for elements *)
-  attrs : (string * string) list array;
+  arena : string;
+  appendix : string;
+  cont_off : int array; (* coded span: text content / element value *)
+  cont_len : int array;
+  attr_start : int array; (* n+1 entries, cumulative *)
+  attr_names : string array;
+  attr_voff : int array; (* coded spans *)
+  attr_vlen : int array;
   tag_names : string array; (* tag id -> name; slot 0 is #text *)
   tag_ids : (string, int) Hashtbl.t;
-  value : string array; (* per-node comparison value, precomputed *)
   tags_token : int; (* identity of the tag-interning lineage *)
 }
 
@@ -92,19 +119,82 @@ let children t n =
 let subtree_end t n = check t n; t.subtree_end.(n)
 let subtree_size t n = subtree_end t n - n
 let depth t n = check t n; t.depth.(n)
-let attributes t n = check t n; t.attrs.(n)
-let attribute t n key = List.assoc_opt key (attributes t n)
-let text_content t n = check t n; t.text.(n)
+
+(* Materialize a coded span. *)
+let slice t off len =
+  if len = 0 then ""
+  else if off >= 0 then String.sub t.arena off len
+  else String.sub t.appendix (lnot off) len
+
+let attributes t n =
+  check t n;
+  let lo = t.attr_start.(n) and hi = t.attr_start.(n + 1) in
+  let rec go i acc =
+    if i < lo then acc
+    else
+      go (i - 1)
+        ((t.attr_names.(i), slice t t.attr_voff.(i) t.attr_vlen.(i)) :: acc)
+  in
+  go (hi - 1) []
+
+let attribute t n key =
+  check t n;
+  let hi = t.attr_start.(n + 1) in
+  let rec find i =
+    if i >= hi then None
+    else if String.equal t.attr_names.(i) key then
+      Some (slice t t.attr_voff.(i) t.attr_vlen.(i))
+    else find (i + 1)
+  in
+  find t.attr_start.(n)
+
+let iter_attrs t n f =
+  check t n;
+  for i = t.attr_start.(n) to t.attr_start.(n + 1) - 1 do
+    let off = t.attr_voff.(i) and len = t.attr_vlen.(i) in
+    if off >= 0 then f t.attr_names.(i) t.arena off len
+    else f t.attr_names.(i) t.appendix (lnot off) len
+  done
+
+let text_content t n =
+  check t n;
+  if t.tag.(n) = text_tag then slice t t.cont_off.(n) t.cont_len.(n) else ""
 
 let value t n =
   check t n;
-  t.value.(n)
+  slice t t.cont_off.(n) t.cont_len.(n)
+
+let content_slice t n =
+  check t n;
+  let off = t.cont_off.(n) and len = t.cont_len.(n) in
+  if off >= 0 then (t.arena, off, len) else (t.appendix, lnot off, len)
+
+let value_equal t n s =
+  check t n;
+  let len = t.cont_len.(n) in
+  String.length s = len
+  &&
+  let off = t.cont_off.(n) in
+  let backing, off =
+    if off >= 0 then (t.arena, off) else (t.appendix, lnot off)
+  in
+  let i = ref 0 in
+  while
+    !i < len && String.unsafe_get backing (off + !i) = String.unsafe_get s !i
+  do
+    incr i
+  done;
+  !i = len
 
 let descendant_or_self_texts t n =
   let stop = subtree_end t n in
   let buf = Buffer.create 16 in
   for i = n to stop - 1 do
-    if t.tag.(i) = text_tag then Buffer.add_string buf t.text.(i)
+    if t.tag.(i) = text_tag then begin
+      let off = t.cont_off.(i) and len = t.cont_len.(i) in
+      if off >= 0 then Buffer.add_substring buf t.arena off len
+      else Buffer.add_substring buf t.appendix (lnot off) len
+    end
   done;
   Buffer.contents buf
 
@@ -120,14 +210,14 @@ let fold_preorder t ~init ~f =
   done;
   !acc
 
-(* Construction: a first pass counts nodes, a second fills the arrays.
-   Both passes drive explicit worklists, never native recursion over
-   document depth: a parsed document may nest arbitrarily deep, and the
-   only depth limit in the pipeline is the [max_depth] budget — not
-   [Stack_overflow] (DESIGN.md §12). *)
+(* Construction: a first pass counts nodes and attributes, a second fills
+   the arrays.  Both passes drive explicit worklists, never native
+   recursion over document depth: a parsed document may nest arbitrarily
+   deep, and the only depth limit in the pipeline is the [max_depth]
+   budget — not [Stack_overflow] (DESIGN.md §12). *)
 
-let count_nodes src =
-  let n = ref 0 in
+let count_src src =
+  let n = ref 0 and na = ref 0 in
   let work = ref [ src ] in
   let continue = ref true in
   while !continue do
@@ -136,11 +226,12 @@ let count_nodes src =
     | T _ :: rest ->
       incr n;
       work := rest
-    | E (_, _, kids) :: rest ->
+    | E (_, ats, kids) :: rest ->
       incr n;
+      na := !na + List.length ats;
       work := List.rev_append kids rest
   done;
-  !n
+  (!n, !na)
 
 (* Tag-lineage tokens.  Every fresh interning run mints a new one; a
    splice that interned no new tag keeps its input's token.  Equal tokens
@@ -200,7 +291,11 @@ let finalize_interner it ~seed =
 
 (* Arrays of a tree under construction, before they are frozen into a
    [t].  Slots outside the range being filled must already hold their
-   final values (or the [Array.make] defaults). *)
+   final values (or the [Array.make] defaults).  New content bytes
+   accumulate in [b_content]; they will land in the final appendix at
+   offset [b_cbase] (the length of the appendix inherited from a splice
+   input — 0 for a fresh build), so spans into them are coded as
+   [lnot (b_cbase + pos)] up front and never re-encoded. *)
 type builder = {
   b_tag : int array;
   b_parent : int array;
@@ -208,11 +303,18 @@ type builder = {
   b_next_sibling : int array;
   b_subtree_end : int array;
   b_depth : int array;
-  b_text : string array;
-  b_attrs : (string * string) list array;
+  b_cont_off : int array;
+  b_cont_len : int array;
+  b_attr_start : int array; (* n + 1 entries *)
+  b_attr_names : string array;
+  b_attr_voff : int array;
+  b_attr_vlen : int array;
+  mutable b_attr_n : int;
+  b_content : Buffer.t;
+  b_cbase : int;
 }
 
-let make_builder n =
+let make_builder n na ~cbase =
   {
     b_tag = Array.make n 0;
     b_parent = Array.make n (-1);
@@ -220,8 +322,15 @@ let make_builder n =
     b_next_sibling = Array.make n (-1);
     b_subtree_end = Array.make n 0;
     b_depth = Array.make n 0;
-    b_text = Array.make n "";
-    b_attrs = Array.make n [];
+    b_cont_off = Array.make n 0;
+    b_cont_len = Array.make n 0;
+    b_attr_start = Array.make (n + 1) 0;
+    b_attr_names = Array.make na "";
+    b_attr_voff = Array.make na 0;
+    b_attr_vlen = Array.make na 0;
+    b_attr_n = 0;
+    b_content = Buffer.create 256;
+    b_cbase = cbase;
   }
 
 (* Pre-order fill of nodes [start, start + size srcs) from consecutive
@@ -229,8 +338,10 @@ let make_builder n =
    at depth [dep].  Drives an explicit frame stack — a frame is an open
    element: children still to attach, and the last child attached (for
    sibling linking); [subtree_end] of a leaf is known at allocation, an
-   element's is set when its frame pops.  Returns the id of the last
-   root, -1 when [srcs] is empty. *)
+   element's is set when its frame pops.  Content bytes are appended to
+   [b_content] and spans recorded at allocation; attributes are packed
+   in the same pre-order, so [b_attr_start] stays cumulative.  Returns
+   the id of the last root, -1 when [srcs] is empty. *)
 let fill_range b it ~start ~par ~dep srcs =
   let next = ref start in
   let alloc p d s =
@@ -238,15 +349,26 @@ let fill_range b it ~start ~par ~dep srcs =
     incr next;
     b.b_parent.(id) <- p;
     b.b_depth.(id) <- d;
+    b.b_attr_start.(id) <- b.b_attr_n;
     (match s with
     | T s ->
       b.b_tag.(id) <- text_tag;
-      b.b_text.(id) <- s;
+      b.b_cont_off.(id) <- lnot (b.b_cbase + Buffer.length b.b_content);
+      b.b_cont_len.(id) <- String.length s;
+      Buffer.add_string b.b_content s;
       b.b_subtree_end.(id) <- id + 1
     | E (tg, ats, _) ->
       if tg = "" then invalid_arg "Tree.of_source: empty tag name";
       b.b_tag.(id) <- intern it tg;
-      b.b_attrs.(id) <- ats);
+      List.iter
+        (fun (k, v) ->
+          b.b_attr_names.(b.b_attr_n) <- k;
+          b.b_attr_voff.(b.b_attr_n) <-
+            lnot (b.b_cbase + Buffer.length b.b_content);
+          b.b_attr_vlen.(b.b_attr_n) <- String.length v;
+          Buffer.add_string b.b_content v;
+          b.b_attr_n <- b.b_attr_n + 1)
+        ats);
     id
   in
   let module F = struct
@@ -291,35 +413,63 @@ let fill_range b it ~start ~par ~dep srcs =
     srcs;
   !last_root
 
-(* Comparison value of an element from its immediate children.
-   Tail-recursive over the sibling chain — an element may have millions
-   of children, and one frame each would blow the stack.  Strings are
-   shared, not copied: a single text child's value *is* that child's
-   string, and the all-elements case borrows the empty string — only
-   mixed-content elements allocate. *)
-let concat_child_texts b c0 =
-  let rec texts acc c =
-    if c < 0 then List.rev acc
-    else
-      texts
-        (if b.b_tag.(c) = text_tag then b.b_text.(c) :: acc else acc)
-        b.b_next_sibling.(c)
-  in
-  match texts [] c0 with
-  | [] -> ""
-  | [ s ] -> s
-  | pieces -> String.concat "" pieces
+(* Read a coded span while the final appendix is still in pieces: the
+   inherited part [app0], then the new content [newc] (at [length app0]),
+   then the extras being built. *)
+let add_coded buf ~arena ~app0 ~newc off len =
+  if len = 0 then ()
+  else if off >= 0 then Buffer.add_substring buf arena off len
+  else begin
+    let r = lnot off in
+    let l0 = String.length app0 in
+    if r < l0 then Buffer.add_substring buf app0 r len
+    else Buffer.add_substring buf newc (r - l0) len
+  end
+
+(* Comparison value of an element from its immediate children.  A span,
+   not a copy: a single text child's value *is* that child's span, the
+   all-elements case is the empty span — only mixed-content elements
+   append concatenated bytes to [extras] (which lands in the appendix at
+   offset [ebase]). *)
+let set_value b ~arena ~app0 ~newc ~extras ~ebase i =
+  let first = ref (-1) and count = ref 0 in
+  let c = ref b.b_first_child.(i) in
+  while !c >= 0 do
+    if b.b_tag.(!c) = text_tag then begin
+      if !count = 0 then first := !c;
+      incr count
+    end;
+    c := b.b_next_sibling.(!c)
+  done;
+  if !count = 0 then begin
+    b.b_cont_off.(i) <- 0;
+    b.b_cont_len.(i) <- 0
+  end
+  else if !count = 1 then begin
+    b.b_cont_off.(i) <- b.b_cont_off.(!first);
+    b.b_cont_len.(i) <- b.b_cont_len.(!first)
+  end
+  else begin
+    let start = ebase + Buffer.length extras in
+    let c = ref b.b_first_child.(i) in
+    while !c >= 0 do
+      if b.b_tag.(!c) = text_tag then
+        add_coded extras ~arena ~app0 ~newc b.b_cont_off.(!c) b.b_cont_len.(!c);
+      c := b.b_next_sibling.(!c)
+    done;
+    b.b_cont_off.(i) <- lnot start;
+    b.b_cont_len.(i) <- ebase + Buffer.length extras - start
+  end
 
 (* Comparison values, filled before the tree is published (see the
    invariant on [t]). *)
-let fill_values b value ~lo ~hi =
+let fill_values b ~arena ~app0 ~newc ~extras ~ebase ~lo ~hi =
   for i = hi - 1 downto lo do
-    value.(i) <-
-      (if b.b_tag.(i) = text_tag then b.b_text.(i)
-       else concat_child_texts b b.b_first_child.(i))
+    if b.b_tag.(i) <> text_tag then
+      set_value b ~arena ~app0 ~newc ~extras ~ebase i
   done
 
-let freeze b value (tag_names, tag_ids, tags_token) =
+let freeze b ~arena ~appendix (tag_names, tag_ids, tags_token) =
   {
     tag = b.b_tag;
     parent = b.b_parent;
@@ -327,26 +477,37 @@ let freeze b value (tag_names, tag_ids, tags_token) =
     next_sibling = b.b_next_sibling;
     subtree_end = b.b_subtree_end;
     depth = b.b_depth;
-    text = b.b_text;
-    attrs = b.b_attrs;
+    arena;
+    appendix;
+    cont_off = b.b_cont_off;
+    cont_len = b.b_cont_len;
+    attr_start = b.b_attr_start;
+    attr_names = b.b_attr_names;
+    attr_voff = b.b_attr_voff;
+    attr_vlen = b.b_attr_vlen;
     tag_names;
     tag_ids;
-    value;
     tags_token;
   }
 
 let build ?seed src =
-  let n = count_nodes src in
-  let b = make_builder n in
+  let n, na = count_src src in
+  let b = make_builder n na ~cbase:0 in
   let it =
     match seed with
     | Some t0 -> interner_of_seed t0
     | None -> fresh_interner ()
   in
   ignore (fill_range b it ~start:0 ~par:(-1) ~dep:0 [ src ]);
-  let value = Array.make n "" in
-  fill_values b value ~lo:0 ~hi:n;
-  freeze b value (finalize_interner it ~seed)
+  b.b_attr_start.(n) <- b.b_attr_n;
+  let newc = Buffer.contents b.b_content in
+  let extras = Buffer.create 64 in
+  fill_values b ~arena:"" ~app0:"" ~newc ~extras ~ebase:(String.length newc)
+    ~lo:0 ~hi:n;
+  let appendix =
+    if Buffer.length extras = 0 then newc else newc ^ Buffer.contents extras
+  in
+  freeze b ~arena:"" ~appendix (finalize_interner it ~seed)
 
 let of_source src = build src
 
@@ -358,15 +519,29 @@ let of_source src = build src
    when it ends the chain); both in old ids.  Ids below [lo] are stable,
    ids at or above [old_hi] shift by the size delta; everything outside
    the edited range is blitted, not re-walked, and tag ids stay aligned
-   with the input tree (new tags are appended). *)
+   with the input tree (new tags are appended).  The arena is shared
+   with the input and the appendix only ever appended to, so prefix and
+   suffix content spans are blitted verbatim; only the attribute index
+   arithmetic shifts. *)
 let splice t ~lo ~old_hi ~par ~prev ~nxt srcs =
   let n_old = n_nodes t in
-  let m = List.fold_left (fun acc s -> acc + count_nodes s) 0 srcs in
+  let m, ma =
+    List.fold_left
+      (fun (n, a) s ->
+        let n', a' = count_src s in
+        (n + n', a + a'))
+      (0, 0) srcs
+  in
   let removed = old_hi - lo in
   let shift = m - removed in
   let n_new = n_old + shift in
-  let b = make_builder n_new in
-  let value = Array.make n_new "" in
+  let a_lo = t.attr_start.(lo) in
+  let a_hi = t.attr_start.(old_hi) in
+  let a_old = t.attr_start.(n_old) in
+  let a_shift = ma - (a_hi - a_lo) in
+  let app0 = t.appendix in
+  let b = make_builder n_new (a_old + a_shift) ~cbase:(String.length app0) in
+  b.b_attr_n <- a_lo;
   (* Ancestors of [par] (inclusive), to disambiguate the subtree_end
      boundary case below when the replaced range is empty (an insert): a
      prefix subtree ending exactly at [lo] contains the new nodes iff it
@@ -379,14 +554,17 @@ let splice t ~lo ~old_hi ~par ~prev ~nxt srcs =
   done;
   (* Prefix [0, lo): only pointers into the suffix shift.  [parent] slots
      all point backwards; [first_child] is node + 1 or -1, never past
-     [lo]. *)
+     [lo].  Content spans are region offsets, not node ids — verbatim. *)
   Array.blit t.tag 0 b.b_tag 0 lo;
   Array.blit t.parent 0 b.b_parent 0 lo;
   Array.blit t.first_child 0 b.b_first_child 0 lo;
   Array.blit t.depth 0 b.b_depth 0 lo;
-  Array.blit t.text 0 b.b_text 0 lo;
-  Array.blit t.attrs 0 b.b_attrs 0 lo;
-  Array.blit t.value 0 value 0 lo;
+  Array.blit t.cont_off 0 b.b_cont_off 0 lo;
+  Array.blit t.cont_len 0 b.b_cont_len 0 lo;
+  Array.blit t.attr_start 0 b.b_attr_start 0 lo;
+  Array.blit t.attr_names 0 b.b_attr_names 0 a_lo;
+  Array.blit t.attr_voff 0 b.b_attr_voff 0 a_lo;
+  Array.blit t.attr_vlen 0 b.b_attr_vlen 0 a_lo;
   for q = 0 to lo - 1 do
     let ns = t.next_sibling.(q) in
     b.b_next_sibling.(q) <- (if ns >= old_hi then ns + shift else ns);
@@ -405,9 +583,11 @@ let splice t ~lo ~old_hi ~par ~prev ~nxt srcs =
   let slen = n_old - old_hi in
   Array.blit t.tag old_hi b.b_tag (old_hi + shift) slen;
   Array.blit t.depth old_hi b.b_depth (old_hi + shift) slen;
-  Array.blit t.text old_hi b.b_text (old_hi + shift) slen;
-  Array.blit t.attrs old_hi b.b_attrs (old_hi + shift) slen;
-  Array.blit t.value old_hi value (old_hi + shift) slen;
+  Array.blit t.cont_off old_hi b.b_cont_off (old_hi + shift) slen;
+  Array.blit t.cont_len old_hi b.b_cont_len (old_hi + shift) slen;
+  Array.blit t.attr_names a_hi b.b_attr_names (a_hi + a_shift) (a_old - a_hi);
+  Array.blit t.attr_voff a_hi b.b_attr_voff (a_hi + a_shift) (a_old - a_hi);
+  Array.blit t.attr_vlen a_hi b.b_attr_vlen (a_hi + a_shift) (a_old - a_hi);
   for s = old_hi to n_old - 1 do
     let d = s + shift in
     let p = t.parent.(s) in
@@ -416,8 +596,10 @@ let splice t ~lo ~old_hi ~par ~prev ~nxt srcs =
     b.b_first_child.(d) <- (if fc >= 0 then fc + shift else -1);
     let ns = t.next_sibling.(s) in
     b.b_next_sibling.(d) <- (if ns >= 0 then ns + shift else -1);
-    b.b_subtree_end.(d) <- t.subtree_end.(s) + shift
+    b.b_subtree_end.(d) <- t.subtree_end.(s) + shift;
+    b.b_attr_start.(d) <- t.attr_start.(s) + a_shift
   done;
+  b.b_attr_start.(n_new) <- a_old + a_shift;
   (* Splice the sibling chain back together. *)
   let new_next = if nxt < 0 then -1 else nxt + shift in
   let head = if m > 0 then lo else new_next in
@@ -427,10 +609,17 @@ let splice t ~lo ~old_hi ~par ~prev ~nxt srcs =
     let ofc = t.first_child.(par) in
     if ofc = lo || ofc < 0 then b.b_first_child.(par) <- head
   end;
-  fill_values b value ~lo ~hi:(lo + m);
+  let newc = Buffer.contents b.b_content in
+  let extras = Buffer.create 64 in
+  let ebase = String.length app0 + String.length newc in
+  fill_values b ~arena:t.arena ~app0 ~newc ~extras ~ebase ~lo ~hi:(lo + m);
   (* [par]'s immediate text children may have changed. *)
-  value.(par) <- concat_child_texts b b.b_first_child.(par);
-  freeze b value (finalize_interner it ~seed:(Some t))
+  set_value b ~arena:t.arena ~app0 ~newc ~extras ~ebase par;
+  let appendix =
+    if String.length newc = 0 && Buffer.length extras = 0 then app0
+    else app0 ^ newc ^ Buffer.contents extras
+  in
+  freeze b ~arena:t.arena ~appendix (finalize_interner it ~seed:(Some t))
 
 let prev_sibling_in t par n =
   let prev = ref (-1) and c = ref t.first_child.(par) in
@@ -479,6 +668,161 @@ let insert_subtree t ~parent:par ?before src =
     let pos = t.subtree_end.(par) in
     splice t ~lo:pos ~old_hi:pos ~par ~prev:(last_child_of t par) ~nxt:(-1)
       [ src ]
+
+(* ------------------------------------------------------------------ *)
+(* Streaming construction: the parser pushes events and raw spans; no
+   intermediate [source] is ever built.  The caller supplies the arena
+   (its retained parse buffer) and appendix (its scratch region) at
+   [finish]; spans pushed here use the same sign coding as the final
+   tree, so they are stored verbatim.  Events are assumed well-formed —
+   the pull parser has already enforced that. *)
+module Builder = struct
+  type b = {
+    mutable v_tag : int array;
+    mutable v_parent : int array;
+    mutable v_first_child : int array;
+    mutable v_next_sibling : int array;
+    mutable v_subtree_end : int array;
+    mutable v_depth : int array;
+    mutable v_cont_off : int array;
+    mutable v_cont_len : int array;
+    mutable v_attr_start : int array;
+    mutable v_attr_names : string array;
+    mutable v_attr_voff : int array;
+    mutable v_attr_vlen : int array;
+    mutable n : int;
+    mutable an : int;
+    mutable stack : int array; (* open element ids *)
+    mutable last : int array; (* last child of each open element *)
+    mutable sp : int;
+    bit : interner;
+  }
+
+  let create () =
+    {
+      v_tag = Array.make 64 0;
+      v_parent = Array.make 64 (-1);
+      v_first_child = Array.make 64 (-1);
+      v_next_sibling = Array.make 64 (-1);
+      v_subtree_end = Array.make 64 0;
+      v_depth = Array.make 64 0;
+      v_cont_off = Array.make 64 0;
+      v_cont_len = Array.make 64 0;
+      v_attr_start = Array.make 65 0;
+      v_attr_names = Array.make 16 "";
+      v_attr_voff = Array.make 16 0;
+      v_attr_vlen = Array.make 16 0;
+      n = 0;
+      an = 0;
+      stack = Array.make 32 0;
+      last = Array.make 32 (-1);
+      sp = 0;
+      bit = fresh_interner ();
+    }
+
+  let grow_int a n fill =
+    let b = Array.make (2 * Array.length a) fill in
+    Array.blit a 0 b 0 n;
+    b
+
+  let grow_str a n =
+    let b = Array.make (2 * Array.length a) "" in
+    Array.blit a 0 b 0 n;
+    b
+
+  (* Allocate the next pre-order node id, linked under the innermost
+     open element (or as the root). *)
+  let alloc bb =
+    let id = bb.n in
+    if id = Array.length bb.v_tag then begin
+      bb.v_tag <- grow_int bb.v_tag id 0;
+      bb.v_parent <- grow_int bb.v_parent id (-1);
+      bb.v_first_child <- grow_int bb.v_first_child id (-1);
+      bb.v_next_sibling <- grow_int bb.v_next_sibling id (-1);
+      bb.v_subtree_end <- grow_int bb.v_subtree_end id 0;
+      bb.v_depth <- grow_int bb.v_depth id 0;
+      bb.v_cont_off <- grow_int bb.v_cont_off id 0;
+      bb.v_cont_len <- grow_int bb.v_cont_len id 0;
+      bb.v_attr_start <- grow_int bb.v_attr_start (id + 1) 0
+    end;
+    bb.n <- id + 1;
+    bb.v_attr_start.(id) <- bb.an;
+    bb.v_depth.(id) <- bb.sp;
+    if bb.sp > 0 then begin
+      let par = bb.stack.(bb.sp - 1) in
+      bb.v_parent.(id) <- par;
+      let prev = bb.last.(bb.sp - 1) in
+      if prev < 0 then bb.v_first_child.(par) <- id
+      else bb.v_next_sibling.(prev) <- id;
+      bb.last.(bb.sp - 1) <- id
+    end;
+    id
+
+  let start_element bb name =
+    let id = alloc bb in
+    bb.v_tag.(id) <- intern bb.bit name;
+    if bb.sp = Array.length bb.stack then begin
+      bb.stack <- grow_int bb.stack bb.sp 0;
+      bb.last <- grow_int bb.last bb.sp (-1)
+    end;
+    bb.stack.(bb.sp) <- id;
+    bb.last.(bb.sp) <- -1;
+    bb.sp <- bb.sp + 1
+
+  let attr bb key off len =
+    if bb.an = Array.length bb.v_attr_names then begin
+      bb.v_attr_names <- grow_str bb.v_attr_names bb.an;
+      bb.v_attr_voff <- grow_int bb.v_attr_voff bb.an 0;
+      bb.v_attr_vlen <- grow_int bb.v_attr_vlen bb.an 0
+    end;
+    bb.v_attr_names.(bb.an) <- key;
+    bb.v_attr_voff.(bb.an) <- off;
+    bb.v_attr_vlen.(bb.an) <- len;
+    bb.an <- bb.an + 1
+
+  let text bb off len =
+    let id = alloc bb in
+    bb.v_tag.(id) <- text_tag;
+    bb.v_cont_off.(id) <- off;
+    bb.v_cont_len.(id) <- len;
+    bb.v_subtree_end.(id) <- id + 1
+
+  let end_element bb =
+    bb.sp <- bb.sp - 1;
+    bb.v_subtree_end.(bb.stack.(bb.sp)) <- bb.n
+
+  let finish bb ~arena ~appendix =
+    let n = bb.n in
+    let attr_start = Array.sub bb.v_attr_start 0 (n + 1) in
+    attr_start.(n) <- bb.an;
+    let b =
+      {
+        b_tag = Array.sub bb.v_tag 0 n;
+        b_parent = Array.sub bb.v_parent 0 n;
+        b_first_child = Array.sub bb.v_first_child 0 n;
+        b_next_sibling = Array.sub bb.v_next_sibling 0 n;
+        b_subtree_end = Array.sub bb.v_subtree_end 0 n;
+        b_depth = Array.sub bb.v_depth 0 n;
+        b_cont_off = Array.sub bb.v_cont_off 0 n;
+        b_cont_len = Array.sub bb.v_cont_len 0 n;
+        b_attr_start = attr_start;
+        b_attr_names = Array.sub bb.v_attr_names 0 bb.an;
+        b_attr_voff = Array.sub bb.v_attr_voff 0 bb.an;
+        b_attr_vlen = Array.sub bb.v_attr_vlen 0 bb.an;
+        b_attr_n = bb.an;
+        b_content = Buffer.create 1;
+        b_cbase = 0;
+      }
+    in
+    let extras = Buffer.create 64 in
+    fill_values b ~arena ~app0:appendix ~newc:"" ~extras
+      ~ebase:(String.length appendix) ~lo:0 ~hi:n;
+    let appendix =
+      if Buffer.length extras = 0 then appendix
+      else appendix ^ Buffer.contents extras
+    in
+    freeze b ~arena ~appendix (finalize_interner bb.bit ~seed:None)
+end
 
 let subtree_element_names t n =
   let stop = subtree_end t n in

@@ -8,9 +8,16 @@
 
 type t
 (** An immutable XML document.  Deeply immutable: nothing in a [t] is
-    written after {!of_source} returns (comparison {!value}s are
+    written after {!of_source} returns (comparison {!value} spans are
     precomputed there, not memoized lazily), so a tree may be read from
-    any number of domains in parallel without synchronization. *)
+    any number of domains in parallel without synchronization.
+
+    The representation is packed (DESIGN.md §15): structure is flat
+    pre-order int arrays, and all content — text, attribute values,
+    comparison values — lives as [(offset, length)] spans into two
+    shared byte regions (the document arena and a decoded-segment
+    appendix).  Accessors returning strings materialize a copy on
+    demand; the [_slice]/[_equal]/[iter_] variants read in place. *)
 
 type node = int
 (** A node id: the pre-order rank of the node, starting at [root = 0]. *)
@@ -27,6 +34,27 @@ type source =
 val of_source : source -> t
 (** Build a document from a nested description.  Raises [Invalid_argument]
     on an empty tag name. *)
+
+(** Streaming construction, for builders that already hold the document
+    bytes: the parser pushes structure events and [(offset, length)]
+    spans ([off >= 0] into [~arena], [off < 0] at [lnot off] into
+    [~appendix] — {!Pull}'s raw-span coding), and no intermediate
+    {!source} or per-node string is ever allocated.  Events must be
+    well-formed (balanced, single root, attributes directly after their
+    [start_element]) — {!Pull} guarantees that. *)
+module Builder : sig
+  type b
+
+  val create : unit -> b
+  val start_element : b -> string -> unit
+  val attr : b -> string -> int -> int -> unit
+  val text : b -> int -> int -> unit
+  val end_element : b -> unit
+
+  val finish : b -> arena:string -> appendix:string -> t
+  (** Freeze into a tree whose content spans index [arena]/[appendix]
+      directly — the caller's byte regions become the tree's, no copy. *)
+end
 
 val to_source : t -> node -> source
 (** Re-export the subtree rooted at a node as a nested description. *)
@@ -117,20 +145,38 @@ val depth : t -> node -> int
 (** Distance from the root (the root has depth 0). *)
 
 val attributes : t -> node -> (string * string) list
-(** Attributes of an element, in document order; [[]] for text nodes. *)
+(** Attributes of an element, in document order; [[]] for text nodes.
+    Materializes a fresh list — prefer {!iter_attrs} on hot paths. *)
 
 val attribute : t -> node -> string -> string option
+
+val iter_attrs : t -> node -> (string -> string -> int -> int -> unit) -> unit
+(** [iter_attrs t n f] calls [f name backing off len] for each attribute
+    in document order — the value is the slice [backing[off, off+len)],
+    read in place with no copy. *)
 
 (** {1 Content} *)
 
 val text_content : t -> node -> string
-(** Content of a text node; [""] for elements. *)
+(** Content of a text node; [""] for elements.  Materializes a copy —
+    prefer {!content_slice} on hot paths. *)
 
 val value : t -> node -> string
 (** The comparison value of a node, as used by Regular XPath equality
     tests: a text node's content, or the concatenation of an element's
-    immediate text children.  Precomputed at construction — an O(1) array
-    read, safe under parallel evaluation. *)
+    immediate text children.  The span is precomputed at construction
+    (safe under parallel evaluation); this accessor copies it out —
+    prefer {!value_equal} or {!content_slice} on hot paths. *)
+
+val value_equal : t -> node -> string -> bool
+(** [value_equal t n s] is [String.equal (value t n) s] without
+    materializing the value. *)
+
+val content_slice : t -> node -> string * int * int
+(** [(backing, off, len)] — the {!value} span of a node (= its content
+    for a text node), read in place with no copy.  The backing string is
+    one of the tree's immutable byte regions: it stays valid as long as
+    the tree does. *)
 
 val descendant_or_self_texts : t -> node -> string
 (** Full XPath-style string value: concatenation of all text descendants. *)

@@ -67,6 +67,43 @@ let expect_accepted path input =
       | Fuzz.Bug m -> failf path "totality violation: %s" m)
     [ false; true ]
 
+(* Chunk-boundary battery: a valid document must yield the identical
+   event stream whether parsed in one piece or through [of_channel]
+   refills of 1, 2 or 7 bytes — token spans and the scratch decoder must
+   never depend on where a refill lands relative to a token. *)
+module Pull = Smoqe_xml.Pull
+
+let events_of pull =
+  List.rev (Pull.fold pull ~init:[] ~f:(fun acc ev -> ev :: acc))
+
+let expect_chunked path input =
+  List.iter
+    (fun keep_ws ->
+      let reference = events_of (Pull.of_string ~keep_ws input) in
+      List.iter
+        (fun chunk_size ->
+          let ic = open_in_bin path in
+          match events_of (Pull.of_channel ~keep_ws ~chunk_size ic) with
+          | got ->
+            close_in ic;
+            if got <> reference then
+              failf path "chunk_size %d (keep_ws:%b) changes the event stream"
+                chunk_size keep_ws
+          | exception Pull.Error (l, c, m) ->
+            close_in_noerr ic;
+            failf path "chunk_size %d (keep_ws:%b) rejected at %d:%d: %s"
+              chunk_size keep_ws l c m
+          | exception e ->
+            close_in_noerr ic;
+            failf path "chunk_size %d (keep_ws:%b) raised %s" chunk_size
+              keep_ws (Printexc.to_string e))
+        [ 1; 2; 7 ])
+    [ false; true ]
+
+let expect_accepted_chunked path input =
+  expect_accepted path input;
+  expect_chunked path input
+
 let expect_rejected path input =
   match Fuzz.check input with
   | Fuzz.Rejected (l, c, _) ->
@@ -91,8 +128,10 @@ let expect_total path input =
   | Fuzz.Accepted _ | Fuzz.Rejected _ | Fuzz.Budgeted _ -> ()
 
 let () =
-  let valid = check_class ~dir:"corpus/valid" ~expect:expect_accepted in
-  let lenient = check_class ~dir:"corpus/accepted" ~expect:expect_accepted in
+  let valid = check_class ~dir:"corpus/valid" ~expect:expect_accepted_chunked in
+  let lenient =
+    check_class ~dir:"corpus/accepted" ~expect:expect_accepted_chunked
+  in
   let nwf =
     check_class ~dir:"corpus/not-wellformed" ~expect:expect_rejected
   in
