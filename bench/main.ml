@@ -48,6 +48,7 @@ module Queries = Smoqe_workload.Queries
 module Random_dtd = Smoqe_workload.Random_dtd
 module Docgen = Smoqe_workload.Docgen
 module Pool = Smoqe_exec.Pool
+module Federation = Smoqe_federation.Federation
 module J = Bench_out
 
 (* --- timing ------------------------------------------------------------- *)
@@ -192,7 +193,7 @@ let e2 () =
 let e3 () =
   banner "E3" "TAX index: pruning effect, build cost, compressed size";
   let doc =
-    Smoqe_workload.Federation.generate ~seed:13 ~n_departments:60
+    Smoqe_federation.Federation.generate ~seed:13 ~n_departments:60
       ~section_size:120 ()
   in
   let tax = Tax.build doc in
@@ -229,7 +230,7 @@ let e3 () =
         :: !rows;
       Printf.printf "%-20s %-40s %s %s %6.1fx %9d\n%!" label q_text
         (pp_time off) (pp_time on) (off /. on) pruned)
-    Smoqe_workload.Federation.queries;
+    Smoqe_federation.Federation.queries;
   J.write ~id:"e3"
     (J.Obj
        [ ("experiment", J.Str "tax index");
@@ -510,7 +511,7 @@ let e9 () =
     "TAX vs classic indexing: structural joins win their fragment, and \
      nothing else";
   let doc =
-    Smoqe_workload.Federation.generate ~seed:13 ~n_departments:60
+    Smoqe_federation.Federation.generate ~seed:13 ~n_departments:60
       ~section_size:120 ()
   in
   let tax = Tax.build doc in
@@ -1348,17 +1349,11 @@ let e16 () =
           (Sys.opaque_identity (ok (Engine.query engine ~group:"members" q))))
       mix
   in
-  let reps = if smoke then 3 else 8 in
-  let time_min f =
+  let reps = if smoke then 5 else 8 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
     f ();
-    let best = ref infinity in
-    for _ = 1 to reps do
-      let t0 = Unix.gettimeofday () in
-      f ();
-      let dt = Unix.gettimeofday () -. t0 in
-      if dt < !best then best := dt
-    done;
-    !best
+    Unix.gettimeofday () -. t0
   in
   (* Warm: every plan compiled and cached, tables frozen. *)
   run_mix ();
@@ -1367,11 +1362,22 @@ let e16 () =
       (fun q -> (ok (Engine.query engine ~group:"members" q)).Engine.answer_xml)
       mix
   in
-  let read_s = time_min run_mix in
+  (* One warm mixed pass too, so the first measured mixed rep is not
+     the one paying first-update costs. *)
+  run_mix ();
+  apply_update ();
   let counters0 = Engine.plan_cache_counters engine in
-  (* Mixed phase: each pass is the full 100-query mix plus one
-     administrative identity update — a 1% write rate. *)
-  let mixed_s = time_min (fun () -> run_mix (); apply_update ()) in
+  (* Interleave the read-only and mixed reps and take the min of each:
+     each mixed pass is the full 100-query mix plus one administrative
+     identity update — a 1% write rate.  Back-to-back pairing means CPU
+     frequency drift or a noisy neighbour hits both phases alike
+     instead of systematically taxing whichever phase runs last. *)
+  let read_s = ref infinity and mixed_s = ref infinity in
+  for _ = 1 to reps do
+    read_s := min !read_s (time run_mix);
+    mixed_s := min !mixed_s (time (fun () -> run_mix (); apply_update ()))
+  done;
+  let read_s = !read_s and mixed_s = !mixed_s in
   let counters1 = Engine.plan_cache_counters engine in
   let delta key =
     List.assoc key counters1 - List.assoc key counters0
@@ -1552,6 +1558,290 @@ let e17 () =
          ("cores", J.Int cores);
          ("pass", J.Bool pass) ])
 
+(* --- E18: multi-tenant serving and federation ----------------------------- *)
+
+(* Jain's fairness index (sum x)^2 / (n * sum x^2): 1.0 = perfectly
+   equal shares, 1/n = one tenant took everything. *)
+let jain = function
+  | [] -> 1.
+  | xs ->
+    let n = float_of_int (List.length xs) in
+    let s = List.fold_left ( +. ) 0. xs in
+    let s2 = List.fold_left (fun a x -> a +. (x *. x)) 0. xs in
+    if s2 = 0. then 1. else s *. s /. (n *. s2)
+
+let e18 () =
+  banner "E18"
+    "multi-tenant serving \
+     (gates: >= 80% cross-tenant plan reuse at 64 tenants / 8 policies; \
+      >= 3x aggregate qps vs per-tenant rederivation; Jain >= 0.8 with \
+      one adversarial tenant saturating its admission budget)";
+  let smoke = Sys.getenv_opt "SMOQE_BENCH_SMOKE" <> None in
+  if smoke then Printf.printf "smoke mode: reduced document and repetitions\n";
+  (* A cold-serving experiment: every (tenant, query) pair is served
+     once, so derivation + rewrite + compile — the artifact costs the
+     policy keys amortize — carry the weight they have at tenant
+     onboarding, not after a long warm run.  The document is modest by
+     design (the plan cache exists because compile >> eval there). *)
+  let doc = hospital_sized (if smoke then 4 else 6) in
+  let dtd = Hospital.dtd in
+  Printf.printf "document: %d nodes (hospital)\n" (Tree.n_nodes doc);
+  (* 8 policies whose canonical keys differ: 64 tenants collapse onto
+     exactly 8 shared artifact sets (views, rewrites, compiled plans).
+     Each is the S0 hospital policy plus a distinct combination of
+     outright [N] prunes over the edges S0 leaves unannotated — every
+     variant derives its own view and rewrite (full per-key derivation
+     weight) while staying at least as restrictive as S0, so no variant
+     drags a wide-open view through every evaluation on both sides of
+     the comparison and washes out the artifact savings being measured. *)
+  let policy_texts =
+    Hospital.policy_text
+    :: List.map
+         (fun extra -> Hospital.policy_text ^ "\n" ^ extra)
+         [ "ann(visit, date) = N";
+           "ann(treatment, medication) = N";
+           "ann(patient, parent) = N";
+           "ann(parent, patient) = N";
+           "ann(visit, date) = N\nann(treatment, medication) = N";
+           "ann(visit, date) = N\nann(patient, parent) = N";
+           "ann(treatment, medication) = N\nann(patient, parent) = N" ]
+  in
+  let policies =
+    List.map
+      (fun text ->
+        match Policy.of_string dtd text with
+        | Ok p -> p
+        | Error msg -> failwith ("e18 policy: " ^ msg))
+      policy_texts
+  in
+  let n_policies = List.length policies in
+  let n_tenants = 64 in
+  let tenant i = Printf.sprintf "tenant-%02d" i in
+  let policy_of i = List.nth policies (i mod n_policies) in
+  let texts = List.map snd Queries.suite in
+  let n_texts = List.length texts in
+  let now = Unix.gettimeofday in
+
+  (* --- leg 1: cross-tenant artifact sharing and plan reuse --- *)
+  let engine = Engine.of_tree ~dtd doc in
+  for i = 0 to n_tenants - 1 do
+    match Engine.register_tenant engine ~tenant:(tenant i) (policy_of i) with
+    | Ok _ -> ()
+    | Error msg -> failwith ("e18 register_tenant: " ^ msg)
+  done;
+  let counters = Engine.tenant_counters engine in
+  let derivations = List.assoc "derivations" counters in
+  let key_hits = List.assoc "policy_key_hits" counters in
+  Printf.printf
+    "registration: %d tenants -> %d derivations, %d policy-key hits\n"
+    n_tenants derivations key_hits;
+  (* serve every query through every tenant: only the first tenant of
+     each policy key compiles, everyone else rides the shared plan *)
+  let plan_hits = ref 0 and plan_total = ref 0 in
+  List.iter
+    (fun text ->
+      for i = 0 to n_tenants - 1 do
+        match Engine.query_robust engine ~tenant:(tenant i) text with
+        | Ok o ->
+          incr plan_total;
+          if o.Engine.stats.Stats.plan_cache_hit = 1 then incr plan_hits
+        | Error e -> failwith (Smoqe_robust.Error.to_string e)
+      done)
+    texts;
+  let reuse_rate = float_of_int !plan_hits /. float_of_int !plan_total in
+  let share_pass = reuse_rate >= 0.80 in
+  Printf.printf
+    "cross-tenant plan reuse: %d/%d queries served from a shared plan \
+     (%.1f%%, gate 80%%): %s\n"
+    !plan_hits !plan_total (100. *. reuse_rate)
+    (if share_pass then "PASS" else "FAIL");
+
+  (* --- leg 2: aggregate qps, shared artifacts vs per-tenant rederivation --- *)
+  let time f =
+    let t0 = now () in
+    f ();
+    now () -. t0
+  in
+  (* every trial is fully cold (the arm builds its own engines), so the
+     min over trials is still a cold-serving number — it just sheds
+     scheduler noise on a measurement of a few tens of milliseconds *)
+  let best_of_3 f =
+    let t = ref (time f) in
+    for _ = 1 to 2 do
+      t := min !t (time f)
+    done;
+    !t
+  in
+  let t_shared =
+    best_of_3 (fun () ->
+        let e = Engine.of_tree ~dtd doc in
+        for i = 0 to n_tenants - 1 do
+          match Engine.register_tenant e ~tenant:(tenant i) (policy_of i) with
+          | Ok _ -> ()
+          | Error msg -> failwith msg
+        done;
+        for i = 0 to n_tenants - 1 do
+          List.iter
+            (fun text ->
+              match Engine.query_robust e ~tenant:(tenant i) text with
+              | Ok _ -> ()
+              | Error e -> failwith (Smoqe_robust.Error.to_string e))
+            texts
+        done)
+  in
+  let t_rederive =
+    best_of_3 (fun () ->
+        (* the pre-sharing world: every tenant derives its own view and
+           compiles every plan on its own engine *)
+        for i = 0 to n_tenants - 1 do
+          let e = Engine.of_tree ~dtd doc in
+          (match Engine.register_policy e ~group:"tenant" (policy_of i) with
+          | Ok () -> ()
+          | Error msg -> failwith msg);
+          List.iter
+            (fun text ->
+              match Engine.query_robust e ~group:"tenant" text with
+              | Ok _ -> ()
+              | Error e -> failwith (Smoqe_robust.Error.to_string e))
+            texts
+        done)
+  in
+  let n_queries = n_tenants * n_texts in
+  let qps_shared = float_of_int n_queries /. t_shared in
+  let qps_rederive = float_of_int n_queries /. t_rederive in
+  let qps_ratio = qps_shared /. qps_rederive in
+  let qps_pass = qps_ratio >= 3.0 in
+  Printf.printf
+    "aggregate throughput: %.0f qps shared vs %.0f qps per-tenant \
+     rederivation (%.1fx, gate 3x): %s\n"
+    qps_shared qps_rederive qps_ratio
+    (if qps_pass then "PASS" else "FAIL");
+
+  (* --- leg 3: admission fairness under an adversarial tenant --- *)
+  (* 7 well-behaved tenants and one adversary, all on one policy key,
+     each on its own fair-share pool lane.  The adversary floods 8x the
+     per-tenant workload but its token bucket caps useful service at the
+     same n_each everyone else gets; Jain's index over per-tenant USEFUL
+     throughput must stay >= 0.8 (a broken throttle hands the adversary
+     8x the service and drops the index below ~0.4). *)
+  let n_each = if smoke then 12 else 50 in
+  let fe = Engine.of_tree ~dtd doc in
+  let normals = List.init 7 (fun i -> Printf.sprintf "steady-%d" i) in
+  let adversary = "adversary" in
+  List.iter
+    (fun t ->
+      match Engine.register_tenant fe ~tenant:t Hospital.policy with
+      | Ok _ -> ()
+      | Error msg -> failwith msg)
+    (adversary :: normals);
+  Engine.set_tenant_budget fe ~tenant:adversary ~capacity:n_each ();
+  let fair_q = List.hd texts in
+  let served = Hashtbl.create 8 in
+  List.iter (fun t -> Hashtbl.replace served t 0) (adversary :: normals);
+  let window =
+    time (fun () ->
+        Pool.with_pool ~domains:8 (fun pool ->
+            let futures = ref [] in
+            for _round = 0 to n_each - 1 do
+              List.iter
+                (fun t ->
+                  futures :=
+                    (t, Engine.submit fe ~pool ~tenant:t fair_q) :: !futures)
+                normals;
+              (* the adversary fires 8 for every 1 of a steady tenant *)
+              for _ = 1 to 8 do
+                futures :=
+                  (adversary, Engine.submit fe ~pool ~tenant:adversary fair_q)
+                  :: !futures
+              done
+            done;
+            List.iter
+              (fun (t, fut) ->
+                match Pool.await fut with
+                | Ok _ -> Hashtbl.replace served t (Hashtbl.find served t + 1)
+                | Error (Smoqe_robust.Error.Budget_exceeded _) -> ()
+                | Error e -> failwith (Smoqe_robust.Error.to_string e))
+              !futures))
+  in
+  let useful t = float_of_int (Hashtbl.find served t) /. window in
+  let shares = List.map useful (adversary :: normals) in
+  let fairness = jain shares in
+  let adv_admitted, adv_throttled =
+    List.assoc adversary (Engine.admission_counters fe)
+  in
+  let jain_pass = fairness >= 0.8 in
+  Printf.printf
+    "fairness: adversary admitted %d / throttled %d; Jain over useful \
+     throughput = %.3f (gate 0.8): %s\n"
+    adv_admitted adv_throttled fairness
+    (if jain_pass then "PASS" else "FAIL");
+
+  (* --- leg 4 (informational): sharded scatter-gather federation --- *)
+  let n_shards = 4 in
+  let corpus =
+    Federation.generate_corpus ~seed:13 ~shards:n_shards
+      ~n_departments:(if smoke then 8 else 40)
+      ~section_size:3 ()
+  in
+  let fed = Federation.create ~dtd:Federation.dtd corpus in
+  let shard_engines =
+    List.init n_shards (fun i -> Federation.shard fed i)
+  in
+  let fed_queries = List.map snd Federation.queries in
+  let fed_ok = ref true in
+  let fanout = ref 0 in
+  Pool.with_pool ~domains:4 (fun pool ->
+      List.iter
+        (fun text ->
+          match Federation.query_robust fed ~pool text with
+          | Error e -> failwith (Smoqe_robust.Error.to_string e)
+          | Ok o ->
+            fanout := o.Federation.fed_stats.Stats.shard_fanout;
+            (* the scatter answers exactly what the shards answer alone *)
+            let solo =
+              List.fold_left
+                (fun acc e ->
+                  match Engine.query_robust e text with
+                  | Ok o -> acc + List.length o.Engine.answers
+                  | Error e -> failwith (Smoqe_robust.Error.to_string e))
+                0 shard_engines
+            in
+            if List.length o.Federation.fed_answers <> solo then
+              fed_ok := false)
+        fed_queries);
+  Printf.printf
+    "federation: %d shards, %d queries scattered, merged answers %s, \
+     shard_fanout = %d\n"
+    n_shards (List.length fed_queries)
+    (if !fed_ok then "agree with per-shard serving" else "DISAGREE")
+    !fanout;
+
+  let pass = share_pass && qps_pass && jain_pass && !fed_ok in
+  Printf.printf "E18 verdict: %s\n" (if pass then "PASS" else "FAIL");
+  J.write ~id:"e18"
+    (J.Obj
+       [ ("experiment", J.Str "multi-tenant serving and federation");
+         ("smoke", J.Bool smoke);
+         ("nodes", J.Int (Tree.n_nodes doc));
+         ("tenants", J.Int n_tenants);
+         ("policies", J.Int n_policies);
+         ("derivations", J.Int derivations);
+         ("policy_key_hits", J.Int key_hits);
+         ("plan_reuse_rate", J.Float reuse_rate);
+         ("share_gate", J.Str (if share_pass then "PASS" else "FAIL"));
+         ("qps_shared", J.Float qps_shared);
+         ("qps_rederive", J.Float qps_rederive);
+         ("qps_ratio", J.Float qps_ratio);
+         ("qps_gate", J.Str (if qps_pass then "PASS" else "FAIL"));
+         ("adversary_admitted", J.Int adv_admitted);
+         ("adversary_throttled", J.Int adv_throttled);
+         ("jain", J.Float fairness);
+         ("jain_gate", J.Str (if jain_pass then "PASS" else "FAIL"));
+         ("shards", J.Int n_shards);
+         ("shard_fanout", J.Int !fanout);
+         ("federation_agrees", J.Bool !fed_ok);
+         ("pass", J.Bool pass) ])
+
 (* --- Figures ----------------------------------------------------------------- *)
 
 let figures () =
@@ -1584,7 +1874,7 @@ let figures () =
 let all = [ "e1", e1; "e2", e2; "e3", e3; "e4", e4; "e5", e5; "e6", e6;
             "e7", e7; "e8", e8; "e9", e9; "e10", e10; "e11", e11;
             "e12", e12; "e13", e13; "e14", e14; "e15", e15; "e16", e16;
-            "e17", e17; "figures", figures ]
+            "e17", e17; "e18", e18; "figures", figures ]
 
 let () =
   let requested =

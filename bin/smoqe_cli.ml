@@ -17,6 +17,7 @@ module Robust_error = Smoqe_robust.Error
 module Pool = Smoqe_exec.Pool
 module Stats = Smoqe_hype.Stats
 module Update = Smoqe_update.Update
+module Federation = Smoqe_federation.Federation
 
 let read_file path =
   let ic = open_in_bin path in
@@ -93,6 +94,100 @@ let query_arg =
     required
     & pos 0 (some string) None
     & info [] ~docv:"QUERY" ~doc:"Regular XPath query.")
+
+(* --- multi-tenancy -------------------------------------------------------
+
+   A tenants file maps tenant names to policy files, one per line:
+
+     alice = policies/alice.pol
+     bob   = policies/bob.pol
+
+   Blank lines and [#]-comments are skipped.  Policy paths are resolved
+   relative to the current directory.  Tenants whose policies normalize
+   to the same canonical key share one derived view and one compiled
+   plan per query (see Engine "Multi-tenant serving"). *)
+let tenants_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "tenants" ] ~docv:"FILE"
+        ~doc:
+          "Tenant map: one NAME = POLICY-FILE line per tenant (blank lines \
+           and #-comments skipped).  Requires --dtd.")
+
+let tenant_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tenant" ] ~docv:"NAME"
+        ~doc:
+          "Run as this tenant, through its policy's shared view (must \
+           appear in --tenants).")
+
+let load_tenants dtd path =
+  read_file path
+  |> String.split_on_char '\n'
+  |> List.filter_map (fun line ->
+         let t = String.trim line in
+         if t = "" || t.[0] = '#' then None
+         else
+           match String.index_opt t '=' with
+           | None ->
+             die_malformed
+               (Printf.sprintf "%s: expected NAME = POLICY-FILE, got %S" path
+                  t)
+           | Some i ->
+             let name = String.trim (String.sub t 0 i) in
+             let pfile =
+               String.trim (String.sub t (i + 1) (String.length t - i - 1))
+             in
+             if name = "" || pfile = "" then
+               die_malformed
+                 (Printf.sprintf "%s: expected NAME = POLICY-FILE, got %S"
+                    path t);
+             Some (name, load_policy dtd pfile))
+
+(* Register the tenant map; the common guard rails for --tenant flags. *)
+let setup_tenants engine ~tenants_file ~tenant ~group ~dtd =
+  let tenant_defs =
+    match tenants_file, dtd with
+    | Some path, Some d -> load_tenants d path
+    | Some _, None ->
+      prerr_endline "smoqe: --tenants requires --dtd";
+      exit 1
+    | None, _ -> []
+  in
+  (match tenant with
+  | Some name ->
+    if tenant_defs = [] then begin
+      prerr_endline "smoqe: --tenant requires --tenants";
+      exit 1
+    end;
+    if group <> None then begin
+      prerr_endline "smoqe: --tenant and --group are mutually exclusive";
+      exit 1
+    end;
+    if not (List.mem_assoc name tenant_defs) then begin
+      prerr_endline ("smoqe: --tenant " ^ name ^ " not in the tenants file");
+      exit 1
+    end
+  | None -> ());
+  List.iter
+    (fun (name, policy) ->
+      match Engine.register_tenant engine ~tenant:name policy with
+      | Ok _ -> ()
+      | Error msg -> or_die (Error msg))
+    tenant_defs;
+  tenant_defs
+
+let print_tenant_counters counters admission =
+  print_endline "-- tenants --";
+  List.iter (fun (k, v) -> Printf.printf "%s: %d\n" k v) counters;
+  List.iter
+    (fun (name, (admitted, throttled)) ->
+      Printf.printf "tenant %s: admitted %d, throttled %d\n" name admitted
+        throttled)
+    admission
 
 (* Resource budgets (wired into Smoqe_robust.Budget).  [budget_term]
    evaluates to [None] when no limit is given, or a thunk building a fresh
@@ -227,7 +322,7 @@ let load_queries path =
 let query_cmd =
   let run doc_path dtd_path policy_path group mode use_index trace output
       stats budget plan_cache no_plan_cache repeat jobs no_tables queries_file
-      query =
+      tenants_file tenant tenant_budget shards query =
     let dtd = Option.map load_dtd dtd_path in
     (* the parse is budgeted too: a depth/node/deadline limit must bound
        document ingest, not just evaluation (DESIGN.md §12) *)
@@ -242,6 +337,16 @@ let query_cmd =
            (load_policy d p))
     | Some _, None ->
       prerr_endline "smoqe: --policy requires --dtd";
+      exit 1
+    | None, _ -> ());
+    let tenant_defs =
+      setup_tenants engine ~tenants_file ~tenant ~group ~dtd
+    in
+    (match tenant_budget, tenant with
+    | Some cap, Some name ->
+      Engine.set_tenant_budget engine ~tenant:name ~capacity:cap ()
+    | Some _, None ->
+      prerr_endline "smoqe: --tenant-budget requires --tenant";
       exit 1
     | None, _ -> ());
     if use_index then Engine.build_index engine;
@@ -273,6 +378,131 @@ let query_cmd =
     (* --no-tables forces the generic engine; otherwise the library default
        applies (tables on unless SMOQE_NO_TABLES is set). *)
     let use_tables = if no_tables then Some false else None in
+    (* --shards N: serve the document as a federation of N engine shards.
+       The root's children are split round-robin, every policy and tenant
+       is registered on every shard, and each query scatters to all
+       shards through the pool and gathers a merged answer (shard-local
+       node ids, so --output ids prints shard:node pairs).  Admission is
+       federation-level: the tenant's bucket is charged once per query,
+       not once per shard. *)
+    let shards = max 1 shards in
+    if shards > 1 then begin
+      if trace then begin
+        prerr_endline "smoqe: --trace cannot be combined with --shards";
+        exit 1
+      end;
+      if output = "tree" then begin
+        prerr_endline
+          "smoqe: --output tree is not available with --shards (answers \
+           carry shard-local ids)";
+        exit 1
+      end;
+      if repeat > 1 then begin
+        prerr_endline
+          "smoqe: --repeat is single-engine-only and cannot be combined \
+           with --shards";
+        exit 1
+      end;
+      let fed = Federation.of_tree ?dtd ~shards (Engine.document engine) in
+      (match policy_path, dtd, group with
+      | Some p, Some d, Some g ->
+        or_die (Federation.register_policy fed ~group:g (load_policy d p))
+      | _ -> ());
+      List.iter
+        (fun (name, policy) ->
+          or_die (Federation.register_tenant fed ~tenant:name policy))
+        tenant_defs;
+      (match tenant_budget, tenant with
+      | Some cap, Some name ->
+        Federation.set_tenant_budget fed ~tenant:name ~capacity:cap ()
+      | _ -> ());
+      if use_index then
+        for i = 0 to Federation.n_shards fed - 1 do
+          Engine.build_index (Federation.shard fed i)
+        done;
+      let print_fed (o : Federation.fed_outcome) =
+        match output with
+        | "ids" ->
+          List.iter
+            (fun (s, n) -> Printf.printf "%d:%d\n" s n)
+            o.Federation.fed_answers
+        | _ -> List.iter print_endline o.Federation.fed_xml
+      in
+      let print_fed_counters () =
+        if tenant_defs <> [] then
+          print_tenant_counters
+            (Federation.tenant_counters fed)
+            (Federation.admission_counters fed)
+      in
+      (match queries_file with
+      | Some qpath ->
+        if query <> None then begin
+          prerr_endline
+            "smoqe: a positional QUERY and --queries-file are mutually \
+             exclusive";
+          exit 1
+        end;
+        let texts = load_queries qpath in
+        if texts = [] then begin
+          prerr_endline
+            ("smoqe: " ^ qpath ^ ": no queries (all blank/comments)");
+          exit 1
+        end;
+        let results, agg =
+          Pool.with_pool ~domains:jobs (fun pool ->
+              Federation.run_many_robust fed ~pool ?group ?tenant ~mode
+                ~use_index ?make_budget:budget ?use_tables texts)
+        in
+        let first_failure = ref None in
+        Array.iteri
+          (fun i r ->
+            Printf.printf "== query %d: %s ==\n" (i + 1) (List.nth texts i);
+            match r with
+            | Error e ->
+              if !first_failure = None then first_failure := Some e;
+              Printf.printf "error: %s\n" (Robust_error.to_string e)
+            | Ok o ->
+              print_fed o;
+              if stats then begin
+                print_endline "-- statistics --";
+                print_endline (Ismoqe.stats_table o.Federation.fed_stats)
+              end)
+          results;
+        if stats then begin
+          Printf.printf
+            "== federation aggregate (%d queries, %d shards, %d domains) ==\n"
+            (List.length texts) (Federation.n_shards fed) jobs;
+          List.iter
+            (fun (k, v) -> Printf.printf "%s: %d\n" k v)
+            (Stats.to_assoc agg);
+          print_fed_counters ()
+        end;
+        (match !first_failure with
+        | Some e -> exit (Robust_error.exit_code e)
+        | None -> exit 0)
+      | None ->
+        let query =
+          match query with
+          | Some q -> q
+          | None ->
+            prerr_endline
+              "smoqe: a QUERY argument or --queries-file is required";
+            exit 1
+        in
+        let result =
+          Pool.with_pool ~domains:jobs (fun pool ->
+              Federation.query_robust fed ~pool ?group ?tenant ~mode
+                ~use_index ?make_budget:budget ?use_tables query)
+        in
+        let outcome = or_die_robust result in
+        print_fed outcome;
+        if stats then begin
+          print_endline "-- statistics --";
+          print_endline (Ismoqe.stats_table outcome.Federation.fed_stats);
+          print_fed_counters ()
+        end;
+        exit 0)
+    end;
     let print_answers outcome =
       match output with
       | "ids" ->
@@ -319,13 +549,13 @@ let query_cmd =
       end;
       let results, agg =
         if jobs <= 1 then
-          Engine.run_many_robust engine ?group ~mode ~use_index
+          Engine.run_many_robust engine ?group ?tenant ~mode ~use_index
             ?budget:(Option.map (fun mk -> mk ()) budget)
             ?use_tables texts
         else
           Pool.with_pool ~domains:jobs (fun pool ->
-              Engine.run_many_pooled engine ~pool ?group ~mode ~use_index
-                ?make_budget:budget ?use_tables texts)
+              Engine.run_many_pooled engine ~pool ?group ?tenant ~mode
+                ~use_index ?make_budget:budget ?use_tables texts)
       in
       let first_failure = ref None in
       Array.iteri
@@ -348,7 +578,11 @@ let query_cmd =
         List.iter
           (fun (k, v) -> Printf.printf "%s: %d\n" k v)
           (Stats.to_assoc agg);
-        print_plan_cache ()
+        print_plan_cache ();
+        if tenant_defs <> [] then
+          print_tenant_counters
+            (Engine.tenant_counters engine)
+            (Engine.admission_counters engine)
       end;
       (match !first_failure with
       | Some e -> exit (Robust_error.exit_code e)
@@ -365,7 +599,7 @@ let query_cmd =
     let run_once () =
       let budget = Option.map (fun mk -> mk ()) budget in
       or_die_robust
-        (Engine.query_robust engine ?group ~mode ~use_index ?budget
+        (Engine.query_robust engine ?group ?tenant ~mode ~use_index ?budget
            ?trace:tracer ?use_tables query)
     in
     let outcome, agg_stats, loads =
@@ -380,7 +614,7 @@ let query_cmd =
       else
         Pool.with_pool ~domains:jobs (fun pool ->
             let results, agg =
-              Engine.run_batch engine ~pool ?group ~mode ~use_index
+              Engine.run_batch engine ~pool ?group ?tenant ~mode ~use_index
                 ?make_budget:budget ?use_tables
                 (List.init repeat (fun _ -> query))
             in
@@ -414,7 +648,11 @@ let query_cmd =
       | Some loads ->
         Printf.printf "-- domain loads --\n";
         Array.iteri (fun i n -> Printf.printf "domain %d: %d runs\n" i n) loads);
-      print_plan_cache ()
+      print_plan_cache ();
+      if tenant_defs <> [] then
+        print_tenant_counters
+          (Engine.tenant_counters engine)
+          (Engine.admission_counters engine)
     end
   in
   Cmd.v
@@ -465,6 +703,19 @@ let query_cmd =
                        (blank lines and #-comments skipped), all answered in \
                        a single shared-automaton document pass — one pass \
                        per worker with --jobs.")
+      $ tenants_arg $ tenant_arg
+      $ Arg.(value & opt (some int) None
+             & info [ "tenant-budget" ] ~docv:"N"
+                 ~doc:"Admission token budget for --tenant: after N queries \
+                       the tenant is throttled (exit 3) until tokens refill. \
+                       Each batch member costs one token.")
+      $ Arg.(value & opt int 1
+             & info [ "shards" ] ~docv:"N"
+                 ~doc:"Serve the document as a federation of N engine \
+                       shards: the root's children split round-robin, \
+                       queries scatter to every shard through the --jobs \
+                       pool and answers merge (per-shard statistics \
+                       aggregate under --stats).")
       $ Arg.(value & pos 0 (some string) None
              & info [] ~docv:"QUERY"
                  ~doc:"Regular XPath query (omit with --queries-file)."))
@@ -472,8 +723,8 @@ let query_cmd =
 (* --- update ------------------------------------------------------------- *)
 
 let update_cmd =
-  let run doc_path dtd_path policy_path group op_name target_query target_id
-      xml before out =
+  let run doc_path dtd_path policy_path group tenants_file tenant op_name
+      target_query target_id xml before out =
     let dtd = Option.map load_dtd dtd_path in
     let engine = or_die_robust (Engine.of_file_robust ?dtd doc_path) in
     (match policy_path, dtd with
@@ -486,6 +737,9 @@ let update_cmd =
       prerr_endline "smoqe: --policy requires --dtd";
       exit 1
     | None, _ -> ());
+    let _tenant_defs =
+      setup_tenants engine ~tenants_file ~tenant ~group ~dtd
+    in
     let group =
       match policy_path with
       | Some _ -> Some (Option.value group ~default:"user")
@@ -519,7 +773,7 @@ let update_cmd =
       | "replace" -> Update.Replace (target, fragment ())
       | _ -> Update.Insert { parent = target; before; source = fragment () }
     in
-    let report = or_die_robust (Engine.update_robust engine ?group op) in
+    let report = or_die_robust (Engine.update_robust engine ?group ?tenant op) in
     let doc = Serializer.to_string (Engine.document engine) in
     (match out with
     | None -> print_string doc
@@ -543,6 +797,7 @@ let update_cmd =
              & info [ "g"; "group" ] ~docv:"NAME"
                  ~doc:"Update as a member of this group (checked against \
                        its view); omit for an administrative update.")
+      $ tenants_arg $ tenant_arg
       $ Arg.(value
              & opt (enum [ ("insert", "insert"); ("delete", "delete");
                            ("replace", "replace") ]) "replace"

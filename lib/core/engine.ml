@@ -11,6 +11,8 @@ module Mfa = Smoqe_automata.Mfa
 module Tables = Smoqe_automata.Tables
 module Policy = Smoqe_security.Policy
 module Derive = Smoqe_security.Derive
+module Tenant_registry = Smoqe_security.Tenant_registry
+module Admission = Smoqe_robust.Admission
 module Rewriter = Smoqe_rewrite.Rewriter
 module Eval_dom = Smoqe_hype.Eval_dom
 module Eval_stax = Smoqe_hype.Eval_stax
@@ -107,6 +109,8 @@ type t = {
   mutable tax : Tax.t option;
   plan_cache : plan Plan_cache.t;
   mutable saved_compile_ms : float;
+  tenants : Tenant_registry.t;
+  admission : Admission.t;
 }
 
 (* What one query evaluates against: an immutable view of the engine's
@@ -142,6 +146,8 @@ let make ?dtd tree source =
     tax = None;
     plan_cache = Plan_cache.create ();
     saved_compile_ms = 0.;
+    tenants = Tenant_registry.create ();
+    admission = Admission.create ();
   }
 
 let locked t f = Mutex.protect t.lock f
@@ -229,6 +235,96 @@ let register_policy t ~group policy =
         Log.info (fun m -> m "registered view for group %s" group);
         Ok ()
     end
+
+(* --- multi-tenant serving -------------------------------------------------- *)
+
+(* A tenant's shared view lives in [views] under a policy-key pseudo
+   group.  The "pk:" namespace cannot collide with user groups coming
+   through the CLI or the registries above: policy keys are hex digests,
+   and the existing group paths never synthesize the prefix. *)
+let pk_group key = "pk:" ^ key
+
+(* Register (or churn) a tenant.  The registry derives the view at most
+   once per canonical policy key — tenants whose annotations agree after
+   normalization share the derivation, the rewrite and (via the cache's
+   policy-key dimension) every compiled plan.  On churn, a key whose
+   last tenant moved away is retired: its shared view is dropped and the
+   plans cached under it are generationally invalidated. *)
+let register_tenant t ~tenant policy =
+  match t.dtd with
+  | None -> Error "engine has no DTD: policies need a schema"
+  | Some d ->
+    if not (Dtd.equal d (Policy.dtd policy)) then
+      Error "policy is defined over a different DTD"
+    else begin
+      (* Derivation happens inside the registry (once per distinct key),
+         outside the engine lock. *)
+      match Tenant_registry.register t.tenants ~tenant policy with
+      | exception Derive.Unsupported msg -> Error msg
+      | reg ->
+        locked t (fun () ->
+            Hashtbl.replace t.views (pk_group reg.Tenant_registry.reg_key)
+              reg.Tenant_registry.reg_view;
+            match reg.Tenant_registry.reg_retired with
+            | None -> ()
+            | Some old ->
+              Hashtbl.remove t.views (pk_group old);
+              Plan_cache.invalidate_policy_key t.plan_cache old);
+        Log.info (fun m ->
+            m "tenant %s -> policy key %s%s" tenant
+              reg.Tenant_registry.reg_key
+              (if reg.Tenant_registry.reg_shared then " (shared)" else ""));
+        Ok reg
+    end
+
+let remove_tenant t ~tenant =
+  match Tenant_registry.remove t.tenants ~tenant with
+  | None -> ()
+  | Some retired ->
+    locked t (fun () ->
+        Hashtbl.remove t.views (pk_group retired);
+        Plan_cache.invalidate_policy_key t.plan_cache retired)
+
+let tenant_key t ~tenant = Tenant_registry.key_of t.tenants ~tenant
+let tenant_names t = Tenant_registry.tenants t.tenants
+let tenant_counters t = Tenant_registry.counters t.tenants
+
+let set_tenant_budget t ~tenant ~capacity ?refill_per_s () =
+  Admission.set_budget t.admission ~tenant ~capacity ?refill_per_s ()
+
+let admission_counters t = Admission.counters t.admission
+
+(* The throttle error: typed as a budget trip (CLI exit code 3 — the
+   resource-exhaustion taxonomy the budget path already speaks), with
+   [tenant_throttled] marked in the partial stats. *)
+let throttle_error t tenant =
+  let stats = Stats.zero () in
+  stats.Stats.tenant_throttled <- 1;
+  Error.Budget_exceeded
+    {
+      what = Printf.sprintf "tenant %s admission tokens" tenant;
+      limit =
+        (match Admission.limit_of t.admission ~tenant with
+        | Some n -> string_of_int n
+        | None -> "0");
+      partial_stats = Stats.to_assoc stats;
+    }
+
+(* Resolve [?tenant] into the effective (group, policy key) pair a query
+   runs under, charging admission on the way: [cost] tokens (one per
+   member query) are consumed before any engine work happens, so a
+   throttled tenant never reaches compile or evaluation. *)
+let tenant_route t ?group ?tenant ~cost () =
+  match tenant with
+  | None -> Ok (group, None)
+  | Some name ->
+    (match Tenant_registry.lookup t.tenants ~tenant:name with
+    | None ->
+      Error (Error.Policy_error (Printf.sprintf "unknown tenant %s" name))
+    | Some (key, _view) ->
+      if Admission.admit ~cost t.admission ~tenant:name then
+        Ok (Some (pk_group key), Some key)
+      else Error (throttle_error t name))
 
 (* Swap the served document under the standing DTD, views and sessions —
    the serving story: policies persist, data rolls over.  The new tree
@@ -389,10 +485,15 @@ let plan_cache_counters t =
    inserted only after a fully successful compile: a budget trip or an
    injected ["plan.compile"] fault leaves the cache untouched.  Explicit
    [~optimize:false] bypasses the cache (cached plans are optimized). *)
-let plan_for_query t ?group ~mode ~use_index ?optimize ?budget text =
+let plan_for_query t ?group ?policy_key ~mode ~use_index ?optimize ?budget
+    text =
   let cache = t.plan_cache in
   let key query =
-    { Plan_cache.group; query; mode = mode_string mode;
+    (* Under a policy key the key's group component is dropped: every
+       tenant sharing the key shares one entry per query, which is the
+       point — the policy key, not the tenant, is the cache dimension. *)
+    { Plan_cache.group = (if policy_key = None then group else None);
+      policy_key; query; mode = mode_string mode;
       use_index = use_index = Some true }
   in
   let hit plan =
@@ -607,28 +708,42 @@ let run_compiled snap ~plan ~mode ?use_index ?budget ?trace ~use_tables () =
                run_dom snap ~plan ?use_index ?budget ?trace ~use_tables
                  ~degraded_from_stax:true ()))))
 
-let query_robust t ?group ?(mode = Dom) ?use_index ?optimize ?budget ?trace
-    ?use_tables text =
+let query_robust t ?group ?tenant ?(mode = Dom) ?use_index ?optimize ?budget
+    ?trace ?use_tables text =
   let use_tables =
     match use_tables with Some b -> b | None -> Tables.enabled_default ()
   in
-  match plan_for_query t ?group ~mode ~use_index ?optimize ?budget text with
+  match tenant_route t ?group ?tenant ~cost:1. () with
   | Error e -> Error e
-  | Ok (plan, cached) ->
-    (* One atomic read of the serving state; the evaluation below never
-       looks at the live engine again, so a concurrent replace_document
-       or index (re)build cannot tear this query. *)
-    let snap = snapshot t in
-    let outcome =
-      run_compiled snap ~plan ~mode ?use_index ?budget ?trace ~use_tables ()
-    in
-    if cached then
-      Result.iter (fun o -> o.stats.Stats.plan_cache_hit <- 1) outcome;
-    outcome
+  | Ok (group, policy_key) ->
+    (match
+       plan_for_query t ?group ?policy_key ~mode ~use_index ?optimize ?budget
+         text
+     with
+    | Error e -> Error e
+    | Ok (plan, cached) ->
+      (* One atomic read of the serving state; the evaluation below never
+         looks at the live engine again, so a concurrent replace_document
+         or index (re)build cannot tear this query. *)
+      let snap = snapshot t in
+      let outcome =
+        run_compiled snap ~plan ~mode ?use_index ?budget ?trace ~use_tables ()
+      in
+      if cached then
+        Result.iter
+          (fun o ->
+            o.stats.Stats.plan_cache_hit <- 1;
+            (* A warm tenant hit is a cross-tenant artifact reuse: the
+               plan lives under the canonical policy key, so whichever
+               tenant compiled it paid for everyone sharing the key. *)
+            if policy_key <> None then o.stats.Stats.policy_key_hits <- 1)
+          outcome;
+      outcome)
 
-let query t ?group ?mode ?use_index ?optimize ?budget ?trace ?use_tables text =
+let query t ?group ?tenant ?mode ?use_index ?optimize ?budget ?trace
+    ?use_tables text =
   Result.map_error Error.to_string
-    (query_robust t ?group ?mode ?use_index ?optimize ?budget ?trace
+    (query_robust t ?group ?tenant ?mode ?use_index ?optimize ?budget ?trace
        ?use_tables text)
 
 (* --- the secure update path ------------------------------------------------ *)
@@ -648,10 +763,11 @@ type update_report = {
    so it can only ever name nodes the view exposes.  Evaluation runs on
    the caller's snapshot: the ids it yields are coordinates of exactly
    the tree the staged pipeline edits. *)
-let resolve_target t ?group snap = function
+let resolve_target t ?group ?policy_key snap = function
   | Update.By_id n -> Ok n
   | Update.By_path text ->
-    (match plan_for_query t ?group ~mode:Dom ~use_index:None text with
+    (match plan_for_query t ?group ?policy_key ~mode:Dom ~use_index:None text
+     with
     | Error e -> Error e
     | Ok (plan, _) ->
       (match
@@ -678,14 +794,21 @@ let resolve_target t ?group snap = function
    If the document moved underneath (a concurrent update or
    [replace_document] won the race), the whole staged pipeline is redone
    from a fresh snapshot rather than patched up. *)
-let update_robust t ?group op =
+let update_robust t ?group ?tenant op =
+  match tenant_route t ?group ?tenant ~cost:1. () with
+  | Error e -> Error e
+  | Ok (group, policy_key) ->
   let member_view =
     match group with
     | None -> Ok None
     | Some g ->
       (match view t ~group:g with
       | None ->
-        Error (Error.Policy_error (Printf.sprintf "unknown group %s" g))
+        Error
+          (Error.Policy_error
+             (match tenant with
+             | Some name -> Printf.sprintf "unknown tenant %s" name
+             | None -> Printf.sprintf "unknown group %s" g))
       | Some v -> Ok (Some v))
   in
   match member_view with
@@ -696,7 +819,9 @@ let update_robust t ?group op =
       let snap = snapshot t in
       let old_tree = snap.snap_tree in
       let staged =
-        let* target = resolve_target t ?group snap (Update.target_of op) in
+        let* target =
+          resolve_target t ?group ?policy_key snap (Update.target_of op)
+        in
         let r = Update.resolve op target in
         let* () = Update.validate old_tree r in
         let* () =
@@ -774,8 +899,8 @@ let update_robust t ?group op =
     in
     attempt 16
 
-let update t ?group op =
-  Result.map_error Error.to_string (update_robust t ?group op)
+let update t ?group ?tenant op =
+  Result.map_error Error.to_string (update_robust t ?group ?tenant op)
 
 (* --- the multicore serving layer ------------------------------------------- *)
 
@@ -784,18 +909,22 @@ let update t ?group op =
    snapshot/lock discipline above; the budget is *made* on the worker so
    its wall-clock deadline starts when evaluation does, and so no Budget
    value is ever shared between two in-flight queries. *)
-let submit t ~pool ?group ?mode ?use_index ?optimize ?make_budget ?use_tables
-    text =
-  Pool.submit pool (fun () ->
+let submit t ~pool ?group ?tenant ?mode ?use_index ?optimize ?make_budget
+    ?use_tables text =
+  (* A tenant's tasks ride its own fair-share lane: a hot tenant's
+     backlog delays only itself, untenanted traffic shares the default
+     lane.  Admission is charged on the worker, inside [query_robust]. *)
+  Pool.submit ?lane:tenant pool (fun () ->
       let budget = Option.map (fun mk -> mk ()) make_budget in
-      query_robust t ?group ?mode ?use_index ?optimize ?budget ?use_tables text)
+      query_robust t ?group ?tenant ?mode ?use_index ?optimize ?budget
+        ?use_tables text)
 
-let run_batch t ~pool ?group ?mode ?use_index ?optimize ?make_budget
+let run_batch t ~pool ?group ?tenant ?mode ?use_index ?optimize ?make_budget
     ?use_tables texts =
   let futures =
     List.map
       (fun text ->
-        submit t ~pool ?group ?mode ?use_index ?optimize ?make_budget
+        submit t ~pool ?group ?tenant ?mode ?use_index ?optimize ?make_budget
           ?use_tables text)
       texts
   in
@@ -958,7 +1087,8 @@ type batch_plan =
   | Bp_plan of plan * bool * Error.t option array
       (* plan, served-from-cache, per-member compile failures (by slot) *)
 
-let batch_plan_for t ?group ~mode ~use_index ?budget uniq_keys by_key =
+let batch_plan_for t ?group ?policy_key ~mode ~use_index ?budget uniq_keys
+    by_key =
   let cache = t.plan_cache in
   let cacheable = Plan_cache.capacity cache > 0 in
   let n_uniq = Array.length uniq_keys in
@@ -966,7 +1096,8 @@ let batch_plan_for t ?group ~mode ~use_index ?budget uniq_keys by_key =
      text never contains NUL, so the "batch" prefix cannot collide with a
      single-query entry. *)
   let bkey =
-    { Plan_cache.group;
+    { Plan_cache.group = (if policy_key = None then group else None);
+      policy_key;
       query = "batch\x00" ^ String.concat "\x00" (Array.to_list uniq_keys);
       mode = mode_string mode;
       use_index = use_index = Some true }
@@ -1038,11 +1169,26 @@ let batch_plan_for t ?group ~mode ~use_index ?budget uniq_keys by_key =
         end;
         Bp_plan (plan, false, comp_errs))
 
-let run_many_robust t ?group ?(mode = Dom) ?use_index ?budget ?use_tables texts
-    =
+let run_many_robust t ?group ?tenant ?(mode = Dom) ?use_index ?budget
+    ?use_tables texts =
   let use_tables =
     match use_tables with Some b -> b | None -> Tables.enabled_default ()
   in
+  let n_texts = List.length texts in
+  match
+    (* One admission token per member query: a batch is N queries'
+       worth of work, not one. *)
+    if n_texts = 0 then Ok (group, None)
+    else tenant_route t ?group ?tenant ~cost:(float_of_int n_texts) ()
+  with
+  | Error e ->
+    let aggregate = Stats.zero () in
+    (match e with
+    | Error.Budget_exceeded _ ->
+      aggregate.Stats.tenant_throttled <- n_texts
+    | _ -> ());
+    (Array.make n_texts (Error e), aggregate)
+  | Ok (group, policy_key) ->
   let texts = Array.of_list texts in
   let fail_all parsed comp_errs slot_of e =
     Array.map
@@ -1089,7 +1235,9 @@ let run_many_robust t ?group ?(mode = Dom) ?use_index ?budget ?use_tables texts
           parsed,
         Stats.zero () )
     else
-      match batch_plan_for t ?group ~mode ~use_index ?budget uniq_keys by_key
+      match
+        batch_plan_for t ?group ?policy_key ~mode ~use_index ?budget uniq_keys
+          by_key
       with
       | Bp_fail_all e -> (fail_all parsed None slot_of e, Stats.zero ())
       | Bp_plan (plan, cached, comp_errs) ->
@@ -1113,7 +1261,11 @@ let run_many_robust t ?group ?(mode = Dom) ?use_index ?budget ?use_tables texts
         | Error e ->
           (fail_all parsed (Some comp_errs) slot_of e, Stats.zero ())
         | Ok be ->
-          if cached then be.be_stats.Stats.plan_cache_hit <- 1;
+          if cached then begin
+            be.be_stats.Stats.plan_cache_hit <- 1;
+            if policy_key <> None then
+              be.be_stats.Stats.policy_key_hits <- 1
+          end;
           let results =
             Array.map
               (function
@@ -1140,9 +1292,10 @@ let run_many_robust t ?group ?(mode = Dom) ?use_index ?budget ?use_tables texts
           (results, be.be_stats))
   end
 
-let run_many t ?group ?mode ?use_index ?budget ?use_tables texts =
+let run_many t ?group ?tenant ?mode ?use_index ?budget ?use_tables texts =
   let results, aggregate =
-    run_many_robust t ?group ?mode ?use_index ?budget ?use_tables texts
+    run_many_robust t ?group ?tenant ?mode ?use_index ?budget ?use_tables
+      texts
   in
   (Array.map (Result.map_error Error.to_string) results, aggregate)
 
@@ -1151,8 +1304,8 @@ let run_many t ?group ?mode ?use_index ?budget ?use_tables texts =
    (and its own batch-plan cache entry), so warm sharded batches still hit
    as long as the shard boundaries are stable — which they are for a fixed
    pool size. *)
-let run_many_pooled t ~pool ?group ?mode ?use_index ?make_budget ?use_tables
-    texts =
+let run_many_pooled t ~pool ?group ?tenant ?mode ?use_index ?make_budget
+    ?use_tables texts =
   let texts = Array.of_list texts in
   let n = Array.length texts in
   if n = 0 then ([||], Stats.zero ())
@@ -1167,10 +1320,10 @@ let run_many_pooled t ~pool ?group ?mode ?use_index ?make_budget ?use_tables
     in
     let futures =
       List.init shards (fun k ->
-          Pool.submit pool (fun () ->
+          Pool.submit ?lane:tenant pool (fun () ->
               let budget = Option.map (fun mk -> mk ()) make_budget in
-              run_many_robust t ?group ?mode ?use_index ?budget ?use_tables
-                (chunk k)))
+              run_many_robust t ?group ?tenant ?mode ?use_index ?budget
+                ?use_tables (chunk k)))
     in
     let parts = List.map Pool.await futures in
     let aggregate = Stats.zero () in

@@ -98,6 +98,52 @@ val view : t -> group:string -> Smoqe_security.Derive.view option
 val view_dtd : t -> group:string -> Smoqe_xml.Dtd.t option
 (** The schema exposed to the group's users. *)
 
+(** {1 Multi-tenant serving}
+
+    Tenants are groups at production scale: each tenant registers its
+    own annotated-DTD policy, but tenants whose annotations agree after
+    normalization ({!Smoqe_security.Policy_key}) share {e one} derived
+    view, one rewrite and — through the plan cache's policy-key
+    dimension — one compiled plan per query.  Queries and updates take
+    [?tenant] and run through the tenant's shared view exactly as
+    [?group] traffic runs through a group view; per-tenant token-bucket
+    budgets ({!Smoqe_robust.Admission}) throttle a hot tenant before any
+    engine work happens ([Budget_exceeded], exit code 3, with
+    [tenant_throttled] marked in the partial stats), and pooled tenant
+    traffic rides per-tenant fair-share lanes ({!Smoqe_exec.Pool}). *)
+
+val register_tenant :
+  t ->
+  tenant:string ->
+  Smoqe_security.Policy.t ->
+  (Smoqe_security.Tenant_registry.registration, string) result
+(** Register (or churn) a tenant under a policy.  Derives the view only
+    when the canonical policy key is new — [reg_shared] reports a
+    policy-key hit.  On churn, a key whose last tenant moved away is
+    retired: its view is dropped and plans cached under it are
+    generationally invalidated.  Same failure modes as
+    {!register_policy}. *)
+
+val remove_tenant : t -> tenant:string -> unit
+(** Forget a tenant, retiring its policy key's artifacts if it was the
+    last holder. *)
+
+val tenant_key : t -> tenant:string -> string option
+(** The tenant's canonical policy key, if registered. *)
+
+val tenant_names : t -> string list
+val tenant_counters : t -> (string * int) list
+(** Registry counters: [tenants]/[policy_keys]/[policy_key_hits]/
+    [derivations]/[generation]. *)
+
+val set_tenant_budget :
+  t -> tenant:string -> capacity:int -> ?refill_per_s:float -> unit -> unit
+(** Install the tenant's admission token bucket (see
+    {!Smoqe_robust.Admission.set_budget}). *)
+
+val admission_counters : t -> (string * (int * int)) list
+(** Per-tenant [(admitted, throttled)] admission traffic. *)
+
 (** {1 Indexing} *)
 
 val build_index : t -> unit
@@ -143,6 +189,7 @@ val plan_cache_counters : t -> (string * int) list
 val query :
   t ->
   ?group:string ->
+  ?tenant:string ->
   ?mode:mode ->
   ?use_index:bool ->
   ?optimize:bool ->
@@ -167,6 +214,7 @@ val query :
 val query_robust :
   t ->
   ?group:string ->
+  ?tenant:string ->
   ?mode:mode ->
   ?use_index:bool ->
   ?optimize:bool ->
@@ -226,6 +274,7 @@ type update_report = {
 val update_robust :
   t ->
   ?group:string ->
+  ?tenant:string ->
   Smoqe_update.Update.op ->
   (update_report, Smoqe_robust.Error.t) result
 (** Apply one update.  Without [group] the caller is administrative and
@@ -240,6 +289,7 @@ val update_robust :
 val update :
   t ->
   ?group:string ->
+  ?tenant:string ->
   Smoqe_update.Update.op ->
   (update_report, string) result
 (** {!update_robust} with rendered errors. *)
@@ -262,6 +312,7 @@ val update :
 val run_many_robust :
   t ->
   ?group:string ->
+  ?tenant:string ->
   ?mode:mode ->
   ?use_index:bool ->
   ?budget:Smoqe_robust.Budget.t ->
@@ -283,6 +334,7 @@ val run_many_robust :
 val run_many :
   t ->
   ?group:string ->
+  ?tenant:string ->
   ?mode:mode ->
   ?use_index:bool ->
   ?budget:Smoqe_robust.Budget.t ->
@@ -310,6 +362,7 @@ val submit :
   t ->
   pool:Smoqe_exec.Pool.t ->
   ?group:string ->
+  ?tenant:string ->
   ?mode:mode ->
   ?use_index:bool ->
   ?optimize:bool ->
@@ -326,6 +379,7 @@ val run_batch :
   t ->
   pool:Smoqe_exec.Pool.t ->
   ?group:string ->
+  ?tenant:string ->
   ?mode:mode ->
   ?use_index:bool ->
   ?optimize:bool ->
@@ -343,6 +397,7 @@ val run_many_pooled :
   t ->
   pool:Smoqe_exec.Pool.t ->
   ?group:string ->
+  ?tenant:string ->
   ?mode:mode ->
   ?use_index:bool ->
   ?make_budget:(unit -> Smoqe_robust.Budget.t) ->

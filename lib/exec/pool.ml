@@ -5,7 +5,16 @@
      producer exerts backpressure instead of queueing unbounded closures;
    - [domains <= 1] builds an *inline* executor that runs tasks on the
      caller with no locks at all, keeping the sequential path free of any
-     pool tax. *)
+     pool tax.
+
+   Scheduling is fair-share across *lanes*: every task is submitted to a
+   lane (the default lane when the caller names none; one lane per
+   tenant in the multi-tenant engine), each lane keeps its own FIFO, and
+   workers pick lanes round-robin, one task per turn.  A lane that
+   floods the pool therefore delays only its own queue — other lanes
+   keep their one-task-per-turn service rate no matter how deep the hot
+   lane's backlog grows.  With a single active lane this degenerates to
+   the old global FIFO exactly. *)
 
 type 'a state =
   | Pending
@@ -25,11 +34,18 @@ type worker = {
   failed : int Atomic.t;
 }
 
+(* Lane invariants (all under [m]): [queued] is the total backlog over
+   every lane; a lane name sits in [rr] exactly once iff its queue is
+   non-empty; an emptied lane is removed from [lanes] so the table stays
+   bounded by the number of lanes with work in flight. *)
 type t = {
   m : Mutex.t;
   not_empty : Condition.t;
   not_full : Condition.t;
-  queue : (int -> unit) Queue.t; (* a job, given its worker's index *)
+  lanes : (string, (int -> unit) Queue.t) Hashtbl.t;
+      (* per-lane FIFO of jobs, each given its worker's index *)
+  rr : string Queue.t; (* round-robin order over non-empty lanes *)
+  mutable queued : int; (* total jobs across lanes *)
   queue_capacity : int;
   mutable stopping : bool;
   mutable domains : unit Domain.t array; (* [||] for the inline executor *)
@@ -89,16 +105,28 @@ let run_task workers fut f ix =
     Atomic.incr workers.(ix).failed;
     fulfill fut (Raised e))
 
+(* Pop the next job fair-share: take the lane at the head of the
+   round-robin order, serve one task from it, and send the lane to the
+   back of the order if it still has work.  Caller holds [m]. *)
+let pop_fair t =
+  let lane = Queue.pop t.rr in
+  let laneq = Hashtbl.find t.lanes lane in
+  let job = Queue.pop laneq in
+  t.queued <- t.queued - 1;
+  if Queue.is_empty laneq then Hashtbl.remove t.lanes lane
+  else Queue.push lane t.rr;
+  job
+
 let rec worker_loop t ix =
   Mutex.lock t.m;
-  while Queue.is_empty t.queue && not t.stopping do
+  while t.queued = 0 && not t.stopping do
     Condition.wait t.not_empty t.m
   done;
-  if Queue.is_empty t.queue then
+  if t.queued = 0 then
     (* stopping, and nothing left to drain *)
     Mutex.unlock t.m
   else begin
-    let job = Queue.pop t.queue in
+    let job = pop_fair t in
     Condition.signal t.not_full;
     Mutex.unlock t.m;
     job ix;
@@ -116,7 +144,9 @@ let create ?queue_capacity ~domains () =
       m = Mutex.create ();
       not_empty = Condition.create ();
       not_full = Condition.create ();
-      queue = Queue.create ();
+      lanes = Hashtbl.create 8;
+      rr = Queue.create ();
+      queued = 0;
       queue_capacity = qcap;
       stopping = false;
       domains = [||];
@@ -130,7 +160,7 @@ let create ?queue_capacity ~domains () =
     t.domains <- Array.init n (fun ix -> Domain.spawn (fun () -> worker_loop t ix));
   t
 
-let submit t f =
+let submit ?(lane = "") t f =
   let fut = fresh_future () in
   if t.inline then begin
     (* The future is not yet visible to any other domain: resolve it
@@ -146,14 +176,24 @@ let submit t f =
   end
   else begin
     Mutex.lock t.m;
-    while Queue.length t.queue >= t.queue_capacity && not t.stopping do
+    while t.queued >= t.queue_capacity && not t.stopping do
       Condition.wait t.not_full t.m
     done;
     if t.stopping then begin
       Mutex.unlock t.m;
       invalid_arg "Pool.submit: pool is shut down"
     end;
-    Queue.push (run_task t.workers fut f) t.queue;
+    let laneq =
+      match Hashtbl.find_opt t.lanes lane with
+      | Some q -> q
+      | None ->
+        let q = Queue.create () in
+        Hashtbl.add t.lanes lane q;
+        Queue.push lane t.rr;
+        q
+    in
+    Queue.push (run_task t.workers fut f) laneq;
+    t.queued <- t.queued + 1;
     Condition.signal t.not_empty;
     Mutex.unlock t.m
   end;

@@ -49,10 +49,18 @@ val size : t -> int
 val is_inline : t -> bool
 (** True when no domains were spawned and tasks run on the caller. *)
 
-val submit : t -> (unit -> 'a) -> 'a future
-(** Enqueue a task.  Blocks while the queue is full; raises
-    [Invalid_argument] if the pool has been {!shutdown}.  On the inline
-    executor the task runs before [submit] returns. *)
+val submit : ?lane:string -> t -> (unit -> 'a) -> 'a future
+(** Enqueue a task.  Blocks while the queue is full (the bound is the
+    {e total} backlog across lanes); raises [Invalid_argument] if the
+    pool has been {!shutdown}.  On the inline executor the task runs
+    before [submit] returns.
+
+    [~lane] names the fair-share lane (default: one shared lane — the
+    pre-lane FIFO behavior).  Each lane is a FIFO of its own; workers
+    serve non-empty lanes round-robin, one task per turn, so a lane that
+    floods the pool — a hot tenant — delays only its own backlog while
+    every other lane keeps its service rate.  Backpressure is global:
+    a full pool blocks every submitter regardless of lane. *)
 
 val await : 'a future -> 'a
 (** Block until the task has run; return its value or re-raise the

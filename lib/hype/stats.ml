@@ -22,6 +22,9 @@ type t = {
   mutable shared_saved : int;
   mutable shared_prefix_hits : int;
   mutable accept_width : int;
+  mutable policy_key_hits : int;
+  mutable tenant_throttled : int;
+  mutable shard_fanout : int;
 }
 
 let create () =
@@ -49,6 +52,9 @@ let create () =
     shared_saved = 0;
     shared_prefix_hits = 0;
     accept_width = 0;
+    policy_key_hits = 0;
+    tenant_throttled = 0;
+    shard_fanout = 0;
   }
 
 let zero () =
@@ -79,7 +85,10 @@ let merge_into ~into s =
   into.shared_states <- into.shared_states + s.shared_states;
   into.shared_saved <- into.shared_saved + s.shared_saved;
   into.shared_prefix_hits <- into.shared_prefix_hits + s.shared_prefix_hits;
-  into.accept_width <- max into.accept_width s.accept_width
+  into.accept_width <- max into.accept_width s.accept_width;
+  into.policy_key_hits <- into.policy_key_hits + s.policy_key_hits;
+  into.tenant_throttled <- into.tenant_throttled + s.tenant_throttled;
+  into.shard_fanout <- into.shard_fanout + s.shard_fanout
 
 (* Process-wide aggregate of the table-layer counters, independent of who
    keeps the per-query [t]: bench artifacts read it so every
@@ -134,6 +143,9 @@ let to_assoc t =
     ("shared_saved", t.shared_saved);
     ("shared_prefix_hits", t.shared_prefix_hits);
     ("accept_width", t.accept_width);
+    ("policy_key_hits", t.policy_key_hits);
+    ("tenant_throttled", t.tenant_throttled);
+    ("shard_fanout", t.shard_fanout);
   ]
 
 let pp ppf t =
@@ -154,6 +166,10 @@ let pp ppf t =
        accept width %d"
       t.batch_queries t.shared_states t.shared_saved t.shared_prefix_hits
       t.accept_width;
+  if t.policy_key_hits + t.tenant_throttled + t.shard_fanout > 0 then
+    Fmt.pf ppf
+      "@ tenancy: %d policy-key hits, %d throttled, shard fanout %d"
+      t.policy_key_hits t.tenant_throttled t.shard_fanout;
   if degraded t then
     Fmt.pf ppf "@ degraded:%s%s"
       (if t.degraded_no_index > 0 then " index unavailable -> unindexed DOM"

@@ -44,6 +44,15 @@ type t = {
       (** member states fused into an already-merged state *)
   mutable accept_width : int;
       (** widest per-state owner set among the batch accept states *)
+  mutable policy_key_hits : int;
+      (** tenant registrations/lookups served from shared artifacts under
+          an already-derived canonical policy key (derivation skipped) *)
+  mutable tenant_throttled : int;
+      (** queries rejected by per-tenant admission control (token bucket
+          empty); in an aggregate, the count of throttled queries *)
+  mutable shard_fanout : int;
+      (** engine shards this answer was scatter-gathered across (0 for a
+          plain single-engine run) *)
 }
 
 val create : unit -> t

@@ -1,5 +1,6 @@
 type key = {
   group : string option;
+  policy_key : string option;
   query : string;
   mode : string;
   use_index : bool;
@@ -19,6 +20,7 @@ type 'plan entry = {
   scope : scope;
   g_global : int;  (* global generation at insertion *)
   g_group : int;  (* the group's generation at insertion; 0 for [None] *)
+  g_pkey : int;  (* the policy key's generation at insertion; 0 for [None] *)
   mutable stamp : int;  (* recency; larger = more recently used *)
 }
 
@@ -36,6 +38,7 @@ type 'plan t = {
   mutable tick : int;
   mutable gen_global : int;
   gen_groups : (string, int) Hashtbl.t;
+  gen_pkeys : (string, int) Hashtbl.t;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
@@ -53,6 +56,7 @@ let create ?(capacity = 128) () =
     tick = 0;
     gen_global = 0;
     gen_groups = Hashtbl.create 4;
+    gen_pkeys = Hashtbl.create 4;
     hits = 0;
     misses = 0;
     evictions = 0;
@@ -69,6 +73,7 @@ let locked t f = Mutex.protect t.lock f
 type gen = {
   snap_global : int;
   snap_group : int;
+  snap_pkey : int;
 }
 
 let capacity t = locked t (fun () -> t.capacity)
@@ -80,8 +85,14 @@ let group_gen t = function
   | None -> 0
   | Some g -> Option.value (Hashtbl.find_opt t.gen_groups g) ~default:0
 
+let pkey_gen t = function
+  | None -> 0
+  | Some k -> Option.value (Hashtbl.find_opt t.gen_pkeys k) ~default:0
+
 let current t key entry =
-  entry.g_global = t.gen_global && entry.g_group = group_gen t key.group
+  entry.g_global = t.gen_global
+  && entry.g_group = group_gen t key.group
+  && entry.g_pkey = pkey_gen t key.policy_key
 
 let touch t entry =
   t.tick <- t.tick + 1;
@@ -131,7 +142,8 @@ let record_miss t =
 
 let generation t key =
   locked t (fun () ->
-      { snap_global = t.gen_global; snap_group = group_gen t key.group })
+      { snap_global = t.gen_global; snap_group = group_gen t key.group;
+        snap_pkey = pkey_gen t key.policy_key })
 
 let add t ?gen ?(scope = All_tags) key plan =
   if Atomic.get t.enabled then
@@ -143,6 +155,7 @@ let add t ?gen ?(scope = All_tags) key plan =
             | Some g ->
               g.snap_global = t.gen_global
               && g.snap_group = group_gen t key.group
+              && g.snap_pkey = pkey_gen t key.policy_key
           in
           if not fresh then
             (* An invalidation landed while the plan was being compiled:
@@ -155,7 +168,8 @@ let add t ?gen ?(scope = All_tags) key plan =
               done;
             let entry =
               { plan; scope; g_global = t.gen_global;
-                g_group = group_gen t key.group; stamp = 0 }
+                g_group = group_gen t key.group;
+                g_pkey = pkey_gen t key.policy_key; stamp = 0 }
             in
             touch t entry;
             Hashtbl.replace t.table key entry
@@ -176,6 +190,10 @@ let set_capacity t n =
 let invalidate_group t group =
   locked t (fun () ->
       Hashtbl.replace t.gen_groups group (1 + group_gen t (Some group)))
+
+let invalidate_policy_key t pkey =
+  locked t (fun () ->
+      Hashtbl.replace t.gen_pkeys pkey (1 + pkey_gen t (Some pkey)))
 
 let invalidate_all t = locked t (fun () -> t.gen_global <- t.gen_global + 1)
 

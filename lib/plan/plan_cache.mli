@@ -44,6 +44,11 @@
 
 type key = {
   group : string option;  (** [None]: the query runs directly on the document *)
+  policy_key : string option;
+      (** canonical policy key ({!Smoqe_security.Policy_key}) for
+          multi-tenant serving: tenants whose policies normalize to the
+          same key share one cache entry per query instead of per-tenant
+          duplicates.  [None] for the classic per-group path. *)
   query : string;  (** canonical text, {!Canon.to_key} *)
   mode : string;  (** ["dom"] | ["stax"] *)
   use_index : bool;
@@ -86,8 +91,8 @@ val record_miss : _ t -> unit
 (** Count one compile forced by a cache miss.  No-op when disabled. *)
 
 type gen
-(** A generation token: the key's (global, group) generation pair at the
-    moment {!generation} was called. *)
+(** A generation token: the key's (global, group, policy-key) generation
+    triple at the moment {!generation} was called. *)
 
 val generation : _ t -> key -> gen
 (** Capture the key's current generations.  Call {e before} reading the
@@ -105,6 +110,11 @@ val add : 'plan t -> ?gen:gen -> ?scope:scope -> key -> 'plan -> unit
 
 val invalidate_group : _ t -> string -> unit
 (** The group's view changed: every plan rewritten through it is stale. *)
+
+val invalidate_policy_key : _ t -> string -> unit
+(** The shared artifacts under this canonical policy key were retired
+    (its last tenant churned away): every plan cached under the key is
+    stale.  Generational, like {!invalidate_group}. *)
 
 val invalidate_all : _ t -> unit
 (** The document (or everything) changed: all plans are stale.  Direct

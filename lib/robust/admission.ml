@@ -1,0 +1,108 @@
+(* Per-tenant admission control: token buckets layered on top of the
+   per-query budgets in {!Budget}.
+
+   A query budget bounds how much one admitted query may cost; admission
+   bounds how many queries a tenant may start.  Each tenant owns a
+   bucket of [capacity] tokens refilled continuously at [refill_per_s];
+   a query consumes one token (or an explicit [cost]) on entry, and a
+   tenant whose bucket is dry is refused — throttled — before any
+   engine work happens, so a hot tenant burns its own budget, never the
+   pool's.  Tenants without a configured budget are unlimited but still
+   counted, so fairness experiments can read per-tenant admission
+   traffic uniformly.
+
+   Thread-safe: one mutex guards the table — admission is a handful of
+   float ops, contention is irrelevant next to query evaluation. *)
+
+type bucket = {
+  mutable capacity : float;  (* infinity = unlimited *)
+  mutable refill_per_s : float;
+  mutable tokens : float;
+  mutable last : float;  (* Unix time of the last refill *)
+  mutable admitted : int;
+  mutable throttled : int;
+}
+
+type t = {
+  lock : Mutex.t;
+  buckets : (string, bucket) Hashtbl.t;
+  mutable total_throttled : int;
+}
+
+let create () =
+  { lock = Mutex.create (); buckets = Hashtbl.create 16; total_throttled = 0 }
+
+let bucket t tenant =
+  match Hashtbl.find_opt t.buckets tenant with
+  | Some b -> b
+  | None ->
+    let b =
+      {
+        capacity = infinity;
+        refill_per_s = 0.;
+        tokens = infinity;
+        last = Unix.gettimeofday ();
+        admitted = 0;
+        throttled = 0;
+      }
+    in
+    Hashtbl.add t.buckets tenant b;
+    b
+
+let set_budget t ~tenant ~capacity ?(refill_per_s = 0.) () =
+  let capacity = float_of_int (max 0 capacity) in
+  Mutex.protect t.lock (fun () ->
+      let b = bucket t tenant in
+      b.capacity <- capacity;
+      b.refill_per_s <- max 0. refill_per_s;
+      b.tokens <- capacity;
+      b.last <- Unix.gettimeofday ())
+
+let clear_budget t ~tenant =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.buckets tenant with
+      | None -> ()
+      | Some b ->
+        b.capacity <- infinity;
+        b.refill_per_s <- 0.;
+        b.tokens <- infinity)
+
+let refill b =
+  if b.capacity < infinity then begin
+    let now = Unix.gettimeofday () in
+    let dt = now -. b.last in
+    if dt > 0. then begin
+      b.tokens <- Float.min b.capacity (b.tokens +. (dt *. b.refill_per_s));
+      b.last <- now
+    end
+  end
+
+let admit ?(cost = 1.) t ~tenant =
+  Mutex.protect t.lock (fun () ->
+      let b = bucket t tenant in
+      refill b;
+      if b.tokens >= cost then begin
+        if b.capacity < infinity then b.tokens <- b.tokens -. cost;
+        b.admitted <- b.admitted + 1;
+        true
+      end
+      else begin
+        b.throttled <- b.throttled + 1;
+        t.total_throttled <- t.total_throttled + 1;
+        false
+      end)
+
+let limit_of t ~tenant =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.buckets tenant with
+      | Some b when b.capacity < infinity -> Some (int_of_float b.capacity)
+      | _ -> None)
+
+let throttled_total t = Mutex.protect t.lock (fun () -> t.total_throttled)
+
+let counters t =
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.fold
+        (fun tenant b acc -> (tenant, (b.admitted, b.throttled)) :: acc)
+        t.buckets []
+      |> List.sort compare)

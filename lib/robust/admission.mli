@@ -1,0 +1,36 @@
+(** Per-tenant admission control: token-bucket budgets layered on the
+    per-query {!Budget}s.
+
+    A {!Budget} bounds what one admitted query may cost; admission
+    bounds how many queries a tenant may {e start}.  Each tenant owns a
+    bucket of [capacity] tokens, continuously refilled at
+    [refill_per_s]; {!admit} consumes one token (or [cost]) and answers
+    [false] — throttle, before any engine work — when the bucket is dry.
+    Tenants without a configured budget are unlimited but still counted.
+    All operations are thread-safe. *)
+
+type t
+
+val create : unit -> t
+
+val set_budget :
+  t -> tenant:string -> capacity:int -> ?refill_per_s:float -> unit -> unit
+(** Install (or replace) the tenant's bucket, starting full.
+    [refill_per_s] defaults to [0.] — a fixed allowance. *)
+
+val clear_budget : t -> tenant:string -> unit
+(** Back to unlimited; admission counters survive. *)
+
+val admit : ?cost:float -> t -> tenant:string -> bool
+(** Consume [cost] (default [1.]) from the tenant's bucket.  [true] =
+    admitted.  Unknown tenants are admitted unconditionally (and start
+    being counted). *)
+
+val limit_of : t -> tenant:string -> int option
+(** The tenant's configured capacity, if budgeted — what a throttle
+    error reports as its limit. *)
+
+val throttled_total : t -> int
+
+val counters : t -> (string * (int * int)) list
+(** Per-tenant [(admitted, throttled)], sorted by tenant. *)

@@ -1,0 +1,53 @@
+(** Tenant registry: tenant -> canonical policy key -> shared derivation
+    artifacts.
+
+    Tenants whose policies agree after {!Policy_key} normalization share
+    one {!Derive.view} (and, downstream, one rewrite and one compiled
+    plan).  Artifacts are refcounted per key; policy churn moves a tenant
+    between keys, and a key whose last tenant leaves is retired — the
+    caller learns which key died so plans cached under it can be
+    invalidated.  All operations are thread-safe. *)
+
+type t
+
+type registration = {
+  reg_key : string;  (** canonical policy key the tenant now serves under *)
+  reg_view : Derive.view;  (** shared derived view for that key *)
+  reg_shared : bool;
+      (** [true] when the view was reused from an earlier derivation
+          (a policy-key hit); [false] when this registration derived it *)
+  reg_retired : string option;
+      (** a previously-held key whose artifacts were dropped because this
+          tenant was its last holder — invalidate cached plans under it *)
+}
+
+val create : unit -> t
+
+val register : t -> tenant:string -> Policy.t -> registration
+(** Register (or re-register) a tenant under a policy.  Derives the view
+    only if the canonical key is new; idempotent when the policy content
+    is unchanged.  [Derive.Unsupported] propagates with the registry
+    unchanged. *)
+
+val remove : t -> tenant:string -> string option
+(** Forget a tenant.  Returns the retired policy key if the tenant was
+    the last holder of its artifacts. *)
+
+val lookup : t -> tenant:string -> (string * Derive.view) option
+(** The tenant's (policy key, shared view), if registered. *)
+
+val key_of : t -> tenant:string -> string option
+val policy_of : t -> tenant:string -> Policy.t option
+val tenants : t -> string list  (** sorted *)
+
+val shared_keys : t -> string list
+(** Distinct live policy keys, sorted. *)
+
+val generation : t -> int
+(** Bumps on any derivation or retirement — a cheap churn witness. *)
+
+val key_hits : t -> int
+(** Registrations/lookups served from an already-derived key. *)
+
+val derivations : t -> int
+val counters : t -> (string * int) list

@@ -57,9 +57,11 @@ let min_depths dtd =
 
 let min_depth_of_type dtd name = Hashtbl.find (min_depths dtd) name
 
-let generate ?(seed = 42) ?(max_depth = 12) ?(fanout = 3)
+let generate ?(seed = 42) ?rng ?(max_depth = 12) ?(fanout = 3)
     ?(text_pool = [ "alpha"; "beta"; "gamma"; "delta"; "x"; "y" ]) dtd =
-  let rng = Random.State.make [| seed |] in
+  let rng =
+    match rng with Some r -> r | None -> Random.State.make [| seed |]
+  in
   let depths = min_depths dtd in
   let min_depth name =
     match Hashtbl.find_opt depths name with
@@ -140,6 +142,9 @@ let generate ?(seed = 42) ?(max_depth = 12) ?(fanout = 3)
   Tree.of_source (expand_type (max max_depth (min_depth root)) root)
 
 let generate_sized ?(seed = 42) ?max_depth ?text_pool ~target_nodes dtd =
+  (* sizing probes must replay identically, so each attempt re-seeds —
+     the threaded-[?rng] form would make attempt N depend on how many
+     probes ran before it *)
   let rec try_fanout fanout best =
     let t = generate ~seed ?max_depth ~fanout ?text_pool dtd in
     let n = Tree.n_nodes t in

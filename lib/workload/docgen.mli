@@ -11,6 +11,7 @@ exception No_finite_expansion of string
 
 val generate :
   ?seed:int ->
+  ?rng:Random.State.t ->
   ?max_depth:int ->
   ?fanout:int ->
   ?text_pool:string list ->
@@ -18,7 +19,9 @@ val generate :
   Smoqe_xml.Tree.t
 (** [fanout] bounds the repetitions drawn for each [*]/[+] (default 3);
     [max_depth] (default 12) is the recursion budget; [text_pool] supplies
-    text contents (drawn uniformly). *)
+    text contents (drawn uniformly).  [rng] takes precedence over [seed]:
+    thread one [Random.State.t] through several calls to draw distinct
+    documents (a multi-document corpus) from a single seed. *)
 
 val generate_sized :
   ?seed:int ->

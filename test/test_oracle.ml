@@ -742,6 +742,246 @@ let test_write_property () =
           modes)
   done
 
+(* --- multi-tenancy: shared artifacts vs per-tenant cold derivation ------
+
+   Tenants sharing a canonical policy key serve through ONE derived view
+   and one cached plan per query; the differential claim is that this
+   sharing is invisible — every tenant's answers are byte-identical to a
+   cold engine that derived the tenant's policy privately, and no tenant
+   ever sees a node outside its own materialized view. *)
+
+let policy_of_text dtd text = ok (Smoqe_security.Policy.of_string dtd text)
+
+(* the everything-visible contrast policy: no annotation, default Allow *)
+let open_policy dtd = policy_of_text dtd ""
+
+let tenant_reference ~dtd ~policy ~doc =
+  let cold = Engine.of_tree ~dtd doc in
+  ok (Engine.register_policy cold ~group:"members" policy);
+  let view = Option.get (Engine.view cold ~group:"members") in
+  (cold, visible_set view doc)
+
+let test_tenant_shared_vs_cold () =
+  let doc = Hospital.generate ~seed:7 ~n_patients:4 ~recursion_depth:2 () in
+  let dtd = Hospital.dtd in
+  let engine = Engine.of_tree ~dtd doc in
+  let tenants = [ "t0"; "t1"; "t2"; "t3" ] in
+  List.iter
+    (fun t ->
+      ignore (ok (Engine.register_tenant engine ~tenant:t Hospital.policy)))
+    tenants;
+  let counters = Engine.tenant_counters engine in
+  Alcotest.(check int) "one policy key" 1 (List.assoc "policy_keys" counters);
+  Alcotest.(check int) "one derivation" 1 (List.assoc "derivations" counters);
+  Alcotest.(check int) "three key hits" 3
+    (List.assoc "policy_key_hits" counters);
+  let cold, visible = tenant_reference ~dtd ~policy:Hospital.policy ~doc in
+  List.iter
+    (fun (qname, text) ->
+      List.iter
+        (fun (mode, mname) ->
+          let reference = ok (Engine.query cold ~group:"members" ~mode text) in
+          List.iteri
+            (fun i t ->
+              let label what =
+                Printf.sprintf "%s (%s, tenant %s, %s)" qname mname t what
+              in
+              let o = okr (Engine.query_robust engine ~tenant:t ~mode text) in
+              Alcotest.(check (list int)) (label "answers")
+                reference.Engine.answers o.Engine.answers;
+              Alcotest.(check (list string)) (label "xml")
+                reference.Engine.answer_xml o.Engine.answer_xml;
+              List.iter
+                (fun id ->
+                  if not (List.mem id visible) then
+                    Alcotest.failf "%s: node %d is policy-hidden"
+                      (label "leak") id)
+                o.Engine.answers;
+              (* every tenant after the first rides the first tenant's
+                 compiled plan: cross-tenant reuse, the point of the key *)
+              if i > 0 then begin
+                Alcotest.(check int) (label "cross-tenant plan hit") 1
+                  o.Engine.stats.Stats.plan_cache_hit;
+                Alcotest.(check int) (label "policy-key hit") 1
+                  o.Engine.stats.Stats.policy_key_hits
+              end)
+            tenants)
+        modes)
+    (Queries.suite @ Queries.view_suite)
+
+let test_tenant_isolation () =
+  let doc = Hospital.generate ~seed:7 ~n_patients:4 ~recursion_depth:2 () in
+  let dtd = Hospital.dtd in
+  let engine = Engine.of_tree ~dtd doc in
+  ignore (ok (Engine.register_tenant engine ~tenant:"locked" Hospital.policy));
+  ignore (ok (Engine.register_tenant engine ~tenant:"open" (open_policy dtd)));
+  Alcotest.(check int) "two keys" 2
+    (List.assoc "policy_keys" (Engine.tenant_counters engine));
+  let _, visible_locked =
+    tenant_reference ~dtd ~policy:Hospital.policy ~doc
+  in
+  let cold_open, visible_open =
+    tenant_reference ~dtd ~policy:(open_policy dtd) ~doc
+  in
+  List.iter
+    (fun (qname, text) ->
+      List.iter
+        (fun (mode, mname) ->
+          let locked =
+            okr (Engine.query_robust engine ~tenant:"locked" ~mode text)
+          in
+          List.iter
+            (fun id ->
+              if not (List.mem id visible_locked) then
+                Alcotest.failf "%s (%s): locked tenant sees hidden node %d"
+                  qname mname id)
+            locked.Engine.answers;
+          let opened =
+            okr (Engine.query_robust engine ~tenant:"open" ~mode text)
+          in
+          let reference =
+            ok (Engine.query cold_open ~group:"members" ~mode text)
+          in
+          Alcotest.(check (list int))
+            (Printf.sprintf "%s (%s): open tenant = open cold" qname mname)
+            reference.Engine.answers opened.Engine.answers;
+          List.iter
+            (fun id ->
+              if not (List.mem id visible_open) then
+                Alcotest.failf "%s (%s): open tenant leak %d" qname mname id)
+            opened.Engine.answers)
+        modes)
+    (Queries.suite @ Queries.view_suite);
+  (* S0 hides pname entirely: the locked tenant must see none, ever *)
+  let o = okr (Engine.query_robust engine ~tenant:"locked" "//pname") in
+  Alcotest.(check (list int)) "locked //pname is empty" [] o.Engine.answers;
+  let o = okr (Engine.query_robust engine ~tenant:"open" "//pname") in
+  Alcotest.(check bool) "open //pname is not" true (o.Engine.answers <> [])
+
+let test_tenant_churn_and_update () =
+  let doc = Hospital.generate ~seed:9 ~n_patients:3 ~recursion_depth:1 () in
+  let dtd = Hospital.dtd in
+  let engine = Engine.of_tree ~dtd doc in
+  List.iter
+    (fun t ->
+      ignore (ok (Engine.register_tenant engine ~tenant:t Hospital.policy)))
+    [ "t0"; "t1" ];
+  let queries = Queries.suite @ Queries.view_suite in
+  (* warm the shared plans, then update through the tenant-less admin
+     path: tenant answers must keep matching a from-scratch derivation
+     over the updated document *)
+  List.iter
+    (fun (_, text) ->
+      ignore (okr (Engine.query_robust engine ~tenant:"t0" text)))
+    queries;
+  let applied = random_updates ~seed:41 ~steps:8 engine in
+  Alcotest.(check bool) "updates applied" true (applied > 0);
+  let updated = Engine.document engine in
+  let cold, visible =
+    tenant_reference ~dtd ~policy:Hospital.policy ~doc:updated
+  in
+  List.iter
+    (fun (qname, text) ->
+      let reference = ok (Engine.query cold ~group:"members" text) in
+      List.iter
+        (fun t ->
+          let o = okr (Engine.query_robust engine ~tenant:t text) in
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s after update (tenant %s)" qname t)
+            reference.Engine.answer_xml o.Engine.answer_xml;
+          List.iter
+            (fun id ->
+              if not (List.mem id visible) then
+                Alcotest.failf "%s after update: leak %d" qname id)
+            o.Engine.answers)
+        [ "t0"; "t1" ])
+    queries;
+  (* churn t1 onto the open policy: t1 follows its new view immediately,
+     t0 keeps the old artifacts *)
+  ignore (ok (Engine.register_tenant engine ~tenant:"t1" (open_policy dtd)));
+  let cold_open, _ =
+    tenant_reference ~dtd ~policy:(open_policy dtd) ~doc:updated
+  in
+  List.iter
+    (fun (qname, text) ->
+      let ref_locked = ok (Engine.query cold ~group:"members" text) in
+      let ref_open = ok (Engine.query cold_open ~group:"members" text) in
+      let o0 = okr (Engine.query_robust engine ~tenant:"t0" text) in
+      let o1 = okr (Engine.query_robust engine ~tenant:"t1" text) in
+      Alcotest.(check (list string))
+        (qname ^ ": t0 unchanged by t1 churn")
+        ref_locked.Engine.answer_xml o0.Engine.answer_xml;
+      Alcotest.(check (list string))
+        (qname ^ ": churned t1 = open cold")
+        ref_open.Engine.answer_xml o1.Engine.answer_xml)
+    queries;
+  (* churn t0 away too: the old key's last holder leaves, its artifacts
+     retire (generation bump) and no stale plan may serve either tenant *)
+  let gen_before =
+    List.assoc "generation" (Engine.tenant_counters engine)
+  in
+  ignore (ok (Engine.register_tenant engine ~tenant:"t0" (open_policy dtd)));
+  let gen_after = List.assoc "generation" (Engine.tenant_counters engine) in
+  Alcotest.(check bool) "retirement bumps the generation" true
+    (gen_after > gen_before);
+  List.iter
+    (fun (qname, text) ->
+      let ref_open = ok (Engine.query cold_open ~group:"members" text) in
+      List.iter
+        (fun t ->
+          let o = okr (Engine.query_robust engine ~tenant:t text) in
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s: %s after full churn = open cold" qname t)
+            ref_open.Engine.answer_xml o.Engine.answer_xml)
+        [ "t0"; "t1" ])
+    queries
+
+(* Random tenant pairs over random DTD draws: any two tenants registered
+   with the same policy draw must answer byte-identically to the
+   per-tenant cold derivation, under shared artifacts. *)
+let test_tenant_property () =
+  for seed = 1 to 12 do
+    let dtd =
+      Random_dtd.generate ~seed ~n_types:(3 + (seed mod 5))
+        ~recursion:(seed mod 2 = 0) ()
+    in
+    let policy = Random_dtd.random_policy ~seed:(seed * 3 + 1) dtd in
+    match Docgen.generate ~seed:(seed * 5 + 2) ~max_depth:8 ~fanout:2 dtd with
+    | exception Docgen.No_finite_expansion _ -> ()
+    | doc ->
+      let engine = Engine.of_tree ~dtd doc in
+      (match Engine.register_tenant engine ~tenant:"a" policy with
+      | Error _ -> ()  (* derivation unsupported for this draw: skip *)
+      | Ok _ ->
+        ignore (ok (Engine.register_tenant engine ~tenant:"b" policy));
+        let cold = Engine.of_tree ~dtd doc in
+        ok (Engine.register_policy cold ~group:"members" policy);
+        let view = Option.get (Engine.view cold ~group:"members") in
+        let visible = visible_set view doc in
+        let tags = Dtd.element_names (Derive.view_dtd view) in
+        List.iter
+          (fun s ->
+            let text =
+              Pretty.path_to_string
+                (Random_dtd.random_query ~seed:s ~size:6 ~tags ())
+            in
+            let reference = ok (Engine.query cold ~group:"members" text) in
+            List.iter
+              (fun t ->
+                let o = okr (Engine.query_robust engine ~tenant:t text) in
+                Alcotest.(check (list string))
+                  (Printf.sprintf "seed %d %s (tenant %s)" seed text t)
+                  reference.Engine.answer_xml o.Engine.answer_xml;
+                List.iter
+                  (fun id ->
+                    if not (List.mem id visible) then
+                      Alcotest.failf "seed %d %s: tenant %s leak %d" seed
+                        text t id)
+                  o.Engine.answers)
+              [ "a"; "b" ])
+          [ (seed * 7) + 3; (seed * 11) + 5 ])
+  done
+
 let () =
   Alcotest.run "smoqe_oracle"
     [
@@ -784,5 +1024,16 @@ let () =
             test_write_bib;
           Alcotest.test_case "random draws: update = rematerialize" `Quick
             test_write_property;
+        ] );
+      ( "tenant",
+        [
+          Alcotest.test_case "shared artifacts = cold derivation" `Quick
+            test_tenant_shared_vs_cold;
+          Alcotest.test_case "isolation across distinct keys" `Quick
+            test_tenant_isolation;
+          Alcotest.test_case "churn + update keep the oracle" `Quick
+            test_tenant_churn_and_update;
+          Alcotest.test_case "random pairs share one key" `Quick
+            test_tenant_property;
         ] );
     ]

@@ -81,7 +81,7 @@ let test_canon_normalize_hand_built () =
 (* --- cache mechanics ------------------------------------------------------- *)
 
 let key ?group ?(mode = "dom") ?(use_index = false) query =
-  { Plan_cache.group; query; mode; use_index }
+  { Plan_cache.group; policy_key = None; query; mode; use_index }
 
 let test_lru_eviction_order () =
   let c = Plan_cache.create ~capacity:2 () in

@@ -9,6 +9,11 @@
      flight: the group's view re-registered (invalidating its plans
      mid-query) and the document replaced with an equal tree
      (invalidating everything);
+   - tenant traffic on per-tenant fair-share lanes: 8 tenants sharing
+     one canonical policy key, half the batch routed through them, with
+     tenant policy churn mid-flight — idempotent re-registration (a key
+     hit) on the served tenants and full key retirement/re-derivation on
+     a churn-only tenant;
    - the ["plan.compile"] failpoint firing every few compiles.
 
    The assertions are deliberately coarse — this harness exists to let
@@ -45,6 +50,22 @@ let () =
   (match Engine.register_policy engine ~group:"members" Hospital.policy with
   | Ok () -> ()
   | Error msg -> die "register_policy: %s" msg);
+
+  (* 8 tenants on the same policy: one shared key, one derived view.
+     t0..t6 serve live traffic; t7 only churns (its policy flips between
+     the hospital policy and an everything-visible one, retiring and
+     re-deriving a key mid-flight) so served answers stay byte-stable. *)
+  let tname i = Printf.sprintf "t%d" i in
+  let open_policy =
+    match Smoqe_security.Policy.of_string Hospital.dtd "" with
+    | Ok p -> p
+    | Error msg -> die "open policy: %s" msg
+  in
+  for i = 0 to 7 do
+    match Engine.register_tenant engine ~tenant:(tname i) Hospital.policy with
+    | Ok _ -> ()
+    | Error msg -> die "register_tenant %s: %s" (tname i) msg
+  done;
 
   (* Sequential reference for the hot suite, on an engine the pool never
      touches.  replace_document below swaps in an equal tree and
@@ -92,6 +113,27 @@ let () =
                   (match Engine.replace_document engine doc with
                   | Ok () -> ()
                   | Error msg -> die "replace_document: %s" msg);
+                (* tenant policy churn mid-flight: an idempotent
+                   re-registration on a served tenant (a policy-key hit,
+                   semantics unchanged)... *)
+                if i mod 41 = 11 then
+                  (match
+                     Engine.register_tenant engine ~tenant:(tname (i mod 7))
+                       Hospital.policy
+                   with
+                  | Ok _ -> ()
+                  | Error msg -> die "tenant re-register: %s" msg);
+                (* ...and a full key flip on the never-queried t7 —
+                   retirement, generational plan invalidation and a fresh
+                   derivation racing the live queries *)
+                if i mod 53 = 23 then
+                  (match
+                     Engine.register_tenant engine ~tenant:"t7"
+                       (if i mod 106 = 23 then open_policy
+                        else Hospital.policy)
+                   with
+                  | Ok _ -> ()
+                  | Error msg -> die "tenant flip: %s" msg);
                 (* concurrent writes through the pool: identity replaces
                    keep every answer byte-stable (so the hot-reference
                    check below stays the truth) while the write path's
@@ -108,7 +150,14 @@ let () =
                         Engine.update_robust engine
                           (Update.Replace (Update.By_id n, Tree.to_source d n)))
                     :: !update_futures;
-                (text, Engine.submit engine ~pool ~group:"members" text))
+                (* half the traffic rides tenant lanes through the
+                   shared-key view; same semantics, same reference *)
+                let fut =
+                  if i mod 2 = 1 then
+                    Engine.submit engine ~pool ~tenant:(tname (i mod 7)) text
+                  else Engine.submit engine ~pool ~group:"members" text
+                in
+                (text, fut))
           in
           List.iter
             (fun (text, fut) ->
@@ -148,7 +197,7 @@ let () =
   if !injected = 0 then die "the armed failpoint never fired";
   Printf.printf
     "stress OK: %d tasks (%d served, %d injected faults, %d concurrent \
-     updates), answers stable under re-registration, document replacement \
-     and writes\n"
+     updates), answers stable under re-registration, document replacement, \
+     writes and 8-tenant policy churn\n"
     rounds !served !injected
     (List.length !update_futures)
